@@ -1,0 +1,266 @@
+(* lbrm — command-line driver.
+
+   Subcommands:
+     simulate   run an LBRM deployment on the simulated WAN and report
+     udp        run a live LBRM session over loopback UDP sockets
+     traffic    print the STOW-97 traffic arithmetic (2.1.2)
+
+   Experiments and benchmarks live in bench/main.exe (one target per
+   paper table/figure). *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate sites receivers loss packets interval seed stat_ack duration =
+  let cfg =
+    { Lbrm.Config.default with stat_ack_enabled = stat_ack }
+  in
+  let d =
+    Lbrm_run.Scenario.standard ~cfg ~seed ~sites ~receivers_per_site:receivers
+      ~initial_estimate:(float_of_int sites)
+      ~tail_loss:(fun _ ->
+        if loss > 0. then Lbrm_sim.Loss.bernoulli loss else Lbrm_sim.Loss.none)
+      ()
+  in
+  Lbrm_run.Scenario.drive_periodic d ~interval ~count:packets ();
+  Lbrm_run.Scenario.run d ~until:duration;
+  Printf.printf
+    "LBRM simulation: %d sites x %d receivers, %.0f%% tail loss, %d packets\n\n"
+    sites receivers (100. *. loss) packets;
+  let complete =
+    Array.for_all
+      (fun (r, _) -> Lbrm.Receiver.delivered r = packets)
+      d.receivers
+  in
+  Printf.printf "complete delivery everywhere: %b\n"
+    (complete && Lbrm_run.Scenario.total_missing d = 0);
+  Printf.printf "still missing               : %d\n"
+    (Lbrm_run.Scenario.total_missing d);
+  print_newline ();
+  Format.printf "%a@." Lbrm_sim.Trace.pp (Lbrm_run.Scenario.trace d);
+  if complete then 0 else 1
+
+let simulate_cmd =
+  let sites =
+    Arg.(value & opt int 5 & info [ "sites" ] ~doc:"Number of sites.")
+  in
+  let receivers =
+    Arg.(value & opt int 4 & info [ "receivers" ] ~doc:"Receivers per site.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.1
+      & info [ "loss" ] ~doc:"Tail-circuit loss probability (0-1).")
+  in
+  let packets =
+    Arg.(value & opt int 30 & info [ "packets" ] ~doc:"Data packets to send.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~doc:"Seconds between data packets.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let stat_ack =
+    Arg.(
+      value & opt bool true
+      & info [ "stat-ack" ] ~doc:"Enable statistical acknowledgement.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 120.
+      & info [ "duration" ] ~doc:"Virtual seconds to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run an LBRM deployment on the simulated WAN")
+    Term.(
+      const simulate $ sites $ receivers $ loss $ packets $ interval $ seed
+      $ stat_ack $ duration)
+
+(* ------------------------------------------------------------------ *)
+(* udp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let udp base_port packets loss seconds =
+  let module U = Lbrm_run.Udp_runtime in
+  let module H = Lbrm_run.Handlers in
+  let cfg =
+    {
+      Lbrm.Config.default with
+      stat_ack_enabled = false;
+      nack_delay = 0.02;
+      nack_timeout = 0.3;
+      h_min = 0.1;
+      (* faster loss detection for a short wall-clock demo *)
+    }
+  in
+  let src_port = base_port in
+  let primary_port = base_port + 1 in
+  let secondary_port = base_port + 2 in
+  let recv_ports = [ base_port + 3; base_port + 4; base_port + 5 ] in
+  let rt = U.create ~loss ~seed:7 () in
+  let source =
+    Lbrm.Source.create cfg ~self:src_port ~primary:primary_port ()
+  in
+  let primary =
+    Lbrm.Logger.create cfg ~self:primary_port ~source:src_port
+      ~rng:(Lbrm_util.Rng.create ~seed:1) ()
+  in
+  let secondary =
+    Lbrm.Logger.create cfg ~self:secondary_port ~source:src_port
+      ~parent:primary_port
+      ~rng:(Lbrm_util.Rng.create ~seed:2) ()
+  in
+  let delivered = Hashtbl.create 16 in
+  let receivers =
+    List.map
+      (fun port ->
+        let r =
+          Lbrm.Receiver.create cfg ~self:port ~source:src_port
+            ~loggers:[ secondary_port; primary_port ]
+        in
+        let on_deliver ~now:_ ~seq ~payload:_ ~recovered =
+          let seen =
+            match Hashtbl.find_opt delivered port with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 16 in
+                Hashtbl.replace delivered port s;
+                s
+          in
+          Hashtbl.replace seen seq recovered
+        in
+        U.add_agent rt ~port (H.of_receiver ~on_deliver r);
+        (r, port))
+      recv_ports
+  in
+  U.add_agent rt ~port:src_port (H.of_source source);
+  U.add_agent rt ~port:primary_port (H.of_logger primary);
+  U.add_agent rt ~port:secondary_port (H.of_logger secondary);
+  let group = cfg.group in
+  U.join rt ~group ~port:primary_port;
+  U.join rt ~group ~port:secondary_port;
+  List.iter (fun p -> U.join rt ~group ~port:p) recv_ports;
+  U.perform rt ~port:src_port (Lbrm.Source.start source ~now:(U.now rt));
+  List.iter
+    (fun (r, port) ->
+      U.perform rt ~port (Lbrm.Receiver.start r ~now:(U.now rt)))
+    receivers;
+  Printf.printf
+    "live UDP session on 127.0.0.1:%d-%d, %.0f%% injected datagram loss\n"
+    base_port (base_port + 5) (100. *. loss);
+  (* Send packets spaced over the first half of the run. *)
+  let gap = seconds /. 2. /. float_of_int packets in
+  for i = 1 to packets do
+    U.perform rt ~port:src_port
+      (Lbrm.Source.send source ~now:(U.now rt) (Printf.sprintf "payload-%d" i));
+    U.run_for rt ~seconds:gap
+  done;
+  U.run_for rt ~seconds:(seconds /. 2.);
+  let ok = ref true in
+  List.iter
+    (fun (r, port) ->
+      let got = Lbrm.Receiver.delivered r in
+      let rec_ = Lbrm.Receiver.recovered r in
+      Printf.printf "receiver :%d  delivered %d/%d (%d via recovery)\n" port
+        got packets rec_;
+      if got <> packets then ok := false)
+    receivers;
+  Printf.printf "datagrams sent %d, artificially dropped %d\n"
+    (U.datagrams_sent rt) (U.datagrams_dropped rt);
+  U.close rt;
+  if !ok then begin
+    print_endline "OK: receiver-reliable delivery over real sockets.";
+    0
+  end
+  else begin
+    print_endline "FAILED: incomplete delivery.";
+    1
+  end
+
+let udp_cmd =
+  let base_port =
+    Arg.(value & opt int 47800 & info [ "port" ] ~doc:"Base UDP port.")
+  in
+  let packets =
+    Arg.(value & opt int 10 & info [ "packets" ] ~doc:"Data packets to send.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.25
+      & info [ "loss" ] ~doc:"Injected datagram loss probability.")
+  in
+  let seconds =
+    Arg.(
+      value & opt float 4.
+      & info [ "seconds" ] ~doc:"Wall-clock duration of the session.")
+  in
+  Cmd.v
+    (Cmd.info "udp" ~doc:"Run a live LBRM session over loopback UDP")
+    Term.(const udp $ base_port $ packets $ loss $ seconds)
+
+(* ------------------------------------------------------------------ *)
+(* traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let traffic dynamics terrain rate change freshness =
+  let p =
+    {
+      Lbrm_dis.Scenario.dynamic_entities = dynamics;
+      terrain_entities = terrain;
+      dynamic_update_rate = rate;
+      terrain_change_interval = change;
+      freshness;
+    }
+  in
+  let t = Lbrm_dis.Scenario.traffic_model p in
+  Printf.printf "STOW-97-style traffic model (2.1.2)\n\n";
+  Printf.printf "dynamic entity packets/s        : %12.0f\n" t.dynamic_pps;
+  Printf.printf "terrain data packets/s          : %12.1f\n"
+    t.terrain_data_pps;
+  Printf.printf "fixed-heartbeat packets/s       : %12.0f\n"
+    t.fixed_heartbeat_pps;
+  Printf.printf "variable-heartbeat packets/s    : %12.0f\n"
+    t.variable_heartbeat_pps;
+  Printf.printf "heartbeat fraction (fixed)      : %12.2f\n"
+    (Lbrm_dis.Scenario.heartbeat_fraction t);
+  Printf.printf "fixed/variable heartbeat ratio  : %12.1f\n"
+    (t.fixed_heartbeat_pps /. t.variable_heartbeat_pps);
+  0
+
+let traffic_cmd =
+  let dynamics =
+    Arg.(
+      value & opt int 100_000
+      & info [ "dynamics" ] ~doc:"Dynamic entity count.")
+  in
+  let terrain =
+    Arg.(
+      value & opt int 100_000 & info [ "terrain" ] ~doc:"Terrain entity count.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~doc:"Dynamic entity update rate (packets/s).")
+  in
+  let change =
+    Arg.(
+      value & opt float 120.
+      & info [ "change" ] ~doc:"Mean seconds between terrain changes.")
+  in
+  let freshness =
+    Arg.(
+      value & opt float 0.25
+      & info [ "freshness" ] ~doc:"Terrain freshness requirement (s).")
+  in
+  Cmd.v
+    (Cmd.info "traffic" ~doc:"Print the DIS traffic arithmetic")
+    Term.(const traffic $ dynamics $ terrain $ rate $ change $ freshness)
+
+let () =
+  let doc = "Log-Based Receiver-reliable Multicast (SIGCOMM '95)" in
+  let info = Cmd.info "lbrm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; udp_cmd; traffic_cmd ]))

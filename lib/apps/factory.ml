@@ -1,0 +1,76 @@
+module Codec = Lbrm_wire.Codec
+module Rng = Lbrm_util.Rng
+
+type reading = { sensor : int; value : float; timestamp : float }
+
+let encode r =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u32 w r.sensor;
+  Codec.Writer.f64 w r.value;
+  Codec.Writer.f64 w r.timestamp;
+  Codec.Writer.contents w
+
+let ( let* ) = Result.bind
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let* sensor = Codec.Reader.u32 r in
+  let* value = Codec.Reader.f64 r in
+  let* timestamp = Codec.Reader.f64 r in
+  match Codec.Reader.remaining r with
+  | 0 -> Ok { sensor; value; timestamp }
+  | n -> Error (Codec.Trailing n)
+
+let equal a b =
+  a.sensor = b.sensor
+  && Float.equal a.value b.value
+  && Float.equal a.timestamp b.timestamp
+
+let pp fmt r =
+  Format.fprintf fmt "sensor %d = %.3f @%.2f" r.sensor r.value r.timestamp
+
+module Sensor = struct
+  type t = { rng : Rng.t; id : int; period : float }
+
+  let create ~rng ~id ?(period = 60.) () = { rng; id; period }
+
+  let sample t ~now =
+    let base = sin (2. *. Float.pi *. now /. t.period) in
+    let noise = Rng.gaussian t.rng ~mu:0. ~sigma:0.05 in
+    { sensor = t.id; value = base +. noise; timestamp = now }
+end
+
+module Monitor = struct
+  type t = { log : (int, reading list ref) Hashtbl.t; mutable count : int }
+
+  let create () = { log = Hashtbl.create 16; count = 0 }
+
+  let on_payload t payload =
+    match decode payload with
+    | Error _ as e -> e
+    | Ok r ->
+        let cell =
+          match Hashtbl.find_opt t.log r.sensor with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.replace t.log r.sensor c;
+              c
+        in
+        cell := r :: !cell;
+        t.count <- t.count + 1;
+        Ok r
+
+  let readings t ~sensor =
+    match Hashtbl.find_opt t.log sensor with
+    | None -> []
+    | Some c ->
+        List.sort (fun a b -> Float.compare a.timestamp b.timestamp) !c
+
+  let count t = t.count
+
+  let latest t ~sensor =
+    match readings t ~sensor with
+    | [] -> None
+    | rs -> Some (List.nth rs (List.length rs - 1))
+end

@@ -1,0 +1,36 @@
+(** Factory automation over LBRM (§4.4).
+
+    Floor sensors multicast readings; monitoring stations need them
+    reliably *and* logged — which LBRM's logging servers provide for
+    free.  Mobile monitors with intermittent connectivity recover the
+    readings they missed from a logging server on reconnection, without
+    disturbing the live flow. *)
+
+type reading = { sensor : int; value : float; timestamp : float }
+
+val encode : reading -> string
+val decode : string -> (reading, Lbrm_wire.Codec.error) result
+val equal : reading -> reading -> bool
+val pp : Format.formatter -> reading -> unit
+
+(** A sensor producing a noisy sinusoidal signal. *)
+module Sensor : sig
+  type t
+
+  val create : rng:Lbrm_util.Rng.t -> id:int -> ?period:float -> unit -> t
+  val sample : t -> now:float -> reading
+end
+
+(** A monitoring station: complete, ordered log of readings per
+    sensor, with gap accounting (what a mobile host missed). *)
+module Monitor : sig
+  type t
+
+  val create : unit -> t
+  val on_payload : t -> string -> (reading, Lbrm_wire.Codec.error) result
+  val readings : t -> sensor:int -> reading list
+  (** Ascending by timestamp. *)
+
+  val count : t -> int
+  val latest : t -> sensor:int -> reading option
+end

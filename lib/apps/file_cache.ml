@@ -1,0 +1,40 @@
+let invalidation ~path = "INVAL:" ^ path
+
+let parse_invalidation s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "INVAL" ->
+      Ok (String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> Error (Printf.sprintf "not an invalidation: %S" s)
+
+module Client = struct
+  type t = {
+    lease_period : float;
+    files : (string, string) Hashtbl.t;
+    mutable full_invalidations : int;
+  }
+
+  let create ~lease_period =
+    assert (lease_period > 0.);
+    { lease_period; files = Hashtbl.create 32; full_invalidations = 0 }
+
+  let insert t ~path ~data = Hashtbl.replace t.files path data
+  let lookup t ~path = Hashtbl.find_opt t.files path
+
+  let on_payload t payload =
+    match parse_invalidation payload with
+    | Error _ as e -> e
+    | Ok path ->
+        Hashtbl.remove t.files path;
+        Ok path
+
+  let on_silence t ~elapsed =
+    if elapsed >= t.lease_period then begin
+      Hashtbl.reset t.files;
+      t.full_invalidations <- t.full_invalidations + 1;
+      true
+    end
+    else false
+
+  let size t = Hashtbl.length t.files
+  let full_invalidations t = t.full_invalidations
+end

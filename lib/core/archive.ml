@@ -1,0 +1,159 @@
+(* Record format (all big-endian):
+     magic   u16 = 0xA10C
+     seq     u32
+     epoch   u32
+     length  u32
+     payload bytes
+     check   u32 = simple additive checksum of the fields above
+   The checksum guards torn tail writes; on open we scan records until
+   EOF or a bad record, truncating the latter. *)
+
+module Seqno = Lbrm_util.Seqno
+
+let magic = 0xA10C
+
+type t = {
+  archive_path : string;
+  channel : out_channel;
+  index : (Seqno.t, int * int) Hashtbl.t; (* seq -> (offset, total length) *)
+  mutable size : int; (* valid bytes *)
+}
+
+let checksum ~seq ~epoch ~payload =
+  let acc = ref (magic + seq + epoch + String.length payload) in
+  String.iter (fun c -> acc := (!acc * 31) + Char.code c) payload;
+  !acc land 0x3fffffff
+
+let record_length payload = 2 + 4 + 4 + 4 + String.length payload + 4
+
+(* Read one record at [pos]; None on EOF/corruption. *)
+let read_record ic pos =
+  try
+    seek_in ic pos;
+    let u16 () =
+      let a = input_byte ic in
+      let b = input_byte ic in
+      (a lsl 8) lor b
+    in
+    let u32 () =
+      let a = u16 () in
+      let b = u16 () in
+      (a lsl 16) lor b
+    in
+    if u16 () <> magic then None
+    else begin
+      let seq = u32 () in
+      let epoch = u32 () in
+      let len = u32 () in
+      if len < 0 || len > 16 * 1024 * 1024 then None
+      else begin
+        let payload = really_input_string ic len in
+        let check = u32 () in
+        if check = checksum ~seq ~epoch ~payload then Some (seq, epoch, payload)
+        else None
+      end
+    end
+  with End_of_file -> None
+
+let open_ ~path:archive_path =
+  try
+    (* Scan existing content to rebuild the index. *)
+    let index = Hashtbl.create 256 in
+    let valid =
+      if Sys.file_exists archive_path then begin
+        let ic = open_in_bin archive_path in
+        let file_len = in_channel_length ic in
+        let rec scan pos =
+          if pos >= file_len then pos
+          else
+            match read_record ic pos with
+            | Some (seq, _, payload) ->
+                let len = record_length payload in
+                if not (Hashtbl.mem index seq) then
+                  Hashtbl.replace index seq (pos, len);
+                scan (pos + len)
+            | None -> pos (* torn tail: truncate here *)
+        in
+        let valid = scan 0 in
+        close_in ic;
+        valid
+      end
+      else 0
+    in
+    (* Reopen for appending, truncated to the valid prefix. *)
+    let channel =
+      open_out_gen
+        [ Open_wronly; Open_creat; Open_binary ]
+        0o644 archive_path
+    in
+    (* OCaml lacks ftruncate on out_channel; emulate by rewriting when a
+       torn tail exists. *)
+    (if Sys.file_exists archive_path then
+       let current = (Unix.stat archive_path).Unix.st_size in
+       if current > valid then Unix.truncate archive_path valid);
+    seek_out channel valid;
+    Ok { archive_path; channel; index; size = valid }
+  with Sys_error e | Unix.Unix_error (_, e, _) -> Error e
+
+let out_u16 oc v =
+  output_byte oc ((v lsr 8) land 0xff);
+  output_byte oc (v land 0xff)
+
+let out_u32 oc v =
+  out_u16 oc ((v lsr 16) land 0xffff);
+  out_u16 oc (v land 0xffff)
+
+let append t ~seq ~epoch ~payload =
+  if not (Hashtbl.mem t.index seq) then begin
+    let pos = t.size in
+    out_u16 t.channel magic;
+    out_u32 t.channel seq;
+    out_u32 t.channel epoch;
+    out_u32 t.channel (String.length payload);
+    output_string t.channel payload;
+    out_u32 t.channel (checksum ~seq ~epoch ~payload);
+    let len = record_length payload in
+    t.size <- pos + len;
+    Hashtbl.replace t.index seq (pos, len)
+  end
+
+let find t seq =
+  match Hashtbl.find_opt t.index seq with
+  | None -> None
+  | Some (pos, _) -> (
+      flush t.channel;
+      let ic = open_in_bin t.archive_path in
+      let r = read_record ic pos in
+      close_in ic;
+      match r with
+      | Some (s, epoch, payload) when s = seq -> Some (epoch, payload)
+      | _ -> None)
+
+let mem t seq = Hashtbl.mem t.index seq
+let count t = Hashtbl.length t.index
+
+let sync t =
+  flush t.channel;
+  let fd = Unix.openfile t.archive_path [ Unix.O_RDONLY ] 0 in
+  (try Unix.fsync fd with Unix.Unix_error _ -> ());
+  Unix.close fd
+
+let close t =
+  flush t.channel;
+  close_out t.channel
+
+let path t = t.archive_path
+
+let iter f t =
+  flush t.channel;
+  let ic = open_in_bin t.archive_path in
+  let rec scan pos =
+    if pos < t.size then
+      match read_record ic pos with
+      | Some (seq, epoch, payload) ->
+          f ~seq ~epoch ~payload;
+          scan (pos + record_length payload)
+      | None -> ()
+  in
+  scan 0;
+  close_in ic

@@ -1,0 +1,41 @@
+(** Disk tier for logging servers.
+
+    §2 of the paper: "Other applications with stronger persistence needs
+    may log all packets, writing them to disk once in-memory buffers are
+    full", and §4.4 relies on the log as the factory's permanent record.
+
+    An archive is an append-only data file plus an in-memory index
+    (sequence → offset), rebuilt by scanning the file on open — so a
+    logger restarted after a crash still serves its whole history.
+    Records are individually checksummed; a torn tail write (crash
+    mid-append) is detected and truncated on open.
+
+    Intended wiring: a {!Log_store} with bounded retention whose
+    [on_evict] hook appends to the archive; the logger consults the
+    archive when the in-memory store misses. *)
+
+type t
+
+val open_ : path:string -> (t, string) result
+(** Open or create an archive at [path], rebuilding the index.  A
+    corrupt tail is truncated (data before it is preserved); corruption
+    elsewhere yields [Error]. *)
+
+val append : t -> seq:Lbrm_util.Seqno.t -> epoch:int -> payload:string -> unit
+(** Persist one packet (fsync is left to {!sync}).  Re-appending an
+    already-archived sequence number is a no-op. *)
+
+val find : t -> Lbrm_util.Seqno.t -> (int * string) option
+(** [(epoch, payload)] if the sequence number was archived. *)
+
+val mem : t -> Lbrm_util.Seqno.t -> bool
+val count : t -> int
+val sync : t -> unit
+(** Flush and fsync the data file. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val iter : (seq:Lbrm_util.Seqno.t -> epoch:int -> payload:string -> unit) -> t -> unit
+(** All archived packets in append order. *)

@@ -1,0 +1,90 @@
+type heartbeat_policy = Fixed | Variable
+
+type t = {
+  group : int;
+  heartbeat_policy : heartbeat_policy;
+  h_min : float;
+  h_max : float;
+  backoff : float;
+  heartbeat_payload_max : int;
+  max_it : float;
+  nack_delay : float;
+  nack_timeout : float;
+  nack_retry_limit : int;
+  recover_from_start : bool;
+  deposit_timeout : float;
+  deposit_retry_limit : int;
+  remcast_request_threshold : int;
+  remcast_window : float;
+  site_ttl : int;
+  uplink_nack_timeout : float;
+  retention : Log_store.retention;
+  stat_ack_enabled : bool;
+  k_ackers : int;
+  epoch_interval : float;
+  t_wait_init : float;
+  t_wait_alpha : float;
+  remcast_site_threshold : float;
+  estimate_alpha : float;
+  hotlist_threshold : int;
+  discovery_group : int;
+  discovery_max_ttl : int;
+  discovery_round_timeout : float;
+  (* retransmission channel (7, first bullet) *)
+  rchannel_group : int option;
+  rchannel_copies : int;
+}
+
+let default =
+  {
+    group = 1;
+    heartbeat_policy = Variable;
+    h_min = 0.25;
+    h_max = 32.;
+    backoff = 2.;
+    heartbeat_payload_max = 0;
+    max_it = 64.;
+    nack_delay = 0.01;
+    nack_timeout = 0.5;
+    nack_retry_limit = 3;
+    recover_from_start = true;
+    deposit_timeout = 0.5;
+    deposit_retry_limit = 5;
+    remcast_request_threshold = 3;
+    remcast_window = 0.05;
+    site_ttl = 2;
+    uplink_nack_timeout = 0.3;
+    retention = Log_store.Keep_all;
+    stat_ack_enabled = true;
+    k_ackers = 20;
+    epoch_interval = 30.;
+    t_wait_init = 0.2;
+    t_wait_alpha = 0.125;
+    remcast_site_threshold = 2.;
+    estimate_alpha = 0.125;
+    hotlist_threshold = 5;
+    discovery_group = 0;
+    discovery_max_ttl = 8;
+    discovery_round_timeout = 0.05;
+    rchannel_group = None;
+    rchannel_copies = 3;
+  }
+
+let fixed_heartbeat t = { t with heartbeat_policy = Fixed }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.h_min <= 0. then err "h_min must be positive (got %g)" t.h_min
+  else if t.h_max < t.h_min then err "h_max %g < h_min %g" t.h_max t.h_min
+  else if t.backoff <= 1. then err "backoff must exceed 1 (got %g)" t.backoff
+  else if t.max_it <= 0. then err "max_it must be positive"
+  else if t.k_ackers <= 0 then err "k_ackers must be positive"
+  else if t.nack_retry_limit < 0 then err "nack_retry_limit must be >= 0"
+  else if t.remcast_site_threshold < 0. then
+    err "remcast_site_threshold must be >= 0"
+  else if t.estimate_alpha <= 0. || t.estimate_alpha > 1. then
+    err "estimate_alpha must be in (0,1]"
+  else if t.t_wait_alpha <= 0. || t.t_wait_alpha > 1. then
+    err "t_wait_alpha must be in (0,1]"
+  else if t.rchannel_copies <= 0 then err "rchannel_copies must be positive"
+  else Ok t

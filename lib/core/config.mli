@@ -1,0 +1,80 @@
+(** Protocol parameters.
+
+    {!default} carries the paper's DIS values: h_min = 0.25 s (the 1/4 s
+    freshness requirement of §2.1.2), h_max = 32 s, backoff 2, and
+    statistical acknowledgement with 5–20 designated ackers (§2.3.1). *)
+
+type heartbeat_policy =
+  | Fixed  (** heartbeat every [h_min] while idle — the §2.1.2 baseline *)
+  | Variable  (** exponential backoff from [h_min] to [h_max] — LBRM *)
+
+type t = {
+  group : int;  (** data multicast group id *)
+  (* heartbeats *)
+  heartbeat_policy : heartbeat_policy;
+  h_min : float;  (** minimum inter-heartbeat time, seconds *)
+  h_max : float;  (** maximum inter-heartbeat time, seconds *)
+  backoff : float;  (** inter-heartbeat growth multiple (> 1) *)
+  heartbeat_payload_max : int;
+      (** §7 option: if the last data payload is at most this many bytes,
+          heartbeats carry it (0 disables) *)
+  (* receiver *)
+  max_it : float;
+      (** silence bound before the receiver flags possible loss; with
+          variable heartbeats the source only guarantees a packet every
+          [h_max], so this should be ≥ [h_max] plus slack *)
+  nack_delay : float;
+      (** wait before NACKing a detected gap, to ride out reordering
+          (Appendix A's "short retransmission request timer") *)
+  nack_timeout : float;  (** repair wait before escalating a level *)
+  nack_retry_limit : int;  (** attempts per level before giving up *)
+  recover_from_start : bool;
+      (** sequence numbering starts at 1, so a receiver whose first
+          packet has seq > 1 knows the earlier ones exist; when set, it
+          recovers them (back-fills history after joining late or losing
+          the first packets) *)
+  (* source → primary logger handoff *)
+  deposit_timeout : float;
+  deposit_retry_limit : int;  (** then the primary is suspected dead *)
+  (* logger *)
+  remcast_request_threshold : int;
+      (** a secondary re-multicasts a repair once this many requests for
+          the same packet arrive in a window (§2.2.1) *)
+  remcast_window : float;  (** request-counting window, seconds *)
+  site_ttl : int;  (** TTL confining a repair to the site *)
+  uplink_nack_timeout : float;  (** secondary → parent retry interval *)
+  retention : Log_store.retention;
+  (* statistical acknowledgement (§2.3) *)
+  stat_ack_enabled : bool;
+  k_ackers : int;  (** desired designated-acker count (5–20) *)
+  epoch_interval : float;  (** seconds between Acker Selection Packets *)
+  t_wait_init : float;  (** initial ACK-collection wait *)
+  t_wait_alpha : float;  (** EWMA gain of the t_wait estimator *)
+  remcast_site_threshold : float;
+      (** re-multicast when missing ACKs represent at least this many
+          sites *)
+  estimate_alpha : float;  (** EWMA gain of the N_sl estimator (1/8) *)
+  hotlist_threshold : int;
+      (** unsolicited ACKs before a faulty logger is ignored (§2.3.3) *)
+  (* discovery (§2.2.1) *)
+  discovery_group : int;
+  discovery_max_ttl : int;
+  discovery_round_timeout : float;
+  (* retransmission channel (§7, first bullet) *)
+  rchannel_group : int option;
+      (** separate multicast channel on which the source re-multicasts
+          every packet a few times with exponential backoff; receivers
+          subscribe on loss instead of NACKing.  [None] disables. *)
+  rchannel_copies : int;
+      (** copies of each packet placed on the channel (n) *)
+}
+
+val default : t
+(** DIS defaults: variable heartbeat 0.25/32/2; MaxIT 2·h_max; NACK
+    delay 10 ms; stat-ack on with k = 20, 30 s epochs. *)
+
+val fixed_heartbeat : t -> t
+(** The same configuration with the fixed-heartbeat baseline policy. *)
+
+val validate : t -> (t, string) result
+(** Check parameter sanity (h_min ≤ h_max, backoff > 1, …). *)

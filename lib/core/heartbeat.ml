@@ -1,0 +1,62 @@
+type policy = Config.heartbeat_policy = Fixed | Variable
+
+type t = {
+  policy : policy;
+  h_min : float;
+  h_max : float;
+  backoff : float;
+  mutable h : float;
+}
+
+let create ~policy ~h_min ~h_max ~backoff =
+  assert (h_min > 0. && h_max >= h_min && backoff > 1.);
+  { policy; h_min; h_max; backoff; h = h_min }
+
+let of_config (c : Config.t) =
+  create ~policy:c.heartbeat_policy ~h_min:c.h_min ~h_max:c.h_max
+    ~backoff:c.backoff
+
+let on_data t = t.h <- t.h_min
+let next_delay t = t.h
+
+let on_heartbeat t =
+  match t.policy with
+  | Fixed -> ()
+  | Variable -> t.h <- Float.min t.h_max (t.h *. t.backoff)
+
+let interval t = t.h
+
+let schedule_in_gap ~policy ~h_min ~h_max ~backoff ~dt =
+  (* Heartbeat due exactly when the next data packet arrives still goes
+     out; a small epsilon absorbs float accumulation error so the dt=120
+     boundary cases of Table 1 land as in the paper. *)
+  let eps = 1e-9 *. Float.max 1. dt in
+  let rec loop at h acc =
+    let at = at +. h in
+    if at > dt +. eps then List.rev acc
+    else
+      let h' =
+        match policy with
+        | Fixed -> h
+        | Variable -> Float.min h_max (h *. backoff)
+      in
+      loop at h' (at :: acc)
+  in
+  if dt <= 0. then [] else loop 0. h_min []
+
+let count_in_gap ~policy ~h_min ~h_max ~backoff ~dt =
+  List.length (schedule_in_gap ~policy ~h_min ~h_max ~backoff ~dt)
+
+let overhead_rate ~policy ~h_min ~h_max ~backoff ~dt =
+  if dt <= 0. then 0.
+  else
+    float_of_int (count_in_gap ~policy ~h_min ~h_max ~backoff ~dt) /. dt
+
+let overhead_ratio ~h_min ~h_max ~backoff ~dt =
+  let fixed = count_in_gap ~policy:Fixed ~h_min ~h_max ~backoff ~dt in
+  let var = count_in_gap ~policy:Variable ~h_min ~h_max ~backoff ~dt in
+  if var = 0 then if fixed = 0 then 1. else infinity
+  else float_of_int fixed /. float_of_int var
+
+let detection_bound ~h_min ~h_max ~backoff ~t_burst =
+  Float.max h_min (Float.min (backoff *. t_burst) h_max)

@@ -1,0 +1,65 @@
+(** Variable-heartbeat scheduling (§2.1) and its closed-form overhead
+    model (§2.1.2, Figures 4–5 and Table 1).
+
+    The runtime machine: a sender keeps an inter-heartbeat time [h]
+    reset to [h_min] by every data transmission and multiplied by
+    [backoff] after every heartbeat, saturating at [h_max].  The fixed
+    baseline keeps [h = h_min] always.
+
+    The analytic model counts heartbeats in an idle gap of length [dt]
+    between consecutive data packets: a heartbeat scheduled at exactly
+    the instant of the next data packet is still counted (this
+    convention reproduces the paper's 53.3 ratio at dt = 120 s). *)
+
+type policy = Config.heartbeat_policy = Fixed | Variable
+
+type t
+(** Mutable scheduler state for one sender. *)
+
+val create : policy:policy -> h_min:float -> h_max:float -> backoff:float -> t
+
+val of_config : Config.t -> t
+
+val on_data : t -> unit
+(** A data packet was just sent: reset [h] to [h_min]. *)
+
+val next_delay : t -> float
+(** Delay from the last transmission until the next heartbeat is due
+    (does not advance state). *)
+
+val on_heartbeat : t -> unit
+(** A heartbeat was just sent: grow [h] (variable policy only). *)
+
+val interval : t -> float
+(** Current inter-heartbeat time [h]. *)
+
+(** {2 Closed-form overhead model} *)
+
+val schedule_in_gap :
+  policy:policy -> h_min:float -> h_max:float -> backoff:float -> dt:float ->
+  float list
+(** Offsets (from the data packet starting the gap) of every heartbeat
+    sent before the next data packet arrives [dt] seconds later. *)
+
+val count_in_gap :
+  policy:policy -> h_min:float -> h_max:float -> backoff:float -> dt:float ->
+  int
+(** Length of {!schedule_in_gap}. *)
+
+val overhead_rate :
+  policy:policy -> h_min:float -> h_max:float -> backoff:float -> dt:float ->
+  float
+(** Heartbeat packets per second when data packets arrive every [dt]
+    seconds — the y-axis of Figure 4. *)
+
+val overhead_ratio :
+  h_min:float -> h_max:float -> backoff:float -> dt:float -> float
+(** Overhead(Fixed)/Overhead(Variable) — the y-axis of Figure 5 and the
+    Table 1 statistic.  [infinity] when the variable scheme sends no
+    heartbeats but the fixed one does; 1 when neither sends any. *)
+
+val detection_bound : h_min:float -> h_max:float -> backoff:float ->
+  t_burst:float -> float
+(** §2.1.1 worst-case loss-detection interval after a burst outage of
+    length [t_burst] starting at a data transmission:
+    min(backoff · t_burst, h_max) with a floor of h_min. *)

@@ -1,0 +1,78 @@
+(** Sans-IO interface between protocol state machines and runtimes.
+
+    Every LBRM role (source, receiver, logger) is a pure-ish state
+    machine: calls return a list of {!action}s, and a runtime (simulated
+    or real-socket) executes them — sending packets, arming timers,
+    delivering payloads to the application.  This keeps every protocol
+    rule unit-testable without a network. *)
+
+type address = Lbrm_wire.Message.address
+type seq = Lbrm_util.Seqno.t
+
+(** Where to send a message. *)
+type dest =
+  | To_addr of address  (** unicast *)
+  | To_group of { group : int; ttl : int option }
+      (** multicast; [ttl] limits scope (site-local repairs) *)
+
+(** Timer identities.  A role never has two live timers with the same
+    key: [Set_timer] on a live key re-arms it. *)
+type timer_key =
+  | K_heartbeat  (** source: next heartbeat due *)
+  | K_silence  (** receiver: MaxIT silence watchdog *)
+  | K_nack_flush  (** receiver: batch missing seqs into one NACK *)
+  | K_nack_escalate of seq  (** receiver: no repair yet, try next level *)
+  | K_deposit of seq  (** source: primary has not acked the deposit *)
+  | K_epoch_start  (** source: begin a new statistical-ack epoch *)
+  | K_epoch_settle of int  (** source: stop waiting for Acker_replies *)
+  | K_twait of seq  (** source: stat-ack decision point for a packet *)
+  | K_probe of int  (** source: group-size probe round timeout *)
+  | K_discovery of int  (** receiver: expanding-ring round timeout *)
+  | K_remcast of seq  (** logger: request-counting window for a seq *)
+  | K_replica_retry of seq  (** primary: unacked replica update *)
+  | K_failover of int  (** source/receiver: fail-over protocol step *)
+  | K_uplink_nack of seq  (** secondary logger: retry ask to parent *)
+  | K_rchannel of seq * int
+      (** source: next copy of a packet on the retransmission channel *)
+  | K_app of string  (** application-defined *)
+
+(** Out-of-band conditions surfaced to the embedding application. *)
+type notice =
+  | N_gap of seq list  (** receiver noticed newly missing packets *)
+  | N_silence of float  (** nothing heard for MaxIT: elapsed seconds *)
+  | N_recovered of { seq : seq; latency : float }
+      (** a missing packet was repaired, [latency] seconds after the gap
+          was first noticed *)
+  | N_gave_up of seq  (** recovery abandoned after the retry budget *)
+  | N_primary_suspected  (** deposits/repairs to primary keep timing out *)
+  | N_new_primary of address  (** fail-over chose a new primary logger *)
+  | N_epoch of { epoch : int; expected_acks : int; p_ack : float }
+      (** a statistical-ack epoch became current *)
+  | N_remulticast of seq  (** stat-ack decided to re-multicast a packet *)
+  | N_estimate of float  (** group-size estimate update *)
+  | N_discovery of address option  (** logger discovery finished *)
+  | N_feedback of { seq : seq; missing : int; expected : int }
+      (** statistical-ACK outcome for one data packet — congestion
+          signal for an adaptive sender ({!Pacer}, §5 future work) *)
+
+type action =
+  | Send of dest * Lbrm_wire.Message.t
+  | Set_timer of timer_key * float  (** arm/re-arm: delay in seconds *)
+  | Cancel_timer of timer_key
+  | Deliver of { seq : seq; payload : string; recovered : bool }
+      (** hand a data payload to the application (receiver role) *)
+  | Notify of notice
+  | Join of int
+      (** subscribe this endpoint to a multicast group (the §7
+          retransmission channel joins on demand) *)
+  | Leave of int  (** unsubscribe *)
+
+val pp_timer_key : Format.formatter -> timer_key -> unit
+val pp_notice : Format.formatter -> notice -> unit
+val pp_action : Format.formatter -> action -> unit
+
+val send : ?ttl:int -> group:int -> Lbrm_wire.Message.t -> action
+(** Multicast send helper. *)
+
+val send_to : address -> Lbrm_wire.Message.t -> action
+(** Unicast send helper. *)

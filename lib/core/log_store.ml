@@ -1,0 +1,142 @@
+module Seqno = Lbrm_util.Seqno
+
+type seq = Seqno.t
+type retention = Keep_all | Keep_last of int | Keep_for of float
+type entry = { seq : seq; epoch : int; payload : string; logged_at : float }
+
+type t = {
+  retention : retention;
+  on_evict : entry -> unit;
+  table : (seq, entry) Hashtbl.t;
+  order : seq Queue.t; (* insertion order, for FIFO eviction *)
+  mutable first : seq option;
+  mutable contig : seq option; (* highest contiguous from [first] *)
+  mutable newest : entry option;
+  mutable evictions : int;
+}
+
+let create ?(on_evict = fun _ -> ()) ~retention () =
+  {
+    retention;
+    on_evict;
+    table = Hashtbl.create 256;
+    order = Queue.create ();
+    first = None;
+    contig = None;
+    newest = None;
+    evictions = 0;
+  }
+
+let count t = Hashtbl.length t.table
+let evictions t = t.evictions
+let mem t seq = Hashtbl.mem t.table seq
+
+let evict t seq =
+  match Hashtbl.find_opt t.table seq with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table seq;
+      t.evictions <- t.evictions + 1;
+      t.on_evict e
+
+let advance_contig t =
+  let rec loop s =
+    let next = Seqno.succ s in
+    if Hashtbl.mem t.table next then loop next else s
+  in
+  match t.contig with
+  | None -> ()
+  | Some s -> t.contig <- Some (loop s)
+
+let add t ~now ~seq ~epoch ~payload =
+  if Hashtbl.mem t.table seq then false
+  else begin
+    let e = { seq; epoch; payload; logged_at = now } in
+    Hashtbl.replace t.table seq e;
+    Queue.push seq t.order;
+    (match t.first with
+    | None ->
+        t.first <- Some seq;
+        t.contig <- Some seq
+    | Some first ->
+        if Seqno.(seq < first) then begin
+          t.first <- Some seq;
+          t.contig <- Some seq
+        end);
+    advance_contig t;
+    (match t.newest with
+    | Some n when Seqno.(n.seq >= seq) -> ()
+    | _ -> t.newest <- Some e);
+    (match t.retention with
+    | Keep_last n ->
+        while count t > n do
+          match Queue.take_opt t.order with
+          | Some s -> evict t s
+          | None -> ()
+        done
+    | Keep_all | Keep_for _ -> ());
+    true
+  end
+
+let expired t ~now (e : entry) =
+  match t.retention with
+  | Keep_for life -> now -. e.logged_at > life
+  | Keep_all | Keep_last _ -> false
+
+let get t ~now seq =
+  match Hashtbl.find_opt t.table seq with
+  | None -> None
+  | Some e ->
+      if expired t ~now e then begin
+        evict t seq;
+        None
+      end
+      else Some e
+
+let newest t =
+  match t.newest with
+  | Some e when Hashtbl.mem t.table e.seq -> Some e
+  | _ ->
+      (* The cached newest was evicted: rescan. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun _ e ->
+          match !best with
+          | Some b when Seqno.(b.seq >= e.seq) -> ()
+          | _ -> best := Some e)
+        t.table;
+      t.newest <- !best;
+      !best
+
+let highest_contiguous t =
+  match t.contig with
+  | Some s when Hashtbl.mem t.table s -> Some s
+  | Some _ ->
+      (* Contiguity broken by eviction: recompute from the smallest
+         surviving entry. *)
+      let smallest = ref None in
+      Hashtbl.iter
+        (fun s _ ->
+          match !smallest with
+          | Some m when Seqno.(m <= s) -> ()
+          | _ -> smallest := Some s)
+        t.table;
+      t.first <- !smallest;
+      t.contig <- !smallest;
+      advance_contig t;
+      t.contig
+  | None -> None
+
+let expire t ~now =
+  let doomed =
+    Hashtbl.fold
+      (fun s e acc -> if expired t ~now e then s :: acc else acc)
+      t.table []
+  in
+  List.iter (evict t) doomed;
+  List.length doomed
+
+let iter f t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> Seqno.compare a.seq b.seq)
+  |> List.iter f

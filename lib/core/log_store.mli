@@ -1,0 +1,47 @@
+(** Packet log held by a logging server.
+
+    Stores every packet a logger has seen, indexed by sequence number,
+    under a configurable retention policy (§2: "some applications may
+    only store packets until their useful lifetime has expired; others
+    … may log all packets").  [Keep_last] models a bounded in-memory
+    buffer; eviction is reported so a persistent logger could spill to
+    disk. *)
+
+type seq = Lbrm_util.Seqno.t
+
+type retention =
+  | Keep_all
+  | Keep_last of int  (** bounded count, FIFO eviction *)
+  | Keep_for of float  (** useful lifetime in seconds *)
+
+type entry = { seq : seq; epoch : int; payload : string; logged_at : float }
+
+type t
+
+val create : ?on_evict:(entry -> unit) -> retention:retention -> unit -> t
+(** [on_evict] fires for every entry dropped by the retention policy
+    (the disk-spill hook). *)
+
+val add : t -> now:float -> seq:seq -> epoch:int -> payload:string -> bool
+(** Insert; [false] if the seq was already present (idempotent). *)
+
+val get : t -> now:float -> seq -> entry option
+(** Lookup; entries past their lifetime are treated as absent (and
+    purged). *)
+
+val newest : t -> entry option
+(** Highest-sequence entry currently held. *)
+
+val highest_contiguous : t -> seq option
+(** Highest [s] such that every sequence from the first stored one up
+    to [s] has been logged — what a replica acknowledges (§2.2.3). *)
+
+val mem : t -> seq -> bool
+val count : t -> int
+val evictions : t -> int
+
+val expire : t -> now:float -> int
+(** Purge lifetime-expired entries; returns how many were dropped. *)
+
+val iter : (entry -> unit) -> t -> unit
+(** Ascending sequence order. *)

@@ -1,0 +1,63 @@
+(** Logging servers — the heart of LBRM's recovery path (§2.2).
+
+    One module implements every role, reflecting the paper's observation
+    that "much of the code is reusable … because of the recursive nature
+    of the distributed logging architecture":
+
+    - {b primary} ([parent = None]): receives reliable [Log_deposit]s
+      from the source, streams [Replica_update]s to its replicas, and
+      acknowledges the source with both its own and the best replica's
+      contiguous sequence (§2.2.3);
+    - {b secondary} ([parent = Some _]): listens on the data multicast
+      group, logs everything, recovers its own losses from its parent,
+      and serves its site's retransmission requests — unicast normally,
+      site-scoped multicast when enough requests for the same packet
+      arrive in a window (§2.2.1);
+    - {b replica}: passive copy fed by the primary, promotable on
+      fail-over;
+    - every secondary also participates in statistical acknowledgement
+      (volunteering as Designated Acker with probability [p_ack]) and in
+      group-size probing (§2.3), and answers expanding-ring discovery
+      queries (§2.2.1). *)
+
+type address = Lbrm_wire.Message.address
+type seq = Lbrm_util.Seqno.t
+
+type t
+
+val create :
+  Config.t ->
+  self:address ->
+  source:address ->
+  ?parent:address ->
+  ?replicas:address list ->
+  ?archive:Archive.t ->
+  rng:Lbrm_util.Rng.t ->
+  unit ->
+  t
+(** [parent = None] makes this the primary.  [rng] drives the
+    probabilistic Acker/probe volunteering.  With [archive], packets
+    evicted from the in-memory store spill to disk and stay servable
+    (§2's "writing them to disk once in-memory buffers are full"). *)
+
+val handle_message :
+  t -> now:float -> src:address -> Lbrm_wire.Message.t -> Io.action list
+
+val handle_timer : t -> now:float -> Io.timer_key -> Io.action list
+
+(** {2 Introspection} *)
+
+val is_primary : t -> bool
+val store : t -> Log_store.t
+val self : t -> address
+val requests_served : t -> int
+(** Retransmissions sent (unicast or multicast). *)
+
+val remulticasts : t -> int
+(** Site-scoped multicast repairs sent. *)
+
+val uplink_nacks : t -> int
+(** Requests this logger sent up the hierarchy. *)
+
+val designated_for : t -> int list
+(** Epochs for which this logger volunteered as Designated Acker. *)

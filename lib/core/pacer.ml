@@ -1,0 +1,41 @@
+type t = {
+  min_interval : float;
+  max_interval : float;
+  backoff : float;
+  recovery : float;
+  target_loss : float;
+  mutable current : float;
+  mutable backoffs : int;
+}
+
+let create ?(min_interval = 0.1) ?(max_interval = 10.) ?(backoff = 2.)
+    ?(recovery = 0.1) ?(target_loss = 0.05) () =
+  assert (min_interval > 0. && max_interval >= min_interval);
+  assert (backoff > 1. && recovery > 0.);
+  {
+    min_interval;
+    max_interval;
+    backoff;
+    recovery;
+    target_loss;
+    current = min_interval;
+    backoffs = 0;
+  }
+
+let on_feedback t ~missing ~expected =
+  if expected > 0 then begin
+    let loss = float_of_int missing /. float_of_int expected in
+    if loss > t.target_loss then begin
+      t.current <- Float.min t.max_interval (t.current *. t.backoff);
+      t.backoffs <- t.backoffs + 1
+    end
+    else
+      (* Additive recovery toward the floor. *)
+      t.current <-
+        Float.max t.min_interval
+          (t.current -. (t.recovery *. (t.current -. t.min_interval)))
+  end
+
+let interval t = t.current
+let backoffs t = t.backoffs
+let at_floor t = t.current <= t.min_interval +. 1e-12

@@ -1,0 +1,37 @@
+(** Congestion-responsive send pacing from statistical-ACK feedback.
+
+    §5 of the paper: "we are looking into use [of] statistical
+    acknowledgement information to slow down the sender during periods
+    of high loss."  Each data packet's designated-acker outcome
+    ([missing] of [expected] ACKs, surfaced as {!Io.N_feedback}) feeds
+    an AIMD controller over the sender's minimum inter-packet interval:
+    loss above the target multiplies the interval (back off); clean
+    packets shrink the excess over the floor by a fixed fraction.
+
+    The pacer advises the {e application} (receiver-reliable philosophy:
+    transport never withholds data on its own); workload drivers such as
+    benchmarks consult {!interval} between sends. *)
+
+type t
+
+val create :
+  ?min_interval:float ->
+  ?max_interval:float ->
+  ?backoff:float ->
+  ?recovery:float ->
+  ?target_loss:float ->
+  unit ->
+  t
+(** Defaults: floor 0.1 s, ceiling 10 s, ×2 backoff, 10 %/packet
+    additive recovery, 5 % tolerated ACK-loss fraction. *)
+
+val on_feedback : t -> missing:int -> expected:int -> unit
+(** Fold in one packet's statistical-ACK outcome. *)
+
+val interval : t -> float
+(** Currently advised minimum spacing between data packets. *)
+
+val backoffs : t -> int
+(** Multiplicative decreases applied so far. *)
+
+val at_floor : t -> bool

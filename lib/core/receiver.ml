@@ -1,0 +1,270 @@
+module Message = Lbrm_wire.Message
+module Seqno = Lbrm_util.Seqno
+module Gap_tracker = Lbrm_util.Gap_tracker
+open Io
+
+type address = Message.address
+type seq = Seqno.t
+
+type pursuit = {
+  mutable level : int; (* index into the logger hierarchy *)
+  mutable attempts : int; (* NACKs sent so far *)
+  mutable asked_source : bool; (* Who_is_primary already tried *)
+  mutable needs_send : bool; (* include in the next NACK flush *)
+  detected_at : float;
+}
+
+type t = {
+  cfg : Config.t;
+  self : address; [@warning "-69"]
+  source : address;
+  mutable loggers : address list;
+  tracker : Gap_tracker.t;
+  pursuits : (seq, pursuit) Hashtbl.t;
+  mutable last_heard : float;
+  mutable delivered : int;
+  mutable recovered : int;
+  mutable gave_up : int;
+  mutable nacks_sent : int;
+  mutable on_rchannel : bool; (* currently subscribed to the channel *)
+}
+
+let create cfg ~self ~source ~loggers =
+  assert (loggers <> []);
+  {
+    cfg;
+    self;
+    source;
+    loggers;
+    tracker =
+      (let tr = Gap_tracker.create () in
+       (* Streams start at seq 1: priming a floor of 0 makes the very
+          first arrival open a gap for any earlier packets. *)
+       if cfg.recover_from_start then ignore (Gap_tracker.note tr 0);
+       tr);
+    pursuits = Hashtbl.create 32;
+    last_heard = 0.;
+    delivered = 0;
+    recovered = 0;
+    gave_up = 0;
+    nacks_sent = 0;
+    on_rchannel = false;
+  }
+
+let highest_seen t = Option.value ~default:0 (Gap_tracker.highest t.tracker)
+let missing t = Gap_tracker.missing t.tracker
+let delivered t = t.delivered
+let recovered t = t.recovered
+let gave_up t = t.gave_up
+let nacks_sent t = t.nacks_sent
+let set_loggers t loggers = if loggers <> [] then t.loggers <- loggers
+let last_heard t = t.last_heard
+
+let logger_at t level = List.nth_opt t.loggers level
+let levels t = List.length t.loggers
+
+let arm_silence t = Set_timer (K_silence, t.cfg.max_it)
+
+let heard t ~now =
+  t.last_heard <- now;
+  arm_silence t
+
+(* --- loss pursuit ----------------------------------------------------- *)
+
+(* How long a fresh packet can still appear on the retransmission
+   channel: the sum of the exponentially backed-off copy gaps. *)
+let rchannel_window t =
+  let rec total k acc =
+    if k >= t.cfg.rchannel_copies then acc
+    else total (k + 1) (acc +. (t.cfg.h_min *. (t.cfg.backoff ** float_of_int k)))
+  in
+  total 0 0.
+
+let open_pursuits t ~now seqs =
+  match
+    List.filter (fun s -> not (Hashtbl.mem t.pursuits s)) seqs
+  with
+  | [] -> []
+  | fresh ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace t.pursuits s
+            {
+              level = 0;
+              attempts = 0;
+              asked_source = false;
+              needs_send = true;
+              detected_at = now;
+            })
+        fresh;
+      let recovery =
+        match t.cfg.rchannel_group with
+        | None -> [ Set_timer (K_nack_flush, t.cfg.nack_delay) ]
+        | Some channel ->
+            (* 7: subscribe to the retransmission channel instead of
+               requesting; fall back to NACK service only for packets
+               the channel no longer carries. *)
+            t.on_rchannel <- true;
+            [
+              Join channel;
+              Set_timer (K_nack_flush, rchannel_window t +. t.cfg.nack_delay);
+            ]
+      in
+      Notify (N_gap fresh) :: recovery
+
+let maybe_leave_channel t =
+  match t.cfg.rchannel_group with
+  | Some channel
+    when t.on_rchannel && Gap_tracker.missing_count t.tracker = 0 ->
+      t.on_rchannel <- false;
+      [ Leave channel ]
+  | _ -> []
+
+let close_pursuit t ~now seq =
+  match Hashtbl.find_opt t.pursuits seq with
+  | None -> []
+  | Some p ->
+      Hashtbl.remove t.pursuits seq;
+      Cancel_timer (K_nack_escalate seq)
+      :: Notify (N_recovered { seq; latency = now -. p.detected_at })
+      :: maybe_leave_channel t
+
+let abandon_pursuit t seq =
+  Hashtbl.remove t.pursuits seq;
+  Gap_tracker.abandon t.tracker seq;
+  t.gave_up <- t.gave_up + 1;
+  [ Cancel_timer (K_nack_escalate seq); Notify (N_gave_up seq) ]
+
+(* Send one NACK per hierarchy level covering every seq pursued there. *)
+let flush_nacks t =
+  let by_level = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun seq p ->
+      if p.needs_send && Gap_tracker.is_missing t.tracker seq then begin
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt by_level p.level)
+        in
+        Hashtbl.replace by_level p.level (seq :: existing);
+        p.attempts <- p.attempts + 1;
+        p.needs_send <- false
+      end)
+    t.pursuits;
+  Hashtbl.fold
+    (fun level seqs acc ->
+      match logger_at t level with
+      | None -> acc
+      | Some logger ->
+          t.nacks_sent <- t.nacks_sent + 1;
+          let seqs = List.sort Seqno.compare seqs in
+          Io.send_to logger (Message.Nack { seqs })
+          :: List.map
+               (fun s -> Set_timer (K_nack_escalate s, t.cfg.nack_timeout))
+               seqs
+          @ acc)
+    by_level []
+
+let escalate t seq =
+  match Hashtbl.find_opt t.pursuits seq with
+  | None -> []
+  | Some p ->
+      if not (Gap_tracker.is_missing t.tracker seq) then begin
+        Hashtbl.remove t.pursuits seq;
+        []
+      end
+      else if p.attempts < (p.level + 1) * t.cfg.nack_retry_limit then begin
+        (* Retry at the same level. *)
+        p.needs_send <- true;
+        [ Set_timer (K_nack_flush, 0.) ]
+      end
+      else if p.level + 1 < levels t then begin
+        p.level <- p.level + 1;
+        p.needs_send <- true;
+        [ Set_timer (K_nack_flush, 0.) ]
+      end
+      else if not p.asked_source then begin
+        (* The whole hierarchy failed: maybe the primary moved. *)
+        p.asked_source <- true;
+        p.attempts <- p.level * t.cfg.nack_retry_limit;
+        [
+          Io.send_to t.source Message.Who_is_primary;
+          Set_timer (K_nack_escalate seq, 2. *. t.cfg.nack_timeout);
+        ]
+      end
+      else abandon_pursuit t seq
+
+(* --- data-plane arrivals ---------------------------------------------- *)
+
+let deliver t ~now seq payload ~recovered:rec_ =
+  t.delivered <- t.delivered + 1;
+  if rec_ then t.recovered <- t.recovered + 1;
+  Deliver { seq; payload; recovered = rec_ } :: close_pursuit t ~now seq
+
+let on_data t ~now ~seq ~payload =
+  match Gap_tracker.note t.tracker seq with
+  | First | In_order -> deliver t ~now seq payload ~recovered:false
+  | Fills_gap -> deliver t ~now seq payload ~recovered:true
+  | Duplicate -> []
+  | Gap_opened gaps ->
+      deliver t ~now seq payload ~recovered:false @ open_pursuits t ~now gaps
+
+let on_heartbeat t ~now ~seq ~payload =
+  match payload with
+  | Some p when seq > 0 -> on_data t ~now ~seq ~payload:p
+  | _ ->
+      if seq = 0 then [] (* source alive but nothing sent yet *)
+      else
+        let newly = Gap_tracker.note_exists t.tracker seq in
+        open_pursuits t ~now newly
+
+let on_retrans t ~now ~seq ~payload =
+  match Gap_tracker.note t.tracker seq with
+  | Fills_gap -> deliver t ~now seq payload ~recovered:true
+  | First | In_order ->
+      (* A latest-query response for data we never knew existed. *)
+      deliver t ~now seq payload ~recovered:true
+  | Gap_opened gaps ->
+      deliver t ~now seq payload ~recovered:true @ open_pursuits t ~now gaps
+  | Duplicate -> []
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let handle_message t ~now ~src:_ msg =
+  match msg with
+  | Message.Data { seq; payload; _ } ->
+      heard t ~now :: on_data t ~now ~seq ~payload
+  | Message.Heartbeat { seq; payload; _ } ->
+      heard t ~now :: on_heartbeat t ~now ~seq ~payload
+  | Message.Retrans { seq; payload; _ } ->
+      heard t ~now :: on_retrans t ~now ~seq ~payload
+  | Message.Primary_is { logger } ->
+      (* Replace the last level of the hierarchy. *)
+      let rec replace_last = function
+        | [] -> [ logger ]
+        | [ _ ] -> [ logger ]
+        | x :: rest -> x :: replace_last rest
+      in
+      t.loggers <- replace_last t.loggers;
+      Hashtbl.iter (fun _ p -> p.needs_send <- true) t.pursuits;
+      [ Set_timer (K_nack_flush, 0.) ]
+  | _ -> []
+
+let start t ~now =
+  ignore now;
+  [ arm_silence t ]
+
+let handle_timer t ~now key =
+  match key with
+  | K_nack_flush -> flush_nacks t
+  | K_nack_escalate seq -> escalate t seq
+  | K_silence ->
+      (* MaxIT passed with nothing heard: ask the nearest logger what
+         the latest packet is, in case we missed everything. *)
+      let ask =
+        match logger_at t 0 with
+        | Some logger when highest_seen t > 0 || t.last_heard > 0. ->
+            t.nacks_sent <- t.nacks_sent + 1;
+            [ Io.send_to logger (Message.Nack { seqs = [] }) ]
+        | _ -> []
+      in
+      (Notify (N_silence (now -. t.last_heard)) :: ask) @ [ arm_silence t ]
+  | _ -> []

@@ -1,0 +1,50 @@
+(** The LBRM receiver.
+
+    Detects loss two ways (§2): a gap in sequence numbers, or silence —
+    no packet of any kind for MaxIT.  Missing packets are requested from
+    the nearest logging server; if a level of the hierarchy fails to
+    repair within the retry budget the receiver escalates to the next
+    level (secondary → … → primary), finally asking the source
+    [Who_is_primary] in case the primary moved (§2.2.3).
+
+    The receiver is {e receiver-reliable}: payloads are delivered to the
+    application immediately and unordered; recovery of a given packet
+    can be abandoned (after the retry budget) without stalling anything
+    else. *)
+
+type address = Lbrm_wire.Message.address
+type seq = Lbrm_util.Seqno.t
+
+type t
+
+val create : Config.t -> self:address -> source:address -> loggers:address list -> t
+(** [loggers] is the recovery hierarchy, nearest first (e.g.
+    [[site_secondary; regional; primary]]); it must be non-empty. *)
+
+val start : t -> now:float -> Io.action list
+(** Arm the MaxIT silence watchdog. *)
+
+val handle_message :
+  t -> now:float -> src:address -> Lbrm_wire.Message.t -> Io.action list
+
+val handle_timer : t -> now:float -> Io.timer_key -> Io.action list
+
+(** {2 Introspection} *)
+
+val highest_seen : t -> seq
+(** Highest sequence number known to exist (0 if none). *)
+
+val missing : t -> seq list
+val delivered : t -> int
+(** Count of payloads handed to the application. *)
+
+val recovered : t -> int
+(** Of those, how many arrived via repair. *)
+
+val gave_up : t -> int
+val nacks_sent : t -> int
+val set_loggers : t -> address list -> unit
+(** Replace the recovery hierarchy (after discovery). *)
+
+val last_heard : t -> float
+(** Time anything was last received from the flow. *)

@@ -1,0 +1,290 @@
+module Message = Lbrm_wire.Message
+module Seqno = Lbrm_util.Seqno
+open Io
+
+type address = Message.address
+type seq = Seqno.t
+
+type failover =
+  | Normal
+  | Querying of { mutable statuses : (address * seq) list; round : int }
+
+type t = {
+  cfg : Config.t;
+  self : address; [@warning "-69"]
+  mutable primary : address;
+  mutable replicas : address list;
+  hb : Heartbeat.t;
+  stat : Stat_ack.t;
+  mutable seq : seq; (* last data seq; 0 = none *)
+  mutable epoch : int;
+  mutable hb_index : int;
+  mutable last_payload : string;
+  retained : (seq, string * int) Hashtbl.t; (* payload, epoch at send *)
+  rchannel_buf : (seq, string) Hashtbl.t; (* awaiting channel copies *)
+  deposit_retries : (seq, int) Hashtbl.t;
+  mutable released : seq;
+  mutable failover : failover;
+  mutable failovers_done : int;
+  mutable heartbeats_sent : int;
+  mutable data_multicasts : int;
+}
+
+let create cfg ~self ~primary ?(replicas = []) ?initial_estimate () =
+  {
+    cfg;
+    self;
+    primary;
+    replicas;
+    hb = Heartbeat.of_config cfg;
+    stat = Stat_ack.create cfg ~self ?initial_estimate ();
+    seq = 0;
+    epoch = 0;
+    hb_index = 0;
+    last_payload = "";
+    retained = Hashtbl.create 64;
+    rchannel_buf = Hashtbl.create 64;
+    deposit_retries = Hashtbl.create 64;
+    released = 0;
+    failover = Normal;
+    failovers_done = 0;
+    heartbeats_sent = 0;
+    data_multicasts = 0;
+  }
+
+let last_seq t = t.seq
+let current_epoch t = t.epoch
+let primary t = t.primary
+let retained t = Hashtbl.length t.retained
+let released t = t.released
+let stat t = t.stat
+let heartbeats_sent t = t.heartbeats_sent
+let data_multicasts t = t.data_multicasts
+
+let group t = t.cfg.group
+
+(* Translate stat-ack events into source behaviour. *)
+let apply_events t events =
+  List.concat_map
+    (fun (ev : Stat_ack.event) ->
+      match ev with
+      | Epoch_started { epoch; expected; p_ack } ->
+          t.epoch <- epoch;
+          [ Notify (N_epoch { epoch; expected_acks = expected; p_ack }) ]
+      | Probing_done est -> [ Notify (N_estimate est) ]
+      | Feedback { seq; missing; expected } ->
+          [ Notify (N_feedback { seq; missing; expected }) ]
+      | Tracking_done seq ->
+          (* §2.3.2: payloads are retained for the stat-ack window even
+             after the log replicas hold them; now both conditions met. *)
+          if Seqno.(seq <= t.released) then Hashtbl.remove t.retained seq;
+          []
+      | Remulticast seq -> (
+          match Hashtbl.find_opt t.retained seq with
+          | None -> [] (* already released: receivers recover via loggers *)
+          | Some (payload, _) ->
+              t.data_multicasts <- t.data_multicasts + 1;
+              [
+                Notify (N_remulticast seq);
+                Io.send ~group:(group t)
+                  (Message.Data { seq; epoch = t.epoch; payload });
+              ]))
+    events
+
+let arm_heartbeat t = Set_timer (K_heartbeat, Heartbeat.next_delay t.hb)
+
+let start t ~now =
+  let stat_actions, events = Stat_ack.start t.stat ~now in
+  (arm_heartbeat t :: stat_actions) @ apply_events t events
+
+let send t ~now payload =
+  t.seq <- Seqno.succ t.seq;
+  let seq = t.seq in
+  t.last_payload <- payload;
+  Hashtbl.replace t.retained seq (payload, t.epoch);
+  Hashtbl.replace t.deposit_retries seq 0;
+  Heartbeat.on_data t.hb;
+  t.data_multicasts <- t.data_multicasts + 1;
+  let stat_actions = Stat_ack.on_data_sent t.stat ~now seq in
+  let rchannel_actions =
+    match t.cfg.rchannel_group with
+    | None -> []
+    | Some _ ->
+        Hashtbl.replace t.rchannel_buf seq payload;
+        [ Set_timer (K_rchannel (seq, 0), t.cfg.h_min) ]
+  in
+  [
+    Io.send ~group:(group t) (Message.Data { seq; epoch = t.epoch; payload });
+    Io.send_to t.primary (Message.Log_deposit { seq; epoch = t.epoch; payload });
+    Set_timer (K_deposit seq, t.cfg.deposit_timeout);
+    arm_heartbeat t;
+  ]
+  @ rchannel_actions @ stat_actions
+
+(* --- heartbeats ------------------------------------------------------ *)
+
+let heartbeat_payload t =
+  if
+    t.cfg.heartbeat_payload_max > 0
+    && t.seq > 0
+    && String.length t.last_payload <= t.cfg.heartbeat_payload_max
+  then Some t.last_payload
+  else None
+
+let on_heartbeat_due t =
+  t.hb_index <- t.hb_index + 1;
+  t.heartbeats_sent <- t.heartbeats_sent + 1;
+  let msg =
+    Message.Heartbeat
+      {
+        seq = t.seq;
+        hb_index = t.hb_index;
+        epoch = t.epoch;
+        payload = heartbeat_payload t;
+      }
+  in
+  Heartbeat.on_heartbeat t.hb;
+  [ Io.send ~group:(group t) msg; arm_heartbeat t ]
+
+(* --- primary-logger handoff and fail-over ---------------------------- *)
+
+let begin_failover t =
+  match t.failover with
+  | Querying _ -> []
+  | Normal ->
+      if t.replicas = [] then [ Notify N_primary_suspected ]
+      else begin
+        t.failovers_done <- t.failovers_done + 1;
+        t.failover <- Querying { statuses = []; round = t.failovers_done };
+        Notify N_primary_suspected
+        :: Set_timer (K_failover t.failovers_done, 2. *. t.cfg.deposit_timeout)
+        :: List.map (fun r -> Io.send_to r Message.Replica_query) t.replicas
+      end
+
+let redeposit_from t ~floor =
+  (* Reliably hand every retained packet above [floor] to the (new)
+     primary. *)
+  Hashtbl.fold
+    (fun seq (payload, epoch) acc ->
+      if Seqno.(seq > floor) then begin
+        Hashtbl.replace t.deposit_retries seq 0;
+        Io.send_to t.primary (Message.Log_deposit { seq; epoch; payload })
+        :: Set_timer (K_deposit seq, t.cfg.deposit_timeout)
+        :: acc
+      end
+      else acc)
+    t.retained []
+
+let finish_failover t =
+  match t.failover with
+  | Normal -> []
+  | Querying { statuses; _ } -> (
+      t.failover <- Normal;
+      match
+        List.sort (fun (_, a) (_, b) -> Seqno.compare b a) statuses
+      with
+      | [] ->
+          (* No replica answered; keep trying the old primary. *)
+          [ Notify (N_new_primary t.primary) ]
+      | (best, best_seq) :: _ ->
+          let others = List.filter (fun r -> r <> best) t.replicas in
+          t.primary <- best;
+          t.replicas <- others;
+          (Io.send_to best (Message.Promote { replicas = others })
+          :: Notify (N_new_primary best)
+          :: redeposit_from t ~floor:best_seq))
+
+let on_log_ack t ~primary_seq ~replica_seq =
+  (* Deposits at or below the primary's contiguous mark stop retrying. *)
+  let stop =
+    Hashtbl.fold
+      (fun seq _ acc -> if Seqno.(seq <= primary_seq) then seq :: acc else acc)
+      t.deposit_retries []
+  in
+  List.iter (Hashtbl.remove t.deposit_retries) stop;
+  (* Buffers at or below the replica mark can be released (§2.2.3) —
+     unless statistical acking still needs them for a potential
+     re-multicast (§2.3.2). *)
+  let release =
+    Hashtbl.fold
+      (fun seq _ acc ->
+        if Seqno.(seq <= replica_seq) && not (Stat_ack.is_pending t.stat seq)
+        then seq :: acc
+        else acc)
+      t.retained []
+  in
+  List.iter (Hashtbl.remove t.retained) release;
+  if Seqno.(replica_seq > t.released) then t.released <- replica_seq;
+  List.map (fun seq -> Cancel_timer (K_deposit seq)) stop
+
+let on_deposit_timeout t seq =
+  match Hashtbl.find_opt t.deposit_retries seq with
+  | None -> []
+  | Some retries ->
+      if retries >= t.cfg.deposit_retry_limit then begin_failover t
+      else begin
+        Hashtbl.replace t.deposit_retries seq (retries + 1);
+        match Hashtbl.find_opt t.retained seq with
+        | None ->
+            Hashtbl.remove t.deposit_retries seq;
+            []
+        | Some (payload, epoch) ->
+            [
+              Io.send_to t.primary
+                (Message.Log_deposit { seq; epoch; payload });
+              Set_timer (K_deposit seq, t.cfg.deposit_timeout);
+            ]
+      end
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let handle_message t ~now ~src msg =
+  match Stat_ack.on_message t.stat ~now ~src msg with
+  | Some (actions, events) -> actions @ apply_events t events
+  | None -> (
+      match msg with
+      | Message.Log_ack { primary_seq; replica_seq } ->
+          on_log_ack t ~primary_seq ~replica_seq
+      | Message.Replica_status { seq } -> (
+          match t.failover with
+          | Querying q ->
+              q.statuses <- (src, seq) :: q.statuses;
+              []
+          | Normal -> [])
+      | Message.Who_is_primary ->
+          [ Io.send_to src (Message.Primary_is { logger = t.primary }) ]
+      | _ -> [])
+
+let handle_timer t ~now key =
+  match Stat_ack.on_timer t.stat ~now key with
+  | Some (actions, events) -> actions @ apply_events t events
+  | None -> (
+      match key with
+      | K_heartbeat -> on_heartbeat_due t
+      | K_rchannel (seq, k) -> (
+          (* 7: re-multicast the packet on the retransmission channel
+             [rchannel_copies] times with exponentially growing gaps. *)
+          match (t.cfg.rchannel_group, Hashtbl.find_opt t.rchannel_buf seq) with
+          | Some channel, Some payload ->
+              let copy =
+                Io.send ~group:channel
+                  (Message.Retrans { seq; epoch = t.epoch; payload })
+              in
+              if k + 1 >= t.cfg.rchannel_copies then begin
+                Hashtbl.remove t.rchannel_buf seq;
+                [ copy ]
+              end
+              else
+                [
+                  copy;
+                  Set_timer
+                    ( K_rchannel (seq, k + 1),
+                      t.cfg.h_min *. (t.cfg.backoff ** float_of_int (k + 1)) );
+                ]
+          | _ -> [])
+      | K_deposit seq -> on_deposit_timeout t seq
+      | K_failover round -> (
+          match t.failover with
+          | Querying { round = r; _ } when r = round -> finish_failover t
+          | Querying _ | Normal -> [])
+      | _ -> [])

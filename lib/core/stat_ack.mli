@@ -1,0 +1,77 @@
+(** Statistical acknowledgement, §2.3 — the source-side machine.
+
+    The multicast transmission is divided into epochs.  Before each
+    epoch the source multicasts an Acker Selection Packet carrying an
+    acknowledgement probability [p_ack = k / N_sl]; secondary loggers
+    volunteer with that probability and become the epoch's Designated
+    Ackers.  Each data packet then expects one ACK per designated acker
+    within an adaptive wait [t_wait]; missing ACKs that represent enough
+    sites trigger an immediate multicast retransmission, otherwise
+    recovery is left to unicast NACK service.
+
+    The machine is sans-IO: it returns {!Io.action}s plus {!event}s that
+    the embedding {!Source} interprets (e.g. re-multicasting a retained
+    payload). *)
+
+type address = Lbrm_wire.Message.address
+type seq = Lbrm_util.Seqno.t
+
+type t
+
+(** Decisions surfaced to the source. *)
+type event =
+  | Remulticast of seq
+      (** §2.3.2: missing ACKs represent a significant number of sites *)
+  | Epoch_started of { epoch : int; expected : int; p_ack : float }
+      (** subsequent data packets should carry this epoch *)
+  | Probing_done of float  (** initial N_sl estimate settled *)
+  | Tracking_done of seq
+      (** ACK collection for this packet is over; the source no longer
+          needs the payload for a potential re-multicast *)
+  | Feedback of { seq : seq; missing : int; expected : int }
+      (** per-packet ACK outcome — the §5 congestion signal *)
+
+val create : Config.t -> self:address -> ?initial_estimate:float -> unit -> t
+(** Without [initial_estimate], {!start} begins with a Bolot-style
+    probing phase (§2.3.3); with it, the first epoch starts
+    immediately. *)
+
+val start : t -> now:float -> Io.action list * event list
+
+val epoch : t -> int
+(** Epoch number new data packets should carry (0 before the first
+    epoch settles). *)
+
+val n_sl : t -> float
+(** Current secondary-logger population estimate. *)
+
+val t_wait : t -> float
+(** Current ACK-collection wait. *)
+
+val expected_acks : t -> int
+(** Designated-acker count of the current epoch. *)
+
+val is_pending : t -> seq -> bool
+(** Whether ACK collection for this packet is still in progress. *)
+
+val designated : t -> address list
+(** Current epoch's designated ackers. *)
+
+val ignored_ackers : t -> address list
+(** Hotlisted (faulty) loggers whose ACKs are discarded. *)
+
+val on_data_sent : t -> now:float -> seq -> Io.action list
+(** Register a just-multicast data packet and arm its [t_wait] timer.
+    No-op (empty) when statistical acking is disabled or no epoch is
+    current yet. *)
+
+val on_message :
+  t -> now:float -> src:address -> Lbrm_wire.Message.t ->
+  (Io.action list * event list) option
+(** Consume Acker_reply / Stat_ack / Probe_reply; [None] if the message
+    is not for this machine. *)
+
+val on_timer :
+  t -> now:float -> Io.timer_key -> (Io.action list * event list) option
+(** Consume K_probe / K_epoch_start / K_epoch_settle / K_twait;
+    [None] if the key is not ours. *)

@@ -1,0 +1,66 @@
+type kind =
+  | Tank
+  | Plane
+  | Ship
+  | Infantry
+  | Bridge
+  | Building
+  | Tree
+  | Fence
+  | Rock
+
+let kind_to_string = function
+  | Tank -> "tank"
+  | Plane -> "plane"
+  | Ship -> "ship"
+  | Infantry -> "infantry"
+  | Bridge -> "bridge"
+  | Building -> "building"
+  | Tree -> "tree"
+  | Fence -> "fence"
+  | Rock -> "rock"
+
+let kinds = [| Tank; Plane; Ship; Infantry; Bridge; Building; Tree; Fence; Rock |]
+
+let kind_to_int k =
+  let rec find i = if kinds.(i) = k then i else find (i + 1) in
+  find 0
+
+let kind_of_int i =
+  if i >= 0 && i < Array.length kinds then Some kinds.(i) else None
+
+let is_dynamic = function
+  | Tank | Plane | Ship | Infantry -> true
+  | Bridge | Building | Tree | Fence | Rock -> false
+
+type state = {
+  id : int;
+  kind : kind;
+  position : Vec3.t;
+  velocity : Vec3.t;
+  appearance : int;
+  timestamp : float;
+}
+
+let make ~id ~kind ?(position = Vec3.zero) ?(velocity = Vec3.zero)
+    ?(appearance = 0) ~timestamp () =
+  { id; kind; position; velocity; appearance; timestamp }
+
+let with_appearance s ~appearance ~timestamp = { s with appearance; timestamp }
+
+let pp_state fmt s =
+  Format.fprintf fmt "#%d %s @%a v=%a app=%d t=%.2f" s.id
+    (kind_to_string s.kind) Vec3.pp s.position Vec3.pp s.velocity s.appearance
+    s.timestamp
+
+module Appearance = struct
+  let intact = 0
+  let damaged = 1
+  let destroyed = 2
+
+  let to_string = function
+    | 0 -> "intact"
+    | 1 -> "damaged"
+    | 2 -> "destroyed"
+    | n -> Printf.sprintf "appearance-%d" n
+end

@@ -1,0 +1,50 @@
+(** DIS entities.
+
+    Two broad classes drive the paper's traffic analysis (§2.1.2):
+    {e dynamic} entities (tanks, planes, ships, infantry) with high
+    natural update rates handled by dead reckoning, and {e aggregate
+    terrain} entities (rocks, trees, fences, bridges) that change state
+    rarely but demand quarter-second freshness when they do. *)
+
+type kind =
+  | Tank
+  | Plane
+  | Ship
+  | Infantry
+  | Bridge
+  | Building
+  | Tree
+  | Fence
+  | Rock
+
+val kind_to_string : kind -> string
+val kind_of_int : int -> kind option
+val kind_to_int : kind -> int
+
+val is_dynamic : kind -> bool
+(** Tanks, planes, ships and infantry move; the rest are terrain. *)
+
+type state = {
+  id : int;
+  kind : kind;
+  position : Vec3.t;
+  velocity : Vec3.t;
+  appearance : int;
+      (** opaque appearance bits; terrain damage states live here *)
+  timestamp : float;
+}
+
+val make :
+  id:int -> kind:kind -> ?position:Vec3.t -> ?velocity:Vec3.t ->
+  ?appearance:int -> timestamp:float -> unit -> state
+
+val with_appearance : state -> appearance:int -> timestamp:float -> state
+val pp_state : Format.formatter -> state -> unit
+
+(** Canonical terrain appearance values. *)
+module Appearance : sig
+  val intact : int
+  val damaged : int
+  val destroyed : int
+  val to_string : int -> string
+end

@@ -1,0 +1,86 @@
+module Codec = Lbrm_wire.Codec
+
+type t =
+  | Entity_state of Entity.state
+  | Terrain_update of { id : int; appearance : int; timestamp : float }
+
+let encode p =
+  let w = Codec.Writer.create () in
+  (match p with
+  | Entity_state s ->
+      Codec.Writer.u8 w 0;
+      Codec.Writer.u32 w s.id;
+      Codec.Writer.u8 w (Entity.kind_to_int s.kind);
+      Codec.Writer.f64 w s.position.Vec3.x;
+      Codec.Writer.f64 w s.position.Vec3.y;
+      Codec.Writer.f64 w s.position.Vec3.z;
+      Codec.Writer.f64 w s.velocity.Vec3.x;
+      Codec.Writer.f64 w s.velocity.Vec3.y;
+      Codec.Writer.f64 w s.velocity.Vec3.z;
+      Codec.Writer.u32 w s.appearance;
+      Codec.Writer.f64 w s.timestamp
+  | Terrain_update { id; appearance; timestamp } ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.u32 w id;
+      Codec.Writer.u32 w appearance;
+      Codec.Writer.f64 w timestamp);
+  Codec.Writer.contents w
+
+let ( let* ) = Result.bind
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let* tag = Codec.Reader.u8 r in
+  let* pdu =
+    match tag with
+    | 0 ->
+        let* id = Codec.Reader.u32 r in
+        let* kind_i = Codec.Reader.u8 r in
+        let* kind =
+          match Entity.kind_of_int kind_i with
+          | Some k -> Ok k
+          | None ->
+              Error (Codec.Bad_value (Printf.sprintf "entity kind %d" kind_i))
+        in
+        let* px = Codec.Reader.f64 r in
+        let* py = Codec.Reader.f64 r in
+        let* pz = Codec.Reader.f64 r in
+        let* vx = Codec.Reader.f64 r in
+        let* vy = Codec.Reader.f64 r in
+        let* vz = Codec.Reader.f64 r in
+        let* appearance = Codec.Reader.u32 r in
+        let* timestamp = Codec.Reader.f64 r in
+        Ok
+          (Entity_state
+             (Entity.make ~id ~kind ~position:(Vec3.make px py pz)
+                ~velocity:(Vec3.make vx vy vz) ~appearance ~timestamp ()))
+    | 1 ->
+        let* id = Codec.Reader.u32 r in
+        let* appearance = Codec.Reader.u32 r in
+        let* timestamp = Codec.Reader.f64 r in
+        Ok (Terrain_update { id; appearance; timestamp })
+    | n -> Error (Codec.Bad_tag n)
+  in
+  match Codec.Reader.remaining r with
+  | 0 -> Ok pdu
+  | n -> Error (Codec.Trailing n)
+
+let pp fmt = function
+  | Entity_state s -> Format.fprintf fmt "entity_state %a" Entity.pp_state s
+  | Terrain_update { id; appearance; timestamp } ->
+      Format.fprintf fmt "terrain #%d -> %s @%.2f" id
+        (Entity.Appearance.to_string appearance)
+        timestamp
+
+let equal a b =
+  match (a, b) with
+  | Entity_state x, Entity_state y ->
+      x.id = y.id && x.kind = y.kind && x.appearance = y.appearance
+      && Vec3.equal x.position y.position
+      && Vec3.equal x.velocity y.velocity
+      && Float.equal x.timestamp y.timestamp
+  | Terrain_update x, Terrain_update y ->
+      x.id = y.id && x.appearance = y.appearance
+      && Float.equal x.timestamp y.timestamp
+  | Entity_state _, Terrain_update _ | Terrain_update _, Entity_state _ ->
+      false

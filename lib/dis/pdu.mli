@@ -1,0 +1,15 @@
+(** Entity-state PDU encoding.
+
+    DIS traffic rides LBRM data packets as opaque payloads; this module
+    is the payload codec, built on the wire library's
+    {!Lbrm_wire.Codec.Writer}/[Reader] primitives. *)
+
+type t =
+  | Entity_state of Entity.state
+  | Terrain_update of { id : int; appearance : int; timestamp : float }
+      (** compact form for terrain entities: no kinematics *)
+
+val encode : t -> string
+val decode : string -> (t, Lbrm_wire.Codec.error) result
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

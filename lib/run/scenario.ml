@@ -1,0 +1,360 @@
+module Builders = Lbrm_sim.Builders
+module Engine = Lbrm_sim.Engine
+module Net = Lbrm_sim.Net
+module Trace = Lbrm_sim.Trace
+module Message = Lbrm_wire.Message
+module Rng = Lbrm_util.Rng
+
+type node_id = Lbrm_sim.Topo.node_id
+
+type deployment = {
+  runtime : Sim_runtime.t;
+  wan : Builders.wan;
+  cfg : Lbrm.Config.t;
+  source : Lbrm.Source.t;
+  source_node : node_id;
+  primary : Lbrm.Logger.t;
+  primary_node : node_id;
+  replicas : (Lbrm.Logger.t * node_id) list;
+  secondaries : (Lbrm.Logger.t * node_id) array;
+  receivers : (Lbrm.Receiver.t * node_id) array;
+  (* regional (mid-tier) loggers, when a hierarchy was requested *)
+  regionals : (Lbrm.Logger.t * node_id) list;
+  (* per-receiver delivered seqs, for completeness checks *)
+  delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
+    ?initial_estimate ?backbone_delay ?tail_loss ?on_deliver ?on_notice
+    ?on_source_notice ?(logging = `Distributed) ~sites ~receivers_per_site ()
+    =
+  assert (sites > 0 && receivers_per_site >= 0);
+  let delivered_table = Hashtbl.create 64 in
+  let reserved = 3 + replica_count in
+  let wan =
+    Builders.dis_wan ?backbone_delay ~sites
+      ~hosts_per_site:(reserved + receivers_per_site) ()
+  in
+  (match tail_loss with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun i site ->
+          Lbrm_sim.Topo.set_link_loss site.Builders.tail_down (f i))
+        wan.sites);
+  let engine = Engine.create ~seed () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:Message.wire_size ()
+  in
+  let trace = Trace.create () in
+  let runtime = Sim_runtime.create ~net ~trace in
+  let rng = Rng.split (Engine.rng engine) in
+  let source_node = Builders.host wan ~site:0 1 in
+  let primary_node = Builders.host wan ~site:0 2 in
+  let replica_nodes =
+    List.init replica_count (fun i -> Builders.host wan ~site:0 (3 + i))
+  in
+  let source =
+    Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
+      ~replicas:replica_nodes ?initial_estimate ()
+  in
+  let primary =
+    Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
+      ~replicas:replica_nodes ~rng:(Rng.split rng) ()
+  in
+  let replicas =
+    List.map
+      (fun node ->
+        ( Lbrm.Logger.create cfg ~self:node ~source:source_node
+            ~parent:primary_node ~rng:(Rng.split rng) (),
+          node ))
+      replica_nodes
+  in
+  let secondaries =
+    match logging with
+    | `Centralized -> [||]
+    | `Distributed ->
+        Array.map
+          (fun site ->
+            let node = site.Builders.hosts.(0) in
+            ( Lbrm.Logger.create cfg ~self:node ~source:source_node
+                ~parent:primary_node ~rng:(Rng.split rng) (),
+              node ))
+          wan.sites
+  in
+  let receivers =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun site_idx site ->
+              let hierarchy =
+                match logging with
+                | `Centralized -> [ primary_node ]
+                | `Distributed ->
+                    [ site.Builders.hosts.(0); primary_node ]
+              in
+              List.init receivers_per_site (fun j ->
+                  let node = site.Builders.hosts.(reserved + j) in
+                  let r =
+                    Lbrm.Receiver.create cfg ~self:node ~source:source_node
+                      ~loggers:hierarchy
+                  in
+                  ignore site_idx;
+                  (r, node)))
+            (Array.to_list wan.sites)))
+  in
+  (* Install agents. *)
+  Sim_runtime.add_agent runtime ~node:source_node
+    (Handlers.of_source ?on_notice:on_source_notice source);
+  Sim_runtime.add_agent runtime ~node:primary_node (Handlers.of_logger primary);
+  List.iter
+    (fun (l, node) -> Sim_runtime.add_agent runtime ~node (Handlers.of_logger l))
+    replicas;
+  Array.iter
+    (fun (l, node) -> Sim_runtime.add_agent runtime ~node (Handlers.of_logger l))
+    secondaries;
+  Array.iter
+    (fun (r, node) ->
+      let seen = Hashtbl.create 64 in
+      Hashtbl.replace delivered_table node seen;
+      let deliver ~now ~seq ~payload ~recovered =
+        Hashtbl.replace seen seq ();
+        match on_deliver with
+        | Some f -> f node ~now ~seq ~payload ~recovered
+        | None -> ()
+      in
+      let notice =
+        Option.map (fun f ~now n -> f node ~now n) on_notice
+      in
+      Sim_runtime.add_agent runtime ~node
+        (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r))
+    receivers;
+  (* Group membership: loggers and receivers listen on the data group;
+     loggers answer discovery. *)
+  let join_data node = Sim_runtime.join runtime ~group:cfg.group ~node in
+  let join_disc node =
+    Sim_runtime.join runtime ~group:cfg.discovery_group ~node
+  in
+  join_data primary_node;
+  join_disc primary_node;
+  List.iter
+    (fun (_, node) ->
+      join_data node;
+      join_disc node)
+    replicas;
+  Array.iter
+    (fun (_, node) ->
+      join_data node;
+      join_disc node)
+    secondaries;
+  Array.iter (fun (_, node) -> join_data node) receivers;
+  (* Kick everything off. *)
+  let now = Engine.now engine in
+  Sim_runtime.perform runtime ~node:source_node
+    (Lbrm.Source.start source ~now);
+  Array.iter
+    (fun (r, node) ->
+      Sim_runtime.perform runtime ~node (Lbrm.Receiver.start r ~now))
+    receivers;
+  {
+    runtime;
+    wan;
+    cfg;
+    source;
+    source_node;
+    primary;
+    primary_node;
+    replicas;
+    secondaries;
+    receivers;
+    regionals = [];
+    delivered = delivered_table;
+  }
+
+let site_receivers d ~site =
+  let hosts = d.wan.sites.(site).Builders.hosts in
+  Array.to_list d.receivers
+  |> List.filter (fun (_, node) -> Array.exists (fun h -> h = node) hosts)
+
+let send d payload =
+  let now = Sim_runtime.now d.runtime in
+  Sim_runtime.perform d.runtime ~node:d.source_node
+    (Lbrm.Source.send d.source ~now payload)
+
+let payload_of_size n i =
+  let base = Printf.sprintf "packet-%d:" i in
+  let pad = Stdlib.max 0 (n - String.length base) in
+  base ^ String.make pad 'x'
+
+let drive_periodic d ~interval ~count ?(payload_size = 128) () =
+  let engine = Sim_runtime.engine d.runtime in
+  for i = 1 to count do
+    ignore
+      (Engine.schedule engine ~delay:(interval *. float_of_int i) (fun () ->
+           send d (payload_of_size payload_size i)))
+  done
+
+let drive_poisson d ~mean_interval ~until ?(payload_size = 128) () =
+  let engine = Sim_runtime.engine d.runtime in
+  let rng = Rng.split (Engine.rng engine) in
+  let counter = ref 0 in
+  let rec arm () =
+    let delay = Rng.exponential rng ~mean:mean_interval in
+    ignore
+      (Engine.schedule engine ~delay (fun () ->
+           if Engine.now engine <= until then begin
+             incr counter;
+             send d (payload_of_size payload_size !counter);
+             arm ()
+           end))
+  in
+  arm ()
+
+let run d ~until = Sim_runtime.run ~until d.runtime
+let trace d = Sim_runtime.trace d.runtime
+
+let delivered_everywhere d seq =
+  Array.for_all
+    (fun (_, node) ->
+      match Hashtbl.find_opt d.delivered node with
+      | Some seen -> Hashtbl.mem seen seq
+      | None -> false)
+    d.receivers
+
+let total_missing d =
+  Array.fold_left
+    (fun acc (r, _) -> acc + List.length (Lbrm.Receiver.missing r))
+    0 d.receivers
+
+(* A three-level logger hierarchy (the paper's Â§7 "multi-level hierarchy
+   of logging servers" future-work item): receivers NACK their site
+   secondary, secondaries NACK a regional logger, regionals NACK the
+   primary.  Regions are consecutive runs of [sites_per_region] sites;
+   each region's regional logger lives on host 3 of its first site. *)
+let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
+    ?tail_loss ?on_deliver ?on_notice ~regions ~sites_per_region
+    ~receivers_per_site () =
+  assert (regions > 0 && sites_per_region > 0 && receivers_per_site >= 0);
+  let sites = regions * sites_per_region in
+  let delivered_table = Hashtbl.create 64 in
+  let reserved = 4 in
+  let wan =
+    Builders.dis_wan ~sites ~hosts_per_site:(reserved + receivers_per_site) ()
+  in
+  (match tail_loss with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun i site -> Lbrm_sim.Topo.set_link_loss site.Builders.tail_down (f i))
+        wan.sites);
+  let engine = Engine.create ~seed () in
+  let net = Net.create ~engine ~topo:wan.topo ~size_of:Message.wire_size () in
+  let trace = Trace.create () in
+  let runtime = Sim_runtime.create ~net ~trace in
+  let rng = Rng.split (Engine.rng engine) in
+  let source_node = Builders.host wan ~site:0 1 in
+  let primary_node = Builders.host wan ~site:0 2 in
+  let source =
+    Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
+      ?initial_estimate ()
+  in
+  let primary =
+    Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
+      ~rng:(Rng.split rng) ()
+  in
+  let region_of site = site / sites_per_region in
+  let regional_node r = Builders.host wan ~site:(r * sites_per_region) 3 in
+  let regionals =
+    List.init regions (fun r ->
+        ( Lbrm.Logger.create cfg ~self:(regional_node r) ~source:source_node
+            ~parent:primary_node ~rng:(Rng.split rng) (),
+          regional_node r ))
+  in
+  let secondaries =
+    Array.mapi
+      (fun i site ->
+        let node = site.Builders.hosts.(0) in
+        ( Lbrm.Logger.create cfg ~self:node ~source:source_node
+            ~parent:(regional_node (region_of i))
+            ~rng:(Rng.split rng) (),
+          node ))
+      wan.sites
+  in
+  let receivers =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun site_idx site ->
+              let hierarchy =
+                [
+                  site.Builders.hosts.(0);
+                  regional_node (region_of site_idx);
+                  primary_node;
+                ]
+              in
+              List.init receivers_per_site (fun j ->
+                  let node = site.Builders.hosts.(reserved + j) in
+                  ( Lbrm.Receiver.create cfg ~self:node ~source:source_node
+                      ~loggers:hierarchy,
+                    node )))
+            (Array.to_list wan.sites)))
+  in
+  Sim_runtime.add_agent runtime ~node:source_node (Handlers.of_source source);
+  Sim_runtime.add_agent runtime ~node:primary_node (Handlers.of_logger primary);
+  List.iter
+    (fun (l, node) -> Sim_runtime.add_agent runtime ~node (Handlers.of_logger l))
+    regionals;
+  Array.iter
+    (fun (l, node) -> Sim_runtime.add_agent runtime ~node (Handlers.of_logger l))
+    secondaries;
+  Array.iter
+    (fun (r, node) ->
+      let seen = Hashtbl.create 64 in
+      Hashtbl.replace delivered_table node seen;
+      let deliver ~now ~seq ~payload ~recovered =
+        Hashtbl.replace seen seq ();
+        match on_deliver with
+        | Some f -> f node ~now ~seq ~payload ~recovered
+        | None -> ()
+      in
+      let notice = Option.map (fun f ~now n -> f node ~now n) on_notice in
+      Sim_runtime.add_agent runtime ~node
+        (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r))
+    receivers;
+  let join_data node = Sim_runtime.join runtime ~group:cfg.group ~node in
+  let join_disc node =
+    Sim_runtime.join runtime ~group:cfg.discovery_group ~node
+  in
+  join_data primary_node;
+  join_disc primary_node;
+  List.iter
+    (fun (_, node) ->
+      join_data node;
+      join_disc node)
+    regionals;
+  Array.iter
+    (fun (_, node) ->
+      join_data node;
+      join_disc node)
+    secondaries;
+  Array.iter (fun (_, node) -> join_data node) receivers;
+  let now = Engine.now engine in
+  Sim_runtime.perform runtime ~node:source_node (Lbrm.Source.start source ~now);
+  Array.iter
+    (fun (r, node) ->
+      Sim_runtime.perform runtime ~node (Lbrm.Receiver.start r ~now))
+    receivers;
+  {
+    runtime;
+    wan;
+    cfg;
+    source;
+    source_node;
+    primary;
+    primary_node;
+    replicas = [];
+    secondaries;
+    receivers;
+    regionals;
+    delivered = delivered_table;
+  }

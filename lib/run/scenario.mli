@@ -1,0 +1,116 @@
+(** Canonical simulated LBRM deployments and workload drivers.
+
+    {!standard} builds the paper's reference scenario: one source, a
+    primary logger (plus optional replicas) at the source's site, one
+    secondary logger per site, and a population of receivers behind the
+    tail circuits (§2.2.2's 50 sites × 20 receivers is
+    [standard ~sites:50 ~receivers_per_site:20 ()]). *)
+
+type node_id = Lbrm_sim.Topo.node_id
+
+type deployment = {
+  runtime : Sim_runtime.t;
+  wan : Lbrm_sim.Builders.wan;
+  cfg : Lbrm.Config.t;
+  source : Lbrm.Source.t;
+  source_node : node_id;
+  primary : Lbrm.Logger.t;
+  primary_node : node_id;
+  replicas : (Lbrm.Logger.t * node_id) list;
+  secondaries : (Lbrm.Logger.t * node_id) array;  (** index = site *)
+  receivers : (Lbrm.Receiver.t * node_id) array;
+  regionals : (Lbrm.Logger.t * node_id) list;
+      (** mid-tier loggers (only from {!hierarchical}) *)
+  delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** per-receiver-node set of delivered sequence numbers *)
+}
+
+val standard :
+  ?cfg:Lbrm.Config.t ->
+  ?seed:int ->
+  ?replica_count:int ->
+  ?initial_estimate:float ->
+  ?backbone_delay:(int -> float) ->
+  ?tail_loss:(int -> Lbrm_sim.Loss.t) ->
+  ?on_deliver:
+    (node_id ->
+    now:float ->
+    seq:Lbrm_util.Seqno.t ->
+    payload:string ->
+    recovered:bool ->
+    unit) ->
+  ?on_notice:(node_id -> now:float -> Lbrm.Io.notice -> unit) ->
+  ?on_source_notice:(now:float -> Lbrm.Io.notice -> unit) ->
+  ?logging:[ `Distributed | `Centralized ] ->
+  sites:int ->
+  receivers_per_site:int ->
+  unit ->
+  deployment
+(** Host layout per site: host 0 is the site's secondary logger; at site
+    0, hosts 1 and 2 are the source and the primary logger and hosts
+    3…3+replicas are the primary's replicas; the remaining hosts are
+    receivers.  [tail_loss site] installs a loss model on that site's
+    inbound (WAN→site) tail circuit.  [initial_estimate] seeds the
+    statistical-ack group-size estimate, skipping the probing phase.
+    [logging] selects the paper's Figure 7 variants: [`Distributed]
+    (default) deploys a secondary logger per site and two-level receiver
+    hierarchies; [`Centralized] deploys no secondaries and every
+    receiver NACKs the primary directly.  All agents are started. *)
+
+val hierarchical :
+  ?cfg:Lbrm.Config.t ->
+  ?seed:int ->
+  ?initial_estimate:float ->
+  ?tail_loss:(int -> Lbrm_sim.Loss.t) ->
+  ?on_deliver:
+    (node_id ->
+    now:float ->
+    seq:Lbrm_util.Seqno.t ->
+    payload:string ->
+    recovered:bool ->
+    unit) ->
+  ?on_notice:(node_id -> now:float -> Lbrm.Io.notice -> unit) ->
+  regions:int ->
+  sites_per_region:int ->
+  receivers_per_site:int ->
+  unit ->
+  deployment
+(** Three-level recovery hierarchy (the paper's §7 multi-level
+    future-work item): receiver → site secondary → regional logger →
+    primary.  Regions are consecutive runs of [sites_per_region] sites;
+    region r's logger lives at its first site.  No replicas. *)
+
+val site_receivers : deployment -> site:int -> (Lbrm.Receiver.t * node_id) list
+(** Receivers whose host is at the given site. *)
+
+val payload_of_size : int -> int -> string
+(** [payload_of_size n i] is an [n]-byte payload identifying packet
+    [i] — the generator the workload drivers use. *)
+
+val send : deployment -> string -> unit
+(** Immediately multicast one application payload from the source
+    (usable only between {!Sim_runtime.run} slices or inside scheduled
+    callbacks). *)
+
+val drive_periodic :
+  deployment -> interval:float -> count:int -> ?payload_size:int -> unit -> unit
+(** Schedule [count] sends, one every [interval] seconds, starting one
+    interval from now.  Payloads default to 128 bytes (Table 3's
+    size). *)
+
+val drive_poisson :
+  deployment -> mean_interval:float -> until:float -> ?payload_size:int ->
+  unit -> unit
+(** Schedule sends with exponential inter-arrival times until virtual
+    time [until] — the DIS terrain-update model (state changes roughly
+    every two minutes, §2.1.2). *)
+
+val run : deployment -> until:float -> unit
+val trace : deployment -> Lbrm_sim.Trace.t
+
+val delivered_everywhere : deployment -> Lbrm_util.Seqno.t -> bool
+(** Every receiver has the payload with that sequence number (checked
+    via per-receiver delivery bookkeeping). *)
+
+val total_missing : deployment -> int
+(** Sum of currently missing packets across receivers. *)

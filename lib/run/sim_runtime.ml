@@ -1,0 +1,99 @@
+module Net = Lbrm_sim.Net
+module Engine = Lbrm_sim.Engine
+module Trace = Lbrm_sim.Trace
+module Message = Lbrm_wire.Message
+open Lbrm.Io
+
+type agent = {
+  node : Lbrm_sim.Topo.node_id;
+  handlers : Handlers.t;
+  timers : (timer_key, Engine.timer) Hashtbl.t;
+}
+
+type t = {
+  net : Message.t Net.t;
+  trace : Trace.t;
+  agents : (Lbrm_sim.Topo.node_id, agent) Hashtbl.t;
+}
+
+let create ~net ~trace = { net; trace; agents = Hashtbl.create 64 }
+let net t = t.net
+let engine t = Net.engine t.net
+let trace t = t.trace
+let now t = Engine.now (engine t)
+let join t ~group ~node = Net.join t.net ~group node
+
+let record_notice t notice =
+  match notice with
+  | N_gap seqs -> Trace.incr ~by:(List.length seqs) t.trace "loss.gaps"
+  | N_silence _ -> Trace.incr t.trace "loss.silence"
+  | N_recovered { latency; _ } ->
+      Trace.incr t.trace "loss.recovered";
+      Trace.observe t.trace "recovery_latency" latency
+  | N_gave_up _ -> Trace.incr t.trace "loss.gave_up"
+  | N_primary_suspected -> Trace.incr t.trace "failover.suspected"
+  | N_new_primary _ -> Trace.incr t.trace "failover.promoted"
+  | N_epoch _ -> Trace.incr t.trace "statack.epochs"
+  | N_remulticast _ -> Trace.incr t.trace "statack.remulticast"
+  | N_estimate n -> Trace.observe t.trace "statack.estimate" n
+  | N_discovery _ -> Trace.incr t.trace "discovery.finished"
+  | N_feedback { missing; _ } ->
+      if missing > 0 then Trace.incr t.trace "statack.feedback_loss"
+
+let rec perform t ~node actions =
+  match Hashtbl.find_opt t.agents node with
+  | None -> ()
+  | Some agent -> List.iter (execute t agent) actions
+
+and execute t agent action =
+  match action with
+  | Send (dest, msg) -> (
+      Trace.incr t.trace ("sent." ^ Message.kind msg);
+      match dest with
+      | To_addr addr ->
+          Net.unicast t.net ~src:agent.node ~dst:addr msg
+      | To_group { group; ttl } ->
+          Net.multicast t.net ?ttl ~src:agent.node ~group msg)
+  | Set_timer (key, delay) ->
+      (match Hashtbl.find_opt agent.timers key with
+      | Some timer -> Engine.cancel (engine t) timer
+      | None -> ());
+      let timer =
+        Engine.schedule (engine t) ~delay (fun () ->
+            Hashtbl.remove agent.timers key;
+            let actions =
+              agent.handlers.on_timer ~now:(now t) key
+            in
+            List.iter (execute t agent) actions)
+      in
+      Hashtbl.replace agent.timers key timer
+  | Cancel_timer key -> (
+      match Hashtbl.find_opt agent.timers key with
+      | Some timer ->
+          Engine.cancel (engine t) timer;
+          Hashtbl.remove agent.timers key
+      | None -> ())
+  | Deliver { seq; payload; recovered } -> (
+      Trace.incr t.trace "app.delivered";
+      if recovered then Trace.incr t.trace "app.recovered";
+      match agent.handlers.on_deliver with
+      | Some f -> f ~now:(now t) ~seq ~payload ~recovered
+      | None -> ())
+  | Notify notice -> (
+      record_notice t notice;
+      match agent.handlers.on_notice with
+      | Some f -> f ~now:(now t) notice
+      | None -> ())
+  | Join group -> Net.join t.net ~group agent.node
+  | Leave group -> Net.leave t.net ~group agent.node
+
+let add_agent t ~node handlers =
+  assert (not (Hashtbl.mem t.agents node));
+  let agent = { node; handlers; timers = Hashtbl.create 16 } in
+  Hashtbl.replace t.agents node agent;
+  Net.set_handler t.net node (fun ~now:_ ~src msg ->
+      Trace.incr t.trace ("recv." ^ Message.kind msg);
+      let actions = handlers.Handlers.on_message ~now:(now t) ~src msg in
+      List.iter (execute t agent) actions)
+
+let run ?until t = Engine.run ?until (engine t)

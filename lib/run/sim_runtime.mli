@@ -1,0 +1,32 @@
+(** Runs sans-IO LBRM agents over the discrete-event simulator.
+
+    Protocol addresses are simulator node ids.  The runtime executes
+    each agent's {!Lbrm.Io.action}s: sends become {!Lbrm_sim.Net}
+    transmissions from the agent's node, timers become engine events
+    keyed per-agent (re-arming a live key replaces it), deliveries and
+    notices invoke the agent's callbacks and update the shared
+    {!Lbrm_sim.Trace} counters ("app.delivered", "loss.recovered",
+    "recovery_latency", …). *)
+
+type t
+
+val create : net:Lbrm_wire.Message.t Lbrm_sim.Net.t -> trace:Lbrm_sim.Trace.t -> t
+
+val net : t -> Lbrm_wire.Message.t Lbrm_sim.Net.t
+val engine : t -> Lbrm_sim.Engine.t
+val trace : t -> Lbrm_sim.Trace.t
+
+val add_agent : t -> node:Lbrm_sim.Topo.node_id -> Handlers.t -> unit
+(** Install an agent on a host node.  At most one agent per node. *)
+
+val perform : t -> node:Lbrm_sim.Topo.node_id -> Lbrm.Io.action list -> unit
+(** Execute actions on behalf of an agent — used to kick off machines
+    ([Source.start], [Receiver.start]) or to inject application sends. *)
+
+val join : t -> group:int -> node:Lbrm_sim.Topo.node_id -> unit
+(** Subscribe a node to a multicast group. *)
+
+val run : ?until:float -> t -> unit
+(** Drive the simulation. *)
+
+val now : t -> float

@@ -1,0 +1,186 @@
+module Message = Lbrm_wire.Message
+module Codec = Lbrm_wire.Codec
+module Heap = Lbrm_util.Heap
+module Rng = Lbrm_util.Rng
+open Lbrm.Io
+
+type agent = {
+  port : int;
+  socket : Unix.file_descr;
+  handlers : Handlers.t;
+  timers : (timer_key, (int * timer_key) Heap.handle) Hashtbl.t;
+}
+
+type t = {
+  bind_ip : string;
+  loss : float;
+  rng : Rng.t;
+  started : float;
+  agents : (int, agent) Hashtbl.t;
+  by_socket : (Unix.file_descr, agent) Hashtbl.t;
+  groups : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  timer_heap : (int * timer_key) Heap.t; (* (port, key) at wall deadline *)
+  mutable sent : int;
+  mutable dropped : int;
+  buf : Bytes.t;
+}
+
+let create ?(bind_ip = "127.0.0.1") ?(loss = 0.) ?(seed = 1) () =
+  {
+    bind_ip;
+    loss;
+    rng = Rng.create ~seed;
+    started = Unix.gettimeofday ();
+    agents = Hashtbl.create 16;
+    by_socket = Hashtbl.create 16;
+    groups = Hashtbl.create 4;
+    timer_heap = Heap.create ();
+    sent = 0;
+    dropped = 0;
+    buf = Bytes.create 65536;
+  }
+
+let now t = Unix.gettimeofday () -. t.started
+
+let sockaddr t port =
+  Unix.ADDR_INET (Unix.inet_addr_of_string t.bind_ip, port)
+
+let group_table t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.groups group tbl;
+      tbl
+
+let join t ~group ~port = Hashtbl.replace (group_table t group) port ()
+let leave t ~group ~port = Hashtbl.remove (group_table t group) port
+
+let datagrams_sent t = t.sent
+let datagrams_dropped t = t.dropped
+
+let send_datagram t agent ~dst msg =
+  if t.loss > 0. && Rng.bernoulli t.rng ~p:t.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    let payload = Bytes.of_string (Codec.encode msg) in
+    t.sent <- t.sent + 1;
+    ignore
+      (Unix.sendto agent.socket payload 0 (Bytes.length payload) []
+         (sockaddr t dst))
+  end
+
+let rec execute t agent action =
+  match action with
+  | Send (To_addr dst, msg) -> send_datagram t agent ~dst msg
+  | Send (To_group { group; ttl = _ }, msg) ->
+      (* Unicast fan-out; TTL scoping is meaningless here. *)
+      Hashtbl.iter
+        (fun port () -> if port <> agent.port then send_datagram t agent ~dst:port msg)
+        (group_table t group)
+  | Set_timer (key, delay) ->
+      (match Hashtbl.find_opt agent.timers key with
+      | Some h -> ignore (Heap.remove t.timer_heap h)
+      | None -> ());
+      let h =
+        Heap.add t.timer_heap ~prio:(now t +. delay) (agent.port, key)
+      in
+      Hashtbl.replace agent.timers key h
+  | Cancel_timer key -> (
+      match Hashtbl.find_opt agent.timers key with
+      | Some h ->
+          ignore (Heap.remove t.timer_heap h);
+          Hashtbl.remove agent.timers key
+      | None -> ())
+  | Deliver { seq; payload; recovered } -> (
+      match agent.handlers.Handlers.on_deliver with
+      | Some f -> f ~now:(now t) ~seq ~payload ~recovered
+      | None -> ())
+  | Notify notice -> (
+      match agent.handlers.Handlers.on_notice with
+      | Some f -> f ~now:(now t) notice
+      | None -> ())
+  | Join group -> join t ~group ~port:agent.port
+  | Leave group -> leave t ~group ~port:agent.port
+
+and perform t ~port actions =
+  match Hashtbl.find_opt t.agents port with
+  | None -> ()
+  | Some agent -> List.iter (execute t agent) actions
+
+let add_agent t ~port handlers =
+  assert (not (Hashtbl.mem t.agents port));
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (sockaddr t port);
+  Unix.set_nonblock socket;
+  let agent = { port; socket; handlers; timers = Hashtbl.create 16 } in
+  Hashtbl.replace t.agents port agent;
+  Hashtbl.replace t.by_socket socket agent
+
+let drain_socket t agent =
+  let continue = ref true in
+  while !continue do
+    match Unix.recvfrom agent.socket t.buf 0 (Bytes.length t.buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | len, Unix.ADDR_INET (_, src_port) -> (
+        match Codec.decode (Bytes.sub_string t.buf 0 len) with
+        | Ok msg ->
+            let actions =
+              agent.handlers.Handlers.on_message ~now:(now t) ~src:src_port msg
+            in
+            List.iter (execute t agent) actions
+        | Error _ -> () (* malformed datagram: drop *))
+    | _, Unix.ADDR_UNIX _ -> ()
+  done
+
+let fire_due_timers t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.timer_heap with
+    | Some (deadline, _) when deadline <= now t -> (
+        match Heap.pop t.timer_heap with
+        | Some (_, (port, key)) -> (
+            match Hashtbl.find_opt t.agents port with
+            | Some agent ->
+                Hashtbl.remove agent.timers key;
+                let actions = agent.handlers.Handlers.on_timer ~now:(now t) key in
+                List.iter (execute t agent) actions
+            | None -> ())
+        | None -> continue := false)
+    | _ -> continue := false
+  done
+
+let run_for t ~seconds =
+  let stop_at = now t +. seconds in
+  let sockets () =
+    Hashtbl.fold (fun s _ acc -> s :: acc) t.by_socket []
+  in
+  while now t < stop_at do
+    fire_due_timers t;
+    let timeout =
+      let until_stop = stop_at -. now t in
+      let until_timer =
+        match Heap.peek t.timer_heap with
+        | Some (deadline, _) -> Float.max 0. (deadline -. now t)
+        | None -> until_stop
+      in
+      Float.max 0.0005 (Float.min until_stop until_timer)
+    in
+    match Unix.select (sockets ()) [] [] timeout with
+    | readable, _, _ ->
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt t.by_socket s with
+            | Some agent -> drain_socket t agent
+            | None -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  fire_due_timers t
+
+let close t =
+  Hashtbl.iter (fun _ agent -> Unix.close agent.socket) t.agents;
+  Hashtbl.reset t.agents;
+  Hashtbl.reset t.by_socket

@@ -1,0 +1,43 @@
+(** Runs LBRM agents over real UDP sockets (loopback or LAN).
+
+    Protocol addresses are UDP port numbers; every agent binds
+    [127.0.0.1:port] (or a given interface).  A single-threaded
+    select(2) loop drives socket reads and a wall-clock timer heap.
+
+    {b Multicast emulation}: the sealed environment offers no
+    multicast-capable network, so group sends fan out as unicast
+    datagrams over a membership registry (one copy per member).  This
+    preserves LBRM's delivery semantics; TTL scoping is a no-op (scope
+    control is exercised in the simulator).  See DESIGN.md.
+
+    {b Loss injection}: [loss] drops outgoing datagrams with the given
+    probability — real loopback never loses packets, and exercising
+    recovery is the point of the demo. *)
+
+type t
+
+val create : ?bind_ip:string -> ?loss:float -> ?seed:int -> unit -> t
+(** Defaults: 127.0.0.1, no loss. *)
+
+val now : t -> float
+(** Seconds since {!create} (wall clock). *)
+
+val add_agent : t -> port:int -> Handlers.t -> unit
+(** Bind a socket and install the agent.  Raises [Unix.Unix_error] if
+    the port is taken. *)
+
+val join : t -> group:int -> port:int -> unit
+val leave : t -> group:int -> port:int -> unit
+
+val perform : t -> port:int -> Lbrm.Io.action list -> unit
+(** Execute actions for an agent (kick-off, application sends). *)
+
+val run_for : t -> seconds:float -> unit
+(** Drive the event loop for a wall-clock duration. *)
+
+val datagrams_sent : t -> int
+val datagrams_dropped : t -> int
+(** By the loss-injection hook. *)
+
+val close : t -> unit
+(** Close every socket. *)

@@ -1,0 +1,68 @@
+type site = {
+  gateway : Topo.node_id;
+  edge : Topo.node_id;
+  hosts : Topo.node_id array;
+  tail_up : Topo.link;
+  tail_down : Topo.link;
+}
+
+type wan = { topo : Topo.t; backbone : Topo.node_id; sites : site array }
+
+let dis_wan ?(lan_bandwidth = 10e6) ?(lan_delay = 0.9e-3)
+    ?(tail_bandwidth = 1.544e6) ?(tail_delay = 2e-3)
+    ?(backbone_bandwidth = 45e6) ?(backbone_delay = fun _ -> 17e-3) ~sites
+    ~hosts_per_site () =
+  assert (sites > 0 && hosts_per_site > 0);
+  let topo = Topo.create () in
+  let backbone = Topo.add_node topo ~label:"backbone" Router in
+  let mk_site i =
+    let gateway =
+      Topo.add_node topo ~label:(Printf.sprintf "gw%d" i) Router
+    in
+    let edge = Topo.add_node topo ~label:(Printf.sprintf "edge%d" i) Router in
+    let _bb = Topo.add_duplex topo ~bandwidth:backbone_bandwidth
+        ~delay:(backbone_delay i) backbone edge
+    in
+    let tail_up, tail_down =
+      Topo.add_duplex topo ~bandwidth:tail_bandwidth ~delay:tail_delay
+        gateway edge
+    in
+    let hosts =
+      Array.init hosts_per_site (fun j ->
+          let h =
+            Topo.add_node topo ~label:(Printf.sprintf "s%dh%d" i j) Host
+          in
+          let _ =
+            Topo.add_duplex topo ~bandwidth:lan_bandwidth ~delay:lan_delay
+              gateway h
+          in
+          h)
+    in
+    { gateway; edge; hosts; tail_up; tail_down }
+  in
+  let sites = Array.init sites mk_site in
+  { topo; backbone; sites }
+
+let host w ~site i = w.sites.(site).hosts.(i)
+
+let all_hosts w =
+  Array.to_list w.sites
+  |> List.concat_map (fun s -> Array.to_list s.hosts)
+
+let site_of_host w h =
+  let found = ref None in
+  Array.iteri
+    (fun i s -> if Array.exists (fun x -> x = h) s.hosts then found := Some i)
+    w.sites;
+  !found
+
+let lan ?(bandwidth = 10e6) ?(delay = 0.9e-3) ?jitter ~hosts () =
+  let topo = Topo.create () in
+  let switch = Topo.add_node topo ~label:"switch" Router in
+  let hs =
+    Array.init hosts (fun i ->
+        let h = Topo.add_node topo ~label:(Printf.sprintf "h%d" i) Host in
+        let _ = Topo.add_duplex topo ~bandwidth ~delay ?jitter switch h in
+        h)
+  in
+  (topo, switch, hs)

@@ -1,0 +1,64 @@
+module Heap = Lbrm_util.Heap
+module Rng = Lbrm_util.Rng
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  rng : Rng.t;
+  mutable processed : int;
+}
+
+type timer = (unit -> unit) Heap.handle
+
+let create ?(seed = 42) () =
+  { clock = 0.; queue = Heap.create (); rng = Rng.create ~seed; processed = 0 }
+
+let now t = t.clock
+let rng t = t.rng
+
+let at t ~time fn =
+  assert (time >= t.clock);
+  Heap.add t.queue ~prio:time fn
+
+let schedule t ~delay fn =
+  assert (delay >= 0.);
+  at t ~time:(t.clock +. delay) fn
+
+let cancel t timer = ignore (Heap.remove t.queue timer)
+let is_pending timer = Heap.is_live timer
+
+let every t ~period ?until fn =
+  assert (period > 0.);
+  let rec tick () =
+    match until with
+    | Some stop when t.clock > stop -> ()
+    | _ ->
+        fn ();
+        ignore (schedule t ~delay:period tick)
+  in
+  ignore (schedule t ~delay:period tick)
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, fn) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      fn ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some (time, _) when time <= stop -> ignore (step t)
+        | _ ->
+            continue := false;
+            t.clock <- Float.max t.clock stop
+      done
+
+let pending t = Heap.size t.queue
+let events_processed t = t.processed

@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over virtual time.  Callbacks scheduled
+    for the same instant fire in FIFO order.  All randomness used by a
+    simulation should derive from {!rng} (or splits of it) so that runs
+    are reproducible from the seed. *)
+
+type t
+
+type timer
+(** Handle onto a scheduled callback, for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine at time 0.  Default seed is 42. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Lbrm_util.Rng.t
+(** The engine's root random stream. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** Run a callback [delay] seconds from now ([delay >= 0]). *)
+
+val at : t -> time:float -> (unit -> unit) -> timer
+(** Run a callback at an absolute virtual time (>= [now]). *)
+
+val cancel : t -> timer -> unit
+(** Cancel a pending timer; no-op if it already fired or was cancelled. *)
+
+val is_pending : timer -> bool
+
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
+(** Periodic callback starting one [period] from now, optionally
+    stopping at [until]. *)
+
+val step : t -> bool
+(** Execute the next event.  [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue; with [until], stop once virtual time would
+    exceed it (the clock is left at [until]). *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total callbacks executed so far. *)

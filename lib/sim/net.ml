@@ -1,0 +1,155 @@
+type 'msg handler = now:float -> src:Topo.node_id -> 'msg -> unit
+
+type 'msg t = {
+  engine : Engine.t;
+  topo : Topo.t;
+  route : Route.t;
+  size_of : 'msg -> int;
+  mutable handlers : 'msg handler option array;
+  groups : (int, (Topo.node_id, unit) Hashtbl.t) Hashtbl.t;
+  mutable membership_epoch : int;
+  (* (source, group, epoch) -> pruned SPT: node -> child links on the way
+     to at least one member *)
+  mcast_cache : (int * int * int, Topo.link list array) Hashtbl.t;
+  mutable observers : (Topo.link -> 'msg -> unit) list;
+  rng : Lbrm_util.Rng.t;
+}
+
+let loopback_delay = 50e-6
+
+let create ~engine ~topo ~size_of () =
+  {
+    engine;
+    topo;
+    route = Route.create topo;
+    size_of;
+    handlers = Array.make (Topo.node_count topo) None;
+    groups = Hashtbl.create 8;
+    membership_epoch = 0;
+    mcast_cache = Hashtbl.create 32;
+    observers = [];
+    rng = Lbrm_util.Rng.split (Engine.rng engine);
+  }
+
+let engine t = t.engine
+let topo t = t.topo
+let route t = t.route
+
+let ensure_capacity t =
+  let n = Topo.node_count t.topo in
+  if Array.length t.handlers < n then begin
+    let handlers = Array.make n None in
+    Array.blit t.handlers 0 handlers 0 (Array.length t.handlers);
+    t.handlers <- handlers
+  end
+
+let set_handler t node h =
+  ensure_capacity t;
+  t.handlers.(node) <- Some h
+
+let group_table t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.add t.groups group tbl;
+      tbl
+
+let join t ~group node =
+  Hashtbl.replace (group_table t group) node ();
+  t.membership_epoch <- t.membership_epoch + 1
+
+let leave t ~group node =
+  Hashtbl.remove (group_table t group) node;
+  t.membership_epoch <- t.membership_epoch + 1
+
+let members t ~group =
+  Hashtbl.fold (fun n () acc -> n :: acc) (group_table t group) []
+  |> List.sort compare
+
+let is_member t ~group node = Hashtbl.mem (group_table t group) node
+
+let deliver t ~src ~dst msg =
+  match t.handlers.(dst) with
+  | Some h -> h ~now:(Engine.now t.engine) ~src msg
+  | None -> ()
+
+let observe t link msg = List.iter (fun f -> f link msg) t.observers
+let on_link_transit t f = t.observers <- f :: t.observers
+
+(* Send [msg] across [link]; on survival, run [k] at the arrival time. *)
+let transmit t link msg k =
+  observe t link msg;
+  let now = Engine.now t.engine in
+  match
+    Topo.transmit_decision link ~rng:t.rng ~now ~size:(t.size_of msg)
+  with
+  | Topo.Deliver arrival ->
+      ignore (Engine.at t.engine ~time:arrival k)
+  | Topo.Dropped_loss | Topo.Dropped_queue -> ()
+
+let unicast t ?(ttl = 64) ~src ~dst msg =
+  ensure_capacity t;
+  if src = dst then
+    ignore
+      (Engine.schedule t.engine ~delay:loopback_delay (fun () ->
+           deliver t ~src ~dst msg))
+  else
+    let rec hop node ttl =
+      if ttl > 0 then
+        match Route.next_hop t.route ~src:node ~dst with
+        | None -> ()
+        | Some link ->
+            transmit t link msg (fun () ->
+                let next = Topo.link_dst link in
+                if next = dst then deliver t ~src ~dst msg
+                else hop next (ttl - 1))
+    in
+    hop src ttl
+
+(* Pruned multicast tree: for each node, the SPT child links that lead to
+   at least one group member. *)
+let pruned_tree t ~src ~group =
+  let key = (src, group, t.membership_epoch) in
+  match Hashtbl.find_opt t.mcast_cache key with
+  | Some tree -> tree
+  | None ->
+      let n = Topo.node_count t.topo in
+      let pruned = Array.make n [] in
+      let member = group_table t group in
+      (* Post-order: does the subtree rooted at [node] contain a member? *)
+      let rec mark node =
+        let here = Hashtbl.mem member node in
+        let keep =
+          List.filter
+            (fun link -> mark (Topo.link_dst link))
+            (Route.spt_children t.route ~root:src ~node)
+        in
+        pruned.(node) <- keep;
+        here || keep <> []
+      in
+      ignore (mark src);
+      Hashtbl.replace t.mcast_cache key pruned;
+      pruned
+
+let multicast t ?(ttl = 64) ~src ~group msg =
+  ensure_capacity t;
+  let tree = pruned_tree t ~src ~group in
+  let member = group_table t group in
+  let rec forward node ttl =
+    if ttl > 0 then
+      List.iter
+        (fun link ->
+          transmit t link msg (fun () ->
+              let next = Topo.link_dst link in
+              if Hashtbl.mem member next && next <> src then
+                deliver t ~src ~dst:next msg;
+              forward next (ttl - 1)))
+        tree.(node)
+  in
+  forward src ttl
+
+let one_way_delay t a b =
+  if a = b then loopback_delay else Route.distance t.route ~src:a ~dst:b
+
+let rtt t a b = one_way_delay t a b +. one_way_delay t b a

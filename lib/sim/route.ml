@@ -1,0 +1,71 @@
+module Heap = Lbrm_util.Heap
+
+type table = {
+  dist : float array;
+  hops : int array;
+  first : Topo.link option array; (* first link out of the source *)
+  children : Topo.link list array; (* SPT child links per node *)
+}
+
+type t = { topo : Topo.t; cache : (Topo.node_id, table) Hashtbl.t }
+
+let create topo = { topo; cache = Hashtbl.create 16 }
+let invalidate t = Hashtbl.reset t.cache
+
+(* Dijkstra from [src]; also records, for each node, the first link taken
+   out of [src] and the shortest-path-tree child links. *)
+let compute t src =
+  let n = Topo.node_count t.topo in
+  let dist = Array.make n infinity in
+  let hops = Array.make n (-1) in
+  let first = Array.make n None in
+  let parent_link : Topo.link option array = Array.make n None in
+  let visited = Array.make n false in
+  let pq = Heap.create () in
+  dist.(src) <- 0.;
+  hops.(src) <- 0;
+  ignore (Heap.add pq ~prio:0. src);
+  let rec drain () =
+    match Heap.pop pq with
+    | None -> ()
+    | Some (d, u) ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          let relax link =
+            let v = Topo.link_dst link in
+            let nd = d +. Topo.link_delay link in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              hops.(v) <- hops.(u) + 1;
+              parent_link.(v) <- Some link;
+              first.(v) <- (if u = src then Some link else first.(u));
+              ignore (Heap.add pq ~prio:nd v)
+            end
+          in
+          List.iter relax (Topo.links_from t.topo u)
+        end;
+        drain ()
+  in
+  drain ();
+  let children = Array.make n [] in
+  for v = 0 to n - 1 do
+    match parent_link.(v) with
+    | Some link ->
+        let u = Topo.link_src link in
+        children.(u) <- link :: children.(u)
+    | None -> ()
+  done;
+  { dist; hops; first; children }
+
+let table t src =
+  match Hashtbl.find_opt t.cache src with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = compute t src in
+      Hashtbl.add t.cache src tbl;
+      tbl
+
+let next_hop t ~src ~dst = (table t src).first.(dst)
+let distance t ~src ~dst = (table t src).dist.(dst)
+let hops t ~src ~dst = (table t src).hops.(dst)
+let spt_children t ~root ~node = (table t root).children.(node)

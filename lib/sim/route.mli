@@ -1,0 +1,29 @@
+(** Shortest-path routing over a topology.
+
+    Routes minimize accumulated propagation delay (Dijkstra).  Tables are
+    computed lazily per source and cached; the topology must not gain
+    nodes or links after the first query (standard for these
+    simulations, where topology is fixed per run). *)
+
+type t
+
+val create : Topo.t -> t
+
+val next_hop : t -> src:Topo.node_id -> dst:Topo.node_id -> Topo.link option
+(** First link on the shortest path, [None] if unreachable. *)
+
+val distance : t -> src:Topo.node_id -> dst:Topo.node_id -> float
+(** Propagation delay along the shortest path; [infinity] if
+    unreachable. *)
+
+val hops : t -> src:Topo.node_id -> dst:Topo.node_id -> int
+(** Link count along the shortest path; [-1] if unreachable. *)
+
+val spt_children : t -> root:Topo.node_id -> node:Topo.node_id -> Topo.link list
+(** Outgoing links of [node] in the shortest-path tree rooted at [root]
+    (i.e. toward nodes whose shortest path from [root] runs through
+    [node] via that link).  This is the multicast distribution tree. *)
+
+val invalidate : t -> unit
+(** Drop all cached tables (after mutating link loss models this is not
+    needed; only for structural changes). *)

@@ -1,0 +1,146 @@
+type node_id = int
+type kind = Host | Router
+
+type node = { kind : kind; node_label : string; mutable out : link list }
+
+and link = {
+  src : node_id;
+  dst : node_id;
+  bandwidth : float; (* bits/s; 0 = infinite *)
+  delay : float;
+  mutable jitter : float; (* mean of exponential extra delay; 0 = none *)
+  queue_limit : int;
+  mutable loss : Loss.t;
+  mutable busy_until : float;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+  mutable lost : int;
+  mutable queue_drops : int;
+}
+
+type t = { mutable nodes : node array; mutable n : int }
+
+let create () = { nodes = [||]; n = 0 }
+
+let add_node t ?label kind =
+  let id = t.n in
+  let node_label =
+    match label with Some l -> l | None -> Printf.sprintf "n%d" id
+  in
+  let node = { kind; node_label; out = [] } in
+  if Array.length t.nodes = t.n then begin
+    let nodes = Array.make (max 8 (2 * t.n)) node in
+    Array.blit t.nodes 0 nodes 0 t.n;
+    t.nodes <- nodes
+  end;
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  id
+
+let node_count t = t.n
+let kind t id = t.nodes.(id).kind
+let label t id = t.nodes.(id).node_label
+
+let add_link t ?(bandwidth = 0.) ?(delay = 0.001) ?(jitter = 0.)
+    ?(queue = 1000) ?(loss = Loss.none) ~src ~dst () =
+  assert (src < t.n && dst < t.n && src <> dst);
+  let link =
+    {
+      src;
+      dst;
+      bandwidth;
+      delay;
+      jitter;
+      queue_limit = queue;
+      loss;
+      busy_until = 0.;
+      sent = 0;
+      delivered = 0;
+      bytes = 0;
+      lost = 0;
+      queue_drops = 0;
+    }
+  in
+  t.nodes.(src).out <- link :: t.nodes.(src).out;
+  link
+
+let add_duplex t ?bandwidth ?delay ?jitter ?queue ?loss a b =
+  let mk ~src ~dst =
+    let loss = Option.map (fun f -> f ()) loss in
+    add_link t ?bandwidth ?delay ?jitter ?queue ?loss ~src ~dst ()
+  in
+  (mk ~src:a ~dst:b, mk ~src:b ~dst:a)
+
+let links_from t id = t.nodes.(id).out
+
+let find_link t ~src ~dst =
+  List.find_opt (fun l -> l.dst = dst) t.nodes.(src).out
+
+let link_src l = l.src
+let link_dst l = l.dst
+let link_delay l = l.delay
+let link_bandwidth l = l.bandwidth
+let link_loss l = l.loss
+let set_link_loss l loss = l.loss <- loss
+let link_jitter l = l.jitter
+let set_link_jitter l jitter = l.jitter <- jitter
+
+type decision = Deliver of float | Dropped_loss | Dropped_queue
+
+let transmit_decision l ~rng ~now ~size =
+  l.sent <- l.sent + 1;
+  if Loss.drops l.loss ~rng ~now then begin
+    l.lost <- l.lost + 1;
+    Dropped_loss
+  end
+  else begin
+    let tx_time =
+      if l.bandwidth <= 0. then 0.
+      else float_of_int (8 * size) /. l.bandwidth
+    in
+    (* Queue occupancy approximated by outstanding serialization time. *)
+    let backlog = Float.max 0. (l.busy_until -. now) in
+    let queued_pkts =
+      if tx_time <= 0. then 0 else int_of_float (backlog /. tx_time)
+    in
+    if queued_pkts >= l.queue_limit then begin
+      l.queue_drops <- l.queue_drops + 1;
+      Dropped_queue
+    end
+    else begin
+      let start = Float.max now l.busy_until in
+      l.busy_until <- start +. tx_time;
+      l.delivered <- l.delivered + 1;
+      l.bytes <- l.bytes + size;
+      (* Exponential jitter can reorder packets relative to earlier
+         traffic on the same link, as IP permits. *)
+      let extra =
+        if l.jitter > 0. then Lbrm_util.Rng.exponential rng ~mean:l.jitter
+        else 0.
+      in
+      Deliver (l.busy_until +. l.delay +. extra)
+    end
+  end
+
+let packets_sent l = l.sent
+let packets_delivered l = l.delivered
+let bytes_delivered l = l.bytes
+let drops_loss l = l.lost
+let drops_queue l = l.queue_drops
+
+let reset_counters t =
+  for i = 0 to t.n - 1 do
+    List.iter
+      (fun l ->
+        l.sent <- 0;
+        l.delivered <- 0;
+        l.bytes <- 0;
+        l.lost <- 0;
+        l.queue_drops <- 0)
+      t.nodes.(i).out
+  done
+
+let pp_link fmt l =
+  Format.fprintf fmt "%d->%d (bw=%.3g delay=%.3g sent=%d lost=%d)" l.src l.dst
+    l.bandwidth l.delay l.sent l.lost

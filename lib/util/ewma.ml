@@ -1,0 +1,38 @@
+type t = { alpha : float; mutable est : float option }
+
+let create ~alpha = { alpha; est = None }
+let seeded ~alpha ~init = { alpha; est = Some init }
+
+let update t x =
+  let est =
+    match t.est with
+    | None -> x
+    | Some e -> ((1. -. t.alpha) *. e) +. (t.alpha *. x)
+  in
+  t.est <- Some est;
+  est
+
+let value t = t.est
+let value_or ~default t = Option.value ~default t.est
+
+module Jacobson = struct
+  type t = {
+    gain : float;
+    dev_gain : float;
+    beta : float;
+    mutable srtt : float;
+    mutable dev : float;
+  }
+
+  let create ?(gain = 0.125) ?(dev_gain = 0.25) ?(beta = 4.) ~init () =
+    { gain; dev_gain; beta; srtt = init; dev = init /. 2. }
+
+  let observe t sample =
+    let err = sample -. t.srtt in
+    t.srtt <- t.srtt +. (t.gain *. err);
+    t.dev <- t.dev +. (t.dev_gain *. (Float.abs err -. t.dev))
+
+  let mean t = t.srtt
+  let deviation t = t.dev
+  let timeout t = t.srtt +. (t.beta *. t.dev)
+end

@@ -1,0 +1,45 @@
+(** Exponentially-weighted moving averages.
+
+    Two flavours are provided: a plain EWMA (used by LBRM's group-size
+    estimator, §2.3.3 of the paper) and a Jacobson-style mean+deviation
+    estimator (used for the statistical-acknowledgement [t_wait] timer,
+    §2.3.2, which the paper models on the TCP RTT estimator). *)
+
+type t
+(** Plain EWMA state. *)
+
+val create : alpha:float -> t
+(** New estimator; [alpha] is the weight of each new observation
+    (the paper suggests 1/8 for group-size refinement). *)
+
+val seeded : alpha:float -> init:float -> t
+(** Estimator pre-seeded with an initial value. *)
+
+val update : t -> float -> float
+(** Fold in an observation and return the new estimate.  The first
+    observation of an unseeded estimator becomes the estimate. *)
+
+val value : t -> float option
+(** Current estimate, [None] before any observation. *)
+
+val value_or : default:float -> t -> float
+(** Current estimate or [default]. *)
+
+(** Jacobson/Karels smoothed mean and mean deviation, for adaptive
+    timeouts: [timeout = srtt + beta * dev]. *)
+module Jacobson : sig
+  type t
+
+  val create : ?gain:float -> ?dev_gain:float -> ?beta:float -> init:float -> unit -> t
+  (** [init] seeds the smoothed mean.  Defaults: gain 1/8, deviation gain
+      1/4, [beta] 4 — the classic TCP constants. *)
+
+  val observe : t -> float -> unit
+  (** Fold in a sample. *)
+
+  val mean : t -> float
+  val deviation : t -> float
+
+  val timeout : t -> float
+  (** [mean + beta * deviation]. *)
+end

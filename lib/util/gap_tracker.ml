@@ -1,0 +1,76 @@
+type t = {
+  mutable highest : Seqno.t option;
+  missing : (Seqno.t, unit) Hashtbl.t;
+}
+
+type verdict =
+  | First
+  | In_order
+  | Fills_gap
+  | Duplicate
+  | Gap_opened of Seqno.t list
+
+let create () = { highest = None; missing = Hashtbl.create 16 }
+
+let note t seq =
+  match t.highest with
+  | None ->
+      t.highest <- Some seq;
+      First
+  | Some hi ->
+      if Seqno.(seq > hi) then begin
+        let gap = Seqno.range hi seq in
+        List.iter (fun s -> Hashtbl.replace t.missing s ()) gap;
+        t.highest <- Some seq;
+        if gap = [] then In_order else Gap_opened gap
+      end
+      else if Hashtbl.mem t.missing seq then begin
+        Hashtbl.remove t.missing seq;
+        Fills_gap
+      end
+      else Duplicate
+
+let note_exists t seq =
+  match t.highest with
+  | None ->
+      t.highest <- Some seq;
+      Hashtbl.replace t.missing seq ();
+      [ seq ]
+  | Some hi ->
+      if Seqno.(seq > hi) then begin
+        let gap = Seqno.range hi seq @ [ seq ] in
+        List.iter (fun s -> Hashtbl.replace t.missing s ()) gap;
+        t.highest <- Some seq;
+        gap
+      end
+      else []
+
+let missing t =
+  Hashtbl.fold (fun s () acc -> s :: acc) t.missing []
+  |> List.sort Seqno.compare
+
+let missing_count t = Hashtbl.length t.missing
+let is_missing t s = Hashtbl.mem t.missing s
+let highest t = t.highest
+
+let abandon t s = Hashtbl.remove t.missing s
+
+let forget_below t floor =
+  let dropped =
+    Hashtbl.fold
+      (fun s () acc -> if Seqno.(s < floor) then s :: acc else acc)
+      t.missing []
+    |> List.sort Seqno.compare
+  in
+  List.iter (Hashtbl.remove t.missing) dropped;
+  dropped
+
+let pp fmt t =
+  match t.highest with
+  | None -> Format.fprintf fmt "<empty>"
+  | Some hi ->
+      Format.fprintf fmt "highest=%a missing=[%a]" Seqno.pp hi
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ";")
+           Seqno.pp)
+        (missing t)

@@ -1,0 +1,51 @@
+(** Receive-window loss bookkeeping.
+
+    A receiver feeds every arriving sequence number into a tracker; the
+    tracker reports which numbers are newly missing (a gap opened), which
+    arrivals plug earlier gaps, and which are duplicates.  This is the
+    data structure behind LBRM's gap-based loss detection (§2 of the
+    paper): detection by heartbeat silence is layered on top by the
+    receiver state machine.
+
+    Sequence numbers are {!Seqno.t} and all ordering is wrap-safe. *)
+
+type t
+
+type verdict =
+  | First  (** first packet ever seen on this flow *)
+  | In_order  (** exactly the next expected number *)
+  | Fills_gap  (** plugs a previously detected hole *)
+  | Duplicate  (** already delivered or already recorded *)
+  | Gap_opened of Seqno.t list
+      (** arrived ahead; the listed numbers are newly missing *)
+
+val create : unit -> t
+
+val note : t -> Seqno.t -> verdict
+(** Record an arrival and classify it. *)
+
+val note_exists : t -> Seqno.t -> Seqno.t list
+(** Record that the sequence number is known to have been *sent* without
+    its data having arrived here — what a heartbeat tells a receiver.
+    Returns the newly missing numbers (possibly including the argument
+    itself); empty if everything up to it was already accounted for. *)
+
+val missing : t -> Seqno.t list
+(** Currently missing numbers, ascending. *)
+
+val missing_count : t -> int
+
+val is_missing : t -> Seqno.t -> bool
+
+val highest : t -> Seqno.t option
+(** Highest sequence number seen so far, if any. *)
+
+val abandon : t -> Seqno.t -> unit
+(** Stop considering a single sequence number missing (recovery was
+    abandoned); no-op if it was not missing. *)
+
+val forget_below : t -> Seqno.t -> Seqno.t list
+(** Give up on missing numbers logically below the argument (e.g. past
+    their useful lifetime); returns the abandoned numbers. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type 'a node = {
+  prio : float;
+  seq : int; (* tie-break: FIFO among equal priorities *)
+  v : 'a;
+  mutable index : int; (* -1 when not in the heap *)
+}
+
+type 'a handle = 'a node
+
+type 'a t = {
+  mutable arr : 'a node array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+let size t = t.len
+let is_empty t = t.len = 0
+let value h = h.v
+let is_live h = h.index >= 0
+
+let less a b =
+  if a.prio < b.prio then true
+  else if a.prio > b.prio then false
+  else a.seq < b.seq
+
+let swap t i j =
+  let a = t.arr.(i) and b = t.arr.(j) in
+  t.arr.(i) <- b;
+  t.arr.(j) <- a;
+  a.index <- j;
+  b.index <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.arr.(i) t.arr.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+  if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let dummy = t.arr.(0) in
+    let arr = Array.make (Stdlib.max 8 (2 * cap)) dummy in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end
+
+let add t ~prio v =
+  let node = { prio; seq = t.next_seq; v; index = t.len } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.arr = 0 then t.arr <- Array.make 8 node;
+  grow t;
+  t.arr.(t.len) <- node;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  node
+
+let remove_at t i =
+  let node = t.arr.(i) in
+  let last = t.len - 1 in
+  if i <> last then swap t i last;
+  t.len <- last;
+  node.index <- -1;
+  if i < t.len then begin
+    sift_down t i;
+    sift_up t i
+  end;
+  node
+
+let pop t =
+  if t.len = 0 then None
+  else
+    let node = remove_at t 0 in
+    Some (node.prio, node.v)
+
+let peek t = if t.len = 0 then None else Some (t.arr.(0).prio, t.arr.(0).v)
+
+let remove t h =
+  if h.index < 0 then false
+  else begin
+    ignore (remove_at t h.index);
+    true
+  end

@@ -1,0 +1,41 @@
+(** Binary min-heap with cancellable entries.
+
+    Used as the event queue of the discrete-event simulator and for
+    protocol timer wheels.  Entries are ordered by a [float] priority
+    (typically a timestamp); ties are broken by insertion order so that
+    events scheduled for the same instant fire FIFO.  [add] returns a
+    handle that can later be passed to {!remove} for O(log n)
+    cancellation. *)
+
+type 'a t
+(** A mutable min-heap of values of type ['a]. *)
+
+type 'a handle
+(** Handle onto an entry, for cancellation. *)
+
+val create : unit -> 'a t
+(** A fresh empty heap. *)
+
+val size : 'a t -> int
+(** Number of live entries. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:float -> 'a -> 'a handle
+(** Insert a value with the given priority; returns its handle. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry, or [None] if empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The minimum-priority entry without removing it. *)
+
+val remove : 'a t -> 'a handle -> bool
+(** Cancel an entry.  Returns [false] if it was already popped or
+    removed (idempotent). *)
+
+val value : 'a handle -> 'a
+(** The value carried by a handle. *)
+
+val is_live : 'a handle -> bool
+(** Whether the handle's entry is still in the heap. *)

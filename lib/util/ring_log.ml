@@ -1,0 +1,54 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* index of oldest *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t x =
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.buf.((t.head + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1;
+    None
+  end
+  else begin
+    let evicted = t.buf.(t.head) in
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod cap;
+    evicted
+  end
+
+let nth t i =
+  (* 0 = oldest *)
+  t.buf.((t.head + i) mod capacity t)
+
+let oldest t = if t.len = 0 then None else nth t 0
+let newest t = if t.len = 0 then None else nth t (t.len - 1)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match nth t i with Some x -> f x | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let find p t =
+  let rec loop i =
+    if i >= t.len then None
+    else
+      match nth t i with
+      | Some x when p x -> Some x
+      | _ -> loop (i + 1)
+  in
+  loop 0

@@ -1,0 +1,29 @@
+(** Bounded FIFO ring buffer.
+
+    Backs the in-memory tier of the logging servers' packet store: when
+    the buffer is full, pushing evicts the oldest entry (which a logger
+    with stronger persistence needs would spill to disk — §2 of the
+    paper). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** New ring holding at most [capacity] (> 0) entries. *)
+
+val push : 'a t -> 'a -> 'a option
+(** Append; returns the evicted oldest entry when full. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+
+val oldest : 'a t -> 'a option
+val newest : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest to newest. *)
+
+val find : ('a -> bool) -> 'a t -> 'a option

@@ -1,0 +1,47 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x1bad5eed; seed lxor 0x5ca1ab1e |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let int t n = Random.State.int t n
+let float t x = Random.State.float t x
+let uniform t ~lo ~hi = lo +. Random.State.float t (hi -. lo)
+
+let bernoulli t ~p =
+  if p <= 0. then false else if p >= 1. then true else Random.State.float t 1. < p
+
+let exponential t ~mean =
+  (* Inverse-CDF; guard against log 0. *)
+  let u = 1. -. Random.State.float t 1. in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1. -. Random.State.float t 1. in
+  let u2 = Random.State.float t 1. in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let poisson t ~mean =
+  if mean <= 0. then 0
+  else if mean < 30. then begin
+    (* Knuth: multiply uniforms until the product drops below e^-mean. *)
+    let l = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. Random.State.float t 1. in
+      if p <= l then k else loop (k + 1) p
+    in
+    loop 0 1.
+  end
+  else
+    let x = gaussian t ~mu:mean ~sigma:(sqrt mean) in
+    Stdlib.max 0 (int_of_float (Float.round x))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(Random.State.int t (Array.length arr))

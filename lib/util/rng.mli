@@ -1,0 +1,44 @@
+(** Deterministic random-number streams.
+
+    Every stochastic component of the simulator and the protocol draws
+    from an explicit stream, so a whole experiment is reproducible from a
+    single integer seed.  {!split} derives an independent child stream;
+    components should each own a split rather than sharing one stream,
+    which keeps results stable when one component's draw count changes. *)
+
+type t
+(** A random stream. *)
+
+val create : seed:int -> t
+(** Fresh stream from an integer seed. *)
+
+val split : t -> t
+(** An independent child stream (consumes draws from the parent). *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [\[0, x)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw from [\[lo, hi)]. *)
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed draw.  Uses Knuth's method below mean 30 and a
+    normal approximation above, which is ample for workload generation. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal draw (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,28 @@
+type t = int
+
+let space = 1 lsl 31
+let half = space / 2
+let zero = 0
+let of_int n = ((n mod space) + space) mod space
+let succ s = (s + 1) land (space - 1)
+let add s n = of_int (s + n)
+
+(* Signed serial distance: fold the unsigned modular difference into
+   (-half, half]. *)
+let diff a b =
+  let d = of_int (a - b) in
+  if d > half then d - space else d
+
+let compare a b = Stdlib.compare (diff a b) 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if a >= b then a else b
+
+let range a b =
+  let n = diff b a in
+  if Stdlib.( <= ) n 1 then []
+  else List.init (n - 1) (fun i -> add a (i + 1))
+
+let pp fmt s = Format.fprintf fmt "#%d" s

@@ -1,0 +1,49 @@
+(** Wrap-safe sequence-number arithmetic.
+
+    LBRM packets carry a sequence number in a fixed-width field
+    ({!space} values).  Comparisons must remain correct when the counter
+    wraps, so all ordering operations use serial-number arithmetic in the
+    style of RFC 1982: two sequence numbers are comparable whenever they
+    are within half the space of each other. *)
+
+type t = int
+(** A sequence number, always in [\[0, space)]. *)
+
+val space : int
+(** Size of the sequence-number space (2{^31}). *)
+
+val zero : t
+(** The first sequence number. *)
+
+val of_int : int -> t
+(** [of_int n] is [n] reduced modulo {!space} (negative inputs wrap). *)
+
+val succ : t -> t
+(** Next sequence number, wrapping at {!space}. *)
+
+val add : t -> int -> t
+(** [add s n] advances [s] by [n] (may be negative), wrapping. *)
+
+val diff : t -> t -> int
+(** [diff a b] is the signed serial distance from [b] to [a]:
+    positive when [a] is logically after [b].  The result is in
+    [(-space/2, space/2\]]. *)
+
+val compare : t -> t -> int
+(** Serial-number comparison: [compare a b < 0] iff [a] is logically
+    before [b]. *)
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+(** Later of two sequence numbers under serial ordering. *)
+
+val range : t -> t -> t list
+(** [range a b] lists the sequence numbers strictly between [a] and [b]
+    (exclusive on both ends), in order.  Empty unless [a < b - 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer. *)

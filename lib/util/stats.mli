@@ -1,0 +1,60 @@
+(** Online statistics for experiment harnesses.
+
+    {!t} is a Welford accumulator (constant space: count, mean, variance,
+    extrema).  {!Sample} additionally retains every observation so that
+    percentiles can be reported; experiment sample counts here are small
+    enough that full retention is the simplest correct choice. *)
+
+type t
+(** Welford accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Full-retention sample set with percentile queries. *)
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile s p] for [p] in [\[0,100\]], by linear interpolation.
+      [nan] when empty. *)
+
+  val median : t -> float
+  val min : t -> float
+  val max : t -> float
+  val values : t -> float array
+  (** Snapshot of all observations (unsorted, insertion order). *)
+end
+
+(** Fixed-width histogram over [\[lo, hi)] with [bins] buckets;
+    out-of-range observations land in the edge buckets. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val total : t -> int
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,269 @@
+type error = Truncated | Bad_tag of int | Bad_value of string | Trailing of int
+
+let pp_error fmt = function
+  | Truncated -> Format.fprintf fmt "truncated input"
+  | Bad_tag t -> Format.fprintf fmt "unknown message tag %d" t
+  | Bad_value s -> Format.fprintf fmt "bad value: %s" s
+  | Trailing n -> Format.fprintf fmt "%d trailing bytes" n
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 b v = Buffer.add_uint8 b (v land 0xff)
+  let u16 b v = Buffer.add_uint16_be b (v land 0xffff)
+  let u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+  let f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+  let bytes b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let create src = { src; pos = 0 }
+  let remaining t = String.length t.src - t.pos
+
+  let take t n f =
+    if remaining t < n then Error Truncated
+    else begin
+      let v = f t.src t.pos in
+      t.pos <- t.pos + n;
+      Ok v
+    end
+
+  let u8 t = take t 1 String.get_uint8
+  let u16 t = take t 2 String.get_uint16_be
+
+  let u32 t =
+    take t 4 (fun s p -> Int32.to_int (String.get_int32_be s p) land 0xffffffff)
+
+  let f64 t = take t 8 (fun s p -> Int64.float_of_bits (String.get_int64_be s p))
+
+  let bytes t =
+    match u32 t with
+    | Error _ as e -> e
+    | Ok n ->
+        if remaining t < n then Error Truncated
+        else begin
+          let v = String.sub t.src t.pos n in
+          t.pos <- t.pos + n;
+          Ok v
+        end
+end
+
+(* Message tags; order is part of the wire format, append only. *)
+let tag_of = function
+  | Message.Data _ -> 0
+  | Heartbeat _ -> 1
+  | Nack _ -> 2
+  | Retrans _ -> 3
+  | Log_deposit _ -> 4
+  | Log_ack _ -> 5
+  | Replica_update _ -> 6
+  | Replica_ack _ -> 7
+  | Acker_select _ -> 8
+  | Acker_reply _ -> 9
+  | Stat_ack _ -> 10
+  | Probe _ -> 11
+  | Probe_reply _ -> 12
+  | Discovery_query _ -> 13
+  | Discovery_reply _ -> 14
+  | Who_is_primary -> 15
+  | Primary_is _ -> 16
+  | Replica_query -> 17
+  | Replica_status _ -> 18
+  | Promote _ -> 19
+
+let encode (m : Message.t) =
+  let w = Writer.create () in
+  Writer.u8 w (tag_of m);
+  (match m with
+  | Data { seq; epoch; payload } ->
+      Writer.u32 w seq;
+      Writer.u32 w epoch;
+      Writer.bytes w payload
+  | Heartbeat { seq; hb_index; epoch; payload } -> (
+      Writer.u32 w seq;
+      Writer.u32 w hb_index;
+      Writer.u32 w epoch;
+      match payload with
+      | None -> Writer.u8 w 0
+      | Some p ->
+          Writer.u8 w 1;
+          Writer.bytes w p)
+  | Nack { seqs } ->
+      Writer.u32 w (List.length seqs);
+      List.iter (Writer.u32 w) seqs
+  | Retrans { seq; epoch; payload } ->
+      Writer.u32 w seq;
+      Writer.u32 w epoch;
+      Writer.bytes w payload
+  | Log_deposit { seq; epoch; payload } ->
+      Writer.u32 w seq;
+      Writer.u32 w epoch;
+      Writer.bytes w payload
+  | Log_ack { primary_seq; replica_seq } ->
+      Writer.u32 w primary_seq;
+      Writer.u32 w replica_seq
+  | Replica_update { seq; epoch; payload } ->
+      Writer.u32 w seq;
+      Writer.u32 w epoch;
+      Writer.bytes w payload
+  | Replica_ack { seq } -> Writer.u32 w seq
+  | Acker_select { epoch; p_ack } ->
+      Writer.u32 w epoch;
+      Writer.f64 w p_ack
+  | Acker_reply { epoch; logger } ->
+      Writer.u32 w epoch;
+      Writer.u32 w logger
+  | Stat_ack { epoch; seq; logger } ->
+      Writer.u32 w epoch;
+      Writer.u32 w seq;
+      Writer.u32 w logger
+  | Probe { round; p } ->
+      Writer.u32 w round;
+      Writer.f64 w p
+  | Probe_reply { round; logger } ->
+      Writer.u32 w round;
+      Writer.u32 w logger
+  | Discovery_query { nonce } -> Writer.u32 w nonce
+  | Discovery_reply { nonce; logger } ->
+      Writer.u32 w nonce;
+      Writer.u32 w logger
+  | Who_is_primary -> ()
+  | Primary_is { logger } -> Writer.u32 w logger
+  | Replica_query -> ()
+  | Replica_status { seq } -> Writer.u32 w seq
+  | Promote { replicas } ->
+      Writer.u32 w (List.length replicas);
+      List.iter (Writer.u32 w) replicas);
+  Writer.contents w
+
+let ( let* ) = Result.bind
+
+let decode_body tag r : (Message.t, error) result =
+  let open Reader in
+  match tag with
+  | 0 ->
+      let* seq = u32 r in
+      let* epoch = u32 r in
+      let* payload = bytes r in
+      Ok (Message.Data { seq; epoch; payload })
+  | 1 ->
+      let* seq = u32 r in
+      let* hb_index = u32 r in
+      let* epoch = u32 r in
+      let* flag = u8 r in
+      let* payload =
+        match flag with
+        | 0 -> Ok None
+        | 1 ->
+            let* p = bytes r in
+            Ok (Some p)
+        | n -> Error (Bad_value (Printf.sprintf "heartbeat payload flag %d" n))
+      in
+      Ok (Message.Heartbeat { seq; hb_index; epoch; payload })
+  | 2 ->
+      let* n = u32 r in
+      if n > 65536 then Error (Bad_value "nack list too long")
+      else
+        let rec loop acc i =
+          if i = 0 then Ok (List.rev acc)
+          else
+            let* s = u32 r in
+            loop (s :: acc) (i - 1)
+        in
+        let* seqs = loop [] n in
+        Ok (Message.Nack { seqs })
+  | 3 ->
+      let* seq = u32 r in
+      let* epoch = u32 r in
+      let* payload = bytes r in
+      Ok (Message.Retrans { seq; epoch; payload })
+  | 4 ->
+      let* seq = u32 r in
+      let* epoch = u32 r in
+      let* payload = bytes r in
+      Ok (Message.Log_deposit { seq; epoch; payload })
+  | 5 ->
+      let* primary_seq = u32 r in
+      let* replica_seq = u32 r in
+      Ok (Message.Log_ack { primary_seq; replica_seq })
+  | 6 ->
+      let* seq = u32 r in
+      let* epoch = u32 r in
+      let* payload = bytes r in
+      Ok (Message.Replica_update { seq; epoch; payload })
+  | 7 ->
+      let* seq = u32 r in
+      Ok (Message.Replica_ack { seq })
+  | 8 ->
+      let* epoch = u32 r in
+      let* p_ack = f64 r in
+      if p_ack < 0. || p_ack > 1. || Float.is_nan p_ack then
+        Error (Bad_value "p_ack out of [0,1]")
+      else Ok (Message.Acker_select { epoch; p_ack })
+  | 9 ->
+      let* epoch = u32 r in
+      let* logger = u32 r in
+      Ok (Message.Acker_reply { epoch; logger })
+  | 10 ->
+      let* epoch = u32 r in
+      let* seq = u32 r in
+      let* logger = u32 r in
+      Ok (Message.Stat_ack { epoch; seq; logger })
+  | 11 ->
+      let* round = u32 r in
+      let* p = f64 r in
+      if p < 0. || p > 1. || Float.is_nan p then
+        Error (Bad_value "probe p out of [0,1]")
+      else Ok (Message.Probe { round; p })
+  | 12 ->
+      let* round = u32 r in
+      let* logger = u32 r in
+      Ok (Message.Probe_reply { round; logger })
+  | 13 ->
+      let* nonce = u32 r in
+      Ok (Message.Discovery_query { nonce })
+  | 14 ->
+      let* nonce = u32 r in
+      let* logger = u32 r in
+      Ok (Message.Discovery_reply { nonce; logger })
+  | 15 -> Ok Message.Who_is_primary
+  | 16 ->
+      let* logger = u32 r in
+      Ok (Message.Primary_is { logger })
+  | 17 -> Ok Message.Replica_query
+  | 18 ->
+      let* seq = u32 r in
+      Ok (Message.Replica_status { seq })
+  | 19 ->
+      let* n = u32 r in
+      if n > 1024 then Error (Bad_value "replica list too long")
+      else
+        let rec loop acc i =
+          if i = 0 then Ok (List.rev acc)
+          else
+            let* a = u32 r in
+            loop (a :: acc) (i - 1)
+        in
+        let* replicas = loop [] n in
+        Ok (Message.Promote { replicas })
+  | t -> Error (Bad_tag t)
+
+let decode s =
+  let r = Reader.create s in
+  let* tag = Reader.u8 r in
+  let* msg = decode_body tag r in
+  match Reader.remaining r with 0 -> Ok msg | n -> Error (Trailing n)
+
+let roundtrip_size_matches m =
+  String.length (encode m) + Message.header_overhead = Message.wire_size m

@@ -1,0 +1,56 @@
+(** Binary encoding of {!Message.t}.
+
+    Big-endian, length-delimited fields; a one-byte tag selects the
+    variant.  Decoding is total: malformed input yields an {!error}
+    rather than an exception.  The {!Writer}/{!Reader} primitives are
+    exposed for application payloads (the DIS PDUs reuse them). *)
+
+type error =
+  | Truncated  (** input ended mid-field *)
+  | Bad_tag of int  (** unknown message tag *)
+  | Bad_value of string  (** field failed validation *)
+  | Trailing of int  (** bytes left over after a full message *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val encode : Message.t -> string
+(** Serialize one message. *)
+
+val decode : string -> (Message.t, error) result
+(** Parse exactly one message; leftover bytes are an error. *)
+
+val roundtrip_size_matches : Message.t -> bool
+(** Whether [String.length (encode m) + header = Message.wire_size m] —
+    the invariant the size model relies on; exercised by tests. *)
+
+(** Append-only big-endian serializer. *)
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val f64 : t -> float -> unit
+  val bytes : t -> string -> unit
+  (** u32 length prefix followed by the raw bytes. *)
+
+  val raw : t -> string -> unit
+  (** Raw bytes, no prefix. *)
+
+  val contents : t -> string
+end
+
+(** Positional big-endian parser over a string. *)
+module Reader : sig
+  type t
+
+  val create : string -> t
+  val u8 : t -> (int, error) result
+  val u16 : t -> (int, error) result
+  val u32 : t -> (int, error) result
+  val f64 : t -> (float, error) result
+  val bytes : t -> (string, error) result
+  val remaining : t -> int
+end

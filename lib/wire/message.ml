@@ -1,0 +1,98 @@
+type seq = Lbrm_util.Seqno.t
+
+let pp_seq = Lbrm_util.Seqno.pp
+let equal_seq : seq -> seq -> bool = Int.equal
+let _ = pp_seq
+
+type address = int [@@deriving show, eq]
+
+type t =
+  | Data of { seq : seq; epoch : int; payload : string }
+  | Heartbeat of {
+      seq : seq;
+      hb_index : int;
+      epoch : int;
+      payload : string option;
+    }
+  | Nack of { seqs : seq list }
+  | Retrans of { seq : seq; epoch : int; payload : string }
+  | Log_deposit of { seq : seq; epoch : int; payload : string }
+  | Log_ack of { primary_seq : seq; replica_seq : seq }
+  | Replica_update of { seq : seq; epoch : int; payload : string }
+  | Replica_ack of { seq : seq }
+  | Acker_select of { epoch : int; p_ack : float }
+  | Acker_reply of { epoch : int; logger : address }
+  | Stat_ack of { epoch : int; seq : seq; logger : address }
+  | Probe of { round : int; p : float }
+  | Probe_reply of { round : int; logger : address }
+  | Discovery_query of { nonce : int }
+  | Discovery_reply of { nonce : int; logger : address }
+  | Who_is_primary
+  | Primary_is of { logger : address }
+  | Replica_query
+  | Replica_status of { seq : seq }
+  | Promote of { replicas : address list }
+[@@deriving show, eq]
+
+let header_overhead = 28
+
+(* Body sizes must match Codec exactly; Codec's round-trip tests assert
+   this.  Field widths: tag 1, ints 4, seqs 4, floats 8, string
+   length-prefix 4, option flag 1. *)
+let body_size = function
+  | Data { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Heartbeat { payload; _ } -> (
+      1 + 4 + 4 + 4 + 1
+      + match payload with None -> 0 | Some p -> 4 + String.length p)
+  | Nack { seqs } -> 1 + 4 + (4 * List.length seqs)
+  | Retrans { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Log_deposit { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Log_ack _ -> 1 + 4 + 4
+  | Replica_update { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Replica_ack _ -> 1 + 4
+  | Acker_select _ -> 1 + 4 + 8
+  | Acker_reply _ -> 1 + 4 + 4
+  | Stat_ack _ -> 1 + 4 + 4 + 4
+  | Probe _ -> 1 + 4 + 8
+  | Probe_reply _ -> 1 + 4 + 4
+  | Discovery_query _ -> 1 + 4
+  | Discovery_reply _ -> 1 + 4 + 4
+  | Who_is_primary -> 1
+  | Primary_is _ -> 1 + 4
+  | Replica_query -> 1
+  | Replica_status _ -> 1 + 4
+  | Promote { replicas } -> 1 + 4 + (4 * List.length replicas)
+
+let wire_size m = header_overhead + body_size m
+
+let kind = function
+  | Data _ -> "data"
+  | Heartbeat _ -> "heartbeat"
+  | Nack _ -> "nack"
+  | Retrans _ -> "retrans"
+  | Log_deposit _ -> "log_deposit"
+  | Log_ack _ -> "log_ack"
+  | Replica_update _ -> "replica_update"
+  | Replica_ack _ -> "replica_ack"
+  | Acker_select _ -> "acker_select"
+  | Acker_reply _ -> "acker_reply"
+  | Stat_ack _ -> "stat_ack"
+  | Probe _ -> "probe"
+  | Probe_reply _ -> "probe_reply"
+  | Discovery_query _ -> "discovery_query"
+  | Discovery_reply _ -> "discovery_reply"
+  | Who_is_primary -> "who_is_primary"
+  | Primary_is _ -> "primary_is"
+  | Replica_query -> "replica_query"
+  | Replica_status _ -> "replica_status"
+  | Promote _ -> "promote"
+
+let is_control = function
+  | Data _ | Retrans _ -> false
+  | Heartbeat { payload = Some _; _ } -> false
+  | Heartbeat { payload = None; _ } -> true
+  | Nack _ | Log_deposit _ | Log_ack _ | Replica_update _ | Replica_ack _
+  | Acker_select _ | Acker_reply _ | Stat_ack _ | Probe _ | Probe_reply _
+  | Discovery_query _ | Discovery_reply _ | Who_is_primary | Primary_is _
+  | Replica_query | Replica_status _ | Promote _ ->
+      true

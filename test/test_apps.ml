@@ -1,0 +1,261 @@
+(* Application-layer tests: Appendix A WWW invalidation, stock quotes,
+   file caching, factory monitoring. *)
+
+module Www = Lbrm_apps.Www
+module Quotes = Lbrm_apps.Quotes
+module File_cache = Lbrm_apps.File_cache
+module Factory = Lbrm_apps.Factory
+module Rng = Lbrm_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- WWW Appendix A text protocol ---- *)
+
+let www_line_exact_syntax () =
+  (* The appendix's literal examples. *)
+  Alcotest.check Alcotest.string "update line"
+    "TRANS:17.0:UPDATE:http://www-DSG.Stanford.EDU/groupMembers.html"
+    (Www.Line.to_string
+       (Www.Line.Update
+          {
+            seq = 17;
+            hb = 0;
+            url = "http://www-DSG.Stanford.EDU/groupMembers.html";
+            retrans = false;
+          }));
+  Alcotest.check Alcotest.string "heartbeat line" "TRANS:17.12:HEARTBEAT"
+    (Www.Line.to_string (Www.Line.Heartbeat { seq = 17; hb = 12 }));
+  Alcotest.check Alcotest.string "retrans line"
+    "RETRANS:17.0:UPDATE:http://x/y.html"
+    (Www.Line.to_string
+       (Www.Line.Update { seq = 17; hb = 0; url = "http://x/y.html"; retrans = true }))
+
+let www_line_parse () =
+  (match Www.Line.of_string "TRANS:17.12:HEARTBEAT" with
+  | Ok (Www.Line.Heartbeat { seq = 17; hb = 12 }) -> ()
+  | _ -> Alcotest.fail "heartbeat parse");
+  (match Www.Line.of_string "TRANS:3.0:UPDATE:http://a/b:8080/c.html" with
+  | Ok (Www.Line.Update { seq = 3; hb = 0; url; retrans = false }) ->
+      Alcotest.check Alcotest.string "url with colon" "http://a/b:8080/c.html" url
+  | _ -> Alcotest.fail "update parse");
+  List.iter
+    (fun bad ->
+      checkb bad true (Result.is_error (Www.Line.of_string bad)))
+    [
+      "";
+      "TRANS";
+      "TRANS:x.y:UPDATE:u";
+      "NOPE:1.0:UPDATE:u";
+      "TRANS:1.0:FROB:u";
+      "TRANS:1.0:UPDATE:";
+      "RETRANS:1.0:HEARTBEAT";
+      "TRANS:-1.0:UPDATE:u";
+    ]
+
+let www_multicast_comment () =
+  Alcotest.check
+    (Alcotest.option (Alcotest.pair (Alcotest.pair Alcotest.int Alcotest.int)
+                        (Alcotest.pair Alcotest.int Alcotest.int)))
+    "appendix example"
+    (Some ((234, 12), (29, 72)))
+    (Option.map
+       (fun (a, b, c, d) -> ((a, b), (c, d)))
+       (Www.Line.multicast_comment "<!MULTICAST.234.12.29.72.>"));
+  checkb "roundtrip" true
+    (Www.Line.multicast_comment (Www.Line.make_multicast_comment (224, 0, 0, 9))
+    = Some (224, 0, 0, 9));
+  checkb "garbage" true (Www.Line.multicast_comment "<!MULTICAST.1.2.3.>" = None);
+  checkb "out of range" true
+    (Www.Line.multicast_comment "<!MULTICAST.256.1.2.3.>" = None);
+  checkb "not a comment" true (Www.Line.multicast_comment "<html>" = None)
+
+let www_server_client_flow () =
+  let server = Www.Server.create () in
+  let client = Www.Client.create () in
+  Www.Server.publish server ~url:"http://s/page.html" ~content:"v1";
+  Www.Client.cache client ~url:"http://s/page.html" ~content:"v1";
+  checkb "fresh" false (Www.Client.needs_reload client ~url:"http://s/page.html");
+  (* Server modifies; the payload rides LBRM; client flags the page. *)
+  let payload = Www.Server.modify server ~url:"http://s/page.html" ~content:"v2" in
+  (match Www.Client.on_payload client payload with
+  | Ok (Www.Line.Update { url = "http://s/page.html"; _ }) -> ()
+  | _ -> Alcotest.fail "expected update line");
+  checkb "RELOAD highlighted" true
+    (Www.Client.needs_reload client ~url:"http://s/page.html");
+  Alcotest.check (Alcotest.list Alcotest.string) "flag list"
+    [ "http://s/page.html" ] (Www.Client.flagged client);
+  (* User reloads from the server. *)
+  Www.Client.reload client ~url:"http://s/page.html"
+    ~content:(Option.get (Www.Server.content server ~url:"http://s/page.html"));
+  checkb "flag cleared" false
+    (Www.Client.needs_reload client ~url:"http://s/page.html");
+  Alcotest.check (Alcotest.option Alcotest.string) "content" (Some "v2")
+    (Www.Client.cached client ~url:"http://s/page.html");
+  checki "server version" 2 (Www.Server.version server ~url:"http://s/page.html")
+
+let www_auto_dissemination () =
+  (* 4.3's extension: the update carries the new document; the cache
+     refreshes in place without flagging RELOAD. *)
+  let server = Www.Server.create () in
+  let client = Www.Client.create () in
+  Www.Server.publish server ~url:"http://s/p.html" ~content:"v1";
+  Www.Client.cache client ~url:"http://s/p.html" ~content:"v1";
+  let payload =
+    Www.Server.modify_with_content server ~url:"http://s/p.html" ~content:"v2"
+  in
+  (match Www.Client.on_payload client payload with
+  | Ok (Www.Line.Update _) -> ()
+  | _ -> Alcotest.fail "expected update line");
+  checkb "no reload needed" false
+    (Www.Client.needs_reload client ~url:"http://s/p.html");
+  Alcotest.check (Alcotest.option Alcotest.string) "content refreshed"
+    (Some "v2")
+    (Www.Client.cached client ~url:"http://s/p.html")
+
+let www_uncached_update_ignored () =
+  let client = Www.Client.create () in
+  (match Www.Client.on_payload client "TRANS:1.0:UPDATE:http://s/other.html" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check (Alcotest.list Alcotest.string) "nothing flagged" []
+    (Www.Client.flagged client)
+
+let prop_www_line_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"www: line roundtrips"
+    QCheck.(
+      triple (int_range 0 1000000) (int_range 0 10000)
+        (string_gen_of_size Gen.(1 -- 60) (Gen.char_range 'a' 'z')))
+    (fun (seq, hb, path) ->
+      let url = "http://host/" ^ path in
+      let line = Www.Line.Update { seq; hb; url; retrans = hb mod 2 = 0 } in
+      match Www.Line.of_string (Www.Line.to_string line) with
+      | Ok line' -> Www.Line.equal line line'
+      | Error _ -> false)
+
+(* ---- Quotes ---- *)
+
+let quotes_roundtrip_and_cache () =
+  let q = { Quotes.symbol = "ACME"; price = 101.25; timestamp = 3. } in
+  (match Quotes.decode (Quotes.encode q) with
+  | Ok q' -> checkb "roundtrip" true (Quotes.equal q q')
+  | Error _ -> Alcotest.fail "decode");
+  let term = Quotes.Terminal.create () in
+  ignore (Quotes.Terminal.on_payload term (Quotes.encode q));
+  (* A late repair carrying an older price is dropped. *)
+  let old = { q with Quotes.price = 99.; timestamp = 1. } in
+  ignore (Quotes.Terminal.on_payload term (Quotes.encode old));
+  (match Quotes.Terminal.quote term "ACME" with
+  | Some got -> checkb "kept newer" true (Quotes.equal got q)
+  | None -> Alcotest.fail "no quote");
+  checki "applied" 1 (Quotes.Terminal.updates_applied term);
+  checki "dropped" 1 (Quotes.Terminal.superseded_dropped term)
+
+let quotes_exchange_walk () =
+  let rng = Rng.create ~seed:14 in
+  let ex = Quotes.Exchange.create ~rng ~symbols:[ "A"; "B" ] in
+  for i = 1 to 100 do
+    let q = Quotes.Exchange.tick ex ~now:(float_of_int i) in
+    checkb "positive price" true (q.Quotes.price > 0.);
+    checkb "known symbol" true (List.mem q.Quotes.symbol [ "A"; "B" ])
+  done;
+  checkb "prices tracked" true
+    (Quotes.Exchange.price ex "A" <> None && Quotes.Exchange.price ex "B" <> None)
+
+(* ---- File cache ---- *)
+
+let file_cache_invalidation () =
+  let c = File_cache.Client.create ~lease_period:30. in
+  File_cache.Client.insert c ~path:"/etc/motd" ~data:"hello";
+  File_cache.Client.insert c ~path:"/etc/hosts" ~data:"hosts";
+  checki "two files" 2 (File_cache.Client.size c);
+  (match File_cache.Client.on_payload c (File_cache.invalidation ~path:"/etc/motd") with
+  | Ok "/etc/motd" -> ()
+  | _ -> Alcotest.fail "invalidation parse");
+  checkb "evicted" true (File_cache.Client.lookup c ~path:"/etc/motd" = None);
+  checkb "other survives" true (File_cache.Client.lookup c ~path:"/etc/hosts" <> None);
+  checkb "junk rejected" true
+    (Result.is_error (File_cache.Client.on_payload c "BOGUS"))
+
+let file_cache_lease_silence () =
+  let c = File_cache.Client.create ~lease_period:30. in
+  File_cache.Client.insert c ~path:"/a" ~data:"a";
+  checkb "short silence ok" false (File_cache.Client.on_silence c ~elapsed:10.);
+  checki "still cached" 1 (File_cache.Client.size c);
+  checkb "long silence drops all" true (File_cache.Client.on_silence c ~elapsed:31.);
+  checki "empty" 0 (File_cache.Client.size c);
+  checki "counted" 1 (File_cache.Client.full_invalidations c)
+
+(* ---- Factory ---- *)
+
+let factory_monitor_log () =
+  let rng = Rng.create ~seed:15 in
+  let s1 = Factory.Sensor.create ~rng ~id:1 () in
+  let s2 = Factory.Sensor.create ~rng ~id:2 () in
+  let mon = Factory.Monitor.create () in
+  for i = 1 to 10 do
+    let now = float_of_int i in
+    ignore (Factory.Monitor.on_payload mon (Factory.encode (Factory.Sensor.sample s1 ~now)));
+    ignore (Factory.Monitor.on_payload mon (Factory.encode (Factory.Sensor.sample s2 ~now)))
+  done;
+  checki "all readings" 20 (Factory.Monitor.count mon);
+  checki "per sensor" 10 (List.length (Factory.Monitor.readings mon ~sensor:1));
+  (match Factory.Monitor.latest mon ~sensor:2 with
+  | Some r -> checkb "latest timestamp" true (Float.equal r.Factory.timestamp 10.)
+  | None -> Alcotest.fail "no latest");
+  (* Ordered even if fed out of order (recovered packets arrive late). *)
+  let mon2 = Factory.Monitor.create () in
+  List.iter
+    (fun ts ->
+      ignore
+        (Factory.Monitor.on_payload mon2
+           (Factory.encode { Factory.sensor = 7; value = ts; timestamp = ts })))
+    [ 3.; 1.; 2. ];
+  let ordered = Factory.Monitor.readings mon2 ~sensor:7 in
+  Alcotest.check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "sorted by time" [ 1.; 2.; 3. ]
+    (List.map (fun r -> r.Factory.timestamp) ordered)
+
+let prop_factory_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"factory: reading roundtrips"
+    QCheck.(triple (int_range 0 100000) (float_bound_inclusive 1e6) (float_bound_inclusive 1e6))
+    (fun (sensor, value, timestamp) ->
+      let r = { Factory.sensor; value; timestamp } in
+      match Factory.decode (Factory.encode r) with
+      | Ok r' -> Factory.equal r r'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "www",
+        [
+          Alcotest.test_case "appendix line syntax" `Quick www_line_exact_syntax;
+          Alcotest.test_case "line parsing" `Quick www_line_parse;
+          Alcotest.test_case "multicast comment" `Quick www_multicast_comment;
+          Alcotest.test_case "server/client flow" `Quick www_server_client_flow;
+          Alcotest.test_case "uncached update ignored" `Quick
+            www_uncached_update_ignored;
+          Alcotest.test_case "auto-dissemination extension" `Quick
+            www_auto_dissemination;
+          qtest prop_www_line_roundtrip;
+        ] );
+      ( "quotes",
+        [
+          Alcotest.test_case "roundtrip and supersession" `Quick
+            quotes_roundtrip_and_cache;
+          Alcotest.test_case "exchange walk" `Quick quotes_exchange_walk;
+        ] );
+      ( "file_cache",
+        [
+          Alcotest.test_case "invalidation" `Quick file_cache_invalidation;
+          Alcotest.test_case "lease-style silence" `Quick file_cache_lease_silence;
+        ] );
+      ( "factory",
+        [
+          Alcotest.test_case "monitor log" `Quick factory_monitor_log;
+          qtest prop_factory_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* The runtime layer itself: action execution semantics (timer re-arm,
+   cancellation, Join/Leave), handler combination, and the canonical
+   deployments' bookkeeping. *)
+
+module Sim_runtime = Lbrm_run.Sim_runtime
+module Handlers = Lbrm_run.Handlers
+module Scenario = Lbrm_run.Scenario
+module Engine = Lbrm_sim.Engine
+module Net = Lbrm_sim.Net
+module Builders = Lbrm_sim.Builders
+module Trace = Lbrm_sim.Trace
+module Message = Lbrm_wire.Message
+module Io = Lbrm.Io
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let mk_runtime () =
+  let topo, _, hosts = Builders.lan ~hosts:3 () in
+  let engine = Engine.create ~seed:71 () in
+  let net = Net.create ~engine ~topo ~size_of:Message.wire_size () in
+  let trace = Trace.create () in
+  (Sim_runtime.create ~net ~trace, hosts)
+
+let null_handlers ?(on_timer = fun ~now:_ _ -> []) () =
+  {
+    Handlers.on_message = (fun ~now:_ ~src:_ _ -> []);
+    on_timer;
+    on_deliver = None;
+    on_notice = None;
+  }
+
+let timer_rearm_semantics () =
+  let rt, hosts = mk_runtime () in
+  let fired = ref [] in
+  let on_timer ~now key =
+    fired := (now, key) :: !fired;
+    []
+  in
+  Sim_runtime.add_agent rt ~node:hosts.(0) (null_handlers ~on_timer ());
+  Sim_runtime.perform rt ~node:hosts.(0)
+    [
+      Io.Set_timer (Io.K_app "x", 1.0);
+      Io.Set_timer (Io.K_app "x", 2.0) (* re-arm replaces *);
+      Io.Set_timer (Io.K_app "y", 0.5);
+      Io.Cancel_timer (Io.K_app "y");
+    ];
+  Sim_runtime.run rt;
+  (match List.rev !fired with
+  | [ (at, Io.K_app "x") ] -> checkf 1e-9 "re-armed deadline" 2.0 at
+  | _ -> Alcotest.fail "expected exactly one firing of x");
+  checkb "cancelled never fired" true
+    (not (List.exists (fun (_, k) -> k = Io.K_app "y") !fired))
+
+let join_leave_actions () =
+  let rt, hosts = mk_runtime () in
+  let got = ref 0 in
+  Sim_runtime.add_agent rt ~node:hosts.(0) (null_handlers ());
+  Sim_runtime.add_agent rt ~node:hosts.(1)
+    {
+      (null_handlers ()) with
+      Handlers.on_message = (fun ~now:_ ~src:_ _ -> incr got; []);
+    };
+  (* Agent 1 joins group 5 via an action, gets one multicast, leaves,
+     misses the second. *)
+  Sim_runtime.perform rt ~node:hosts.(1) [ Io.Join 5 ];
+  Sim_runtime.perform rt ~node:hosts.(0)
+    [ Io.Send (Io.To_group { group = 5; ttl = None }, Message.Who_is_primary) ];
+  Sim_runtime.run rt;
+  checki "received while joined" 1 !got;
+  Sim_runtime.perform rt ~node:hosts.(1) [ Io.Leave 5 ];
+  Sim_runtime.perform rt ~node:hosts.(0)
+    [ Io.Send (Io.To_group { group = 5; ttl = None }, Message.Who_is_primary) ];
+  Sim_runtime.run rt;
+  checki "not received after leaving" 1 !got
+
+let combined_handlers_merge () =
+  let calls = ref [] in
+  let mk tag =
+    {
+      Handlers.on_message =
+        (fun ~now:_ ~src:_ _ ->
+          calls := (tag ^ ".msg") :: !calls;
+          []);
+      on_timer =
+        (fun ~now:_ _ ->
+          calls := (tag ^ ".timer") :: !calls;
+          []);
+      on_deliver =
+        Some
+          (fun ~now:_ ~seq:_ ~payload:_ ~recovered:_ ->
+            calls := (tag ^ ".deliver") :: !calls);
+      on_notice =
+        Some (fun ~now:_ _ -> calls := (tag ^ ".notice") :: !calls);
+    }
+  in
+  let h = Handlers.combine (mk "a") (mk "b") in
+  ignore (h.Handlers.on_message ~now:0. ~src:1 Message.Who_is_primary);
+  ignore (h.Handlers.on_timer ~now:0. (Io.K_app "t"));
+  (Option.get h.Handlers.on_deliver) ~now:0. ~seq:1 ~payload:"" ~recovered:false;
+  (Option.get h.Handlers.on_notice) ~now:0. (Io.N_silence 1.);
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "both sides saw every event"
+    [ "a.msg"; "b.msg"; "a.timer"; "b.timer"; "a.deliver"; "b.deliver";
+      "a.notice"; "b.notice" ]
+    (List.rev !calls)
+
+let trace_records_sends_and_deliveries () =
+  let rt, hosts = mk_runtime () in
+  Sim_runtime.add_agent rt ~node:hosts.(0) (null_handlers ());
+  Sim_runtime.add_agent rt ~node:hosts.(1) (null_handlers ());
+  Sim_runtime.perform rt ~node:hosts.(0)
+    [
+      Io.Send (Io.To_addr hosts.(1), Message.Nack { seqs = [ 1 ] });
+      Io.Deliver { seq = 1; payload = "x"; recovered = true };
+      Io.Notify (Io.N_gap [ 1; 2 ]);
+    ];
+  Sim_runtime.run rt;
+  let trace = Sim_runtime.trace rt in
+  checki "send counted by kind" 1 (Trace.get trace "sent.nack");
+  checki "receive counted" 1 (Trace.get trace "recv.nack");
+  checki "delivery counted" 1 (Trace.get trace "app.delivered");
+  checki "recovered counted" 1 (Trace.get trace "app.recovered");
+  checki "gap notice counted" 2 (Trace.get trace "loss.gaps")
+
+let scenario_bookkeeping () =
+  let d =
+    Scenario.standard ~cfg:{ Lbrm.Config.default with stat_ack_enabled = false }
+      ~sites:2 ~receivers_per_site:3 ()
+  in
+  checki "secondaries per site" 2 (Array.length d.secondaries);
+  checki "receivers total" 6 (Array.length d.receivers);
+  checki "site 1 receivers" 3 (List.length (Scenario.site_receivers d ~site:1));
+  checkb "payload generator honours size" true
+    (String.length (Scenario.payload_of_size 128 7) = 128);
+  Scenario.drive_periodic d ~interval:1. ~count:3 ();
+  Scenario.run d ~until:10.;
+  checkb "delivered_everywhere tracks" true (Scenario.delivered_everywhere d 3);
+  checkb "unknown seq not everywhere" false (Scenario.delivered_everywhere d 9)
+
+let () =
+  Alcotest.run "run"
+    [
+      ( "sim-runtime",
+        [
+          Alcotest.test_case "timer re-arm and cancel" `Quick
+            timer_rearm_semantics;
+          Alcotest.test_case "join/leave actions" `Quick join_leave_actions;
+          Alcotest.test_case "trace records activity" `Quick
+            trace_records_sends_and_deliveries;
+        ] );
+      ( "handlers",
+        [ Alcotest.test_case "combine merges" `Quick combined_handlers_merge ] );
+      ( "scenario",
+        [ Alcotest.test_case "bookkeeping" `Quick scenario_bookkeeping ] );
+    ]

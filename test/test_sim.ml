@@ -1,0 +1,425 @@
+(* Tests for the discrete-event network simulator. *)
+
+module Engine = Lbrm_sim.Engine
+module Loss = Lbrm_sim.Loss
+module Topo = Lbrm_sim.Topo
+module Route = Lbrm_sim.Route
+module Net = Lbrm_sim.Net
+module Builders = Lbrm_sim.Builders
+module Trace = Lbrm_sim.Trace
+module Rng = Lbrm_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Engine ---- *)
+
+let engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2. (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log));
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.int) "in time order" [ 1; 2; 3 ]
+    (List.rev !log);
+  checkf 1e-9 "clock at last event" 3. (Engine.now e)
+
+let engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule e ~delay:1. (fun () -> fired := true) in
+  Engine.cancel e timer;
+  Engine.run e;
+  checkb "cancelled" false !fired;
+  checkb "not pending" false (Engine.is_pending timer)
+
+let engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~period:1. (fun () -> incr count);
+  Engine.run ~until:5.5 e;
+  checki "five ticks" 5 !count;
+  checkf 1e-9 "clock parked at until" 5.5 (Engine.now e);
+  Engine.run ~until:7.5 e;
+  checki "two more" 7 !count
+
+let engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~delay:0.5 (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ]
+    (List.rev !log);
+  checki "2 events" 2 (Engine.events_processed e)
+
+(* ---- Loss models ---- *)
+
+let loss_bernoulli_rate () =
+  let rng = Rng.create ~seed:4 in
+  let model = Loss.bernoulli 0.3 in
+  let drops = ref 0 in
+  let n = 50000 in
+  for i = 1 to n do
+    if Loss.drops model ~rng ~now:(float_of_int i) then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  checkb (Printf.sprintf "rate %.3f near 0.3" rate) true
+    (Float.abs (rate -. 0.3) < 0.02)
+
+let loss_burst_windows () =
+  let rng = Rng.create ~seed:5 in
+  let model = Loss.burst_windows [ (1., 2.); (5., 6.) ] in
+  checkb "before" false (Loss.drops model ~rng ~now:0.5);
+  checkb "inside first" true (Loss.drops model ~rng ~now:1.5);
+  checkb "between" false (Loss.drops model ~rng ~now:3.);
+  checkb "inside second" true (Loss.drops model ~rng ~now:5.5);
+  checkb "after" false (Loss.drops model ~rng ~now:10.);
+  checkb "boundary start inclusive" true (Loss.drops model ~rng ~now:1.0);
+  checkb "boundary stop exclusive" false (Loss.drops model ~rng ~now:2.0)
+
+let loss_gilbert_burstiness () =
+  let rng = Rng.create ~seed:6 in
+  let model = Loss.gilbert ~mean_good:10. ~mean_bad:1. () in
+  (* Sample a long trace at 10 Hz: loss rate should be near the bad-state
+     fraction 1/11, and losses should cluster (many consecutive). *)
+  let drops = ref 0 and runs = ref 0 and in_run = ref false in
+  let n = 200000 in
+  for i = 1 to n do
+    let lost = Loss.drops model ~rng ~now:(float_of_int i /. 10.) in
+    if lost then begin
+      incr drops;
+      if not !in_run then incr runs
+    end;
+    in_run := lost
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  checkb (Printf.sprintf "rate %.3f near 1/11" rate) true
+    (Float.abs (rate -. (1. /. 11.)) < 0.02);
+  (* Clustering: mean run length about mean_bad * 10 samples. *)
+  let mean_run = float_of_int !drops /. float_of_int (Stdlib.max 1 !runs) in
+  checkb (Printf.sprintf "bursty (mean run %.1f)" mean_run) true (mean_run > 3.)
+
+let loss_combine () =
+  let rng = Rng.create ~seed:7 in
+  let model = Loss.combine [ Loss.none; Loss.burst_windows [ (0., 1.) ] ] in
+  checkb "any component drops" true (Loss.drops model ~rng ~now:0.5);
+  checkb "none drop" false (Loss.drops model ~rng ~now:2.)
+
+(* ---- Links ---- *)
+
+let link_serialization () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host and b = Topo.add_node topo Host in
+  (* 1 Mbit/s, 10 ms propagation: a 1250-byte packet serializes in 10 ms. *)
+  let l = Topo.add_link topo ~bandwidth:1e6 ~delay:0.01 ~src:a ~dst:b () in
+  let rng = Rng.create ~seed:8 in
+  (match Topo.transmit_decision l ~rng ~now:0. ~size:1250 with
+  | Topo.Deliver at -> checkf 1e-9 "tx + prop" 0.02 at
+  | _ -> Alcotest.fail "dropped");
+  (* Second packet queues behind the first. *)
+  (match Topo.transmit_decision l ~rng ~now:0. ~size:1250 with
+  | Topo.Deliver at -> checkf 1e-9 "queued behind" 0.03 at
+  | _ -> Alcotest.fail "dropped");
+  checki "delivered counter" 2 (Topo.packets_delivered l);
+  checki "bytes" 2500 (Topo.bytes_delivered l)
+
+let link_queue_overflow () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host and b = Topo.add_node topo Host in
+  let l =
+    Topo.add_link topo ~bandwidth:1e6 ~delay:0.01 ~queue:2 ~src:a ~dst:b ()
+  in
+  let rng = Rng.create ~seed:9 in
+  let outcomes =
+    List.init 5 (fun _ -> Topo.transmit_decision l ~rng ~now:0. ~size:1250)
+  in
+  let drops =
+    List.length
+      (List.filter (function Topo.Dropped_queue -> true | _ -> false) outcomes)
+  in
+  checkb "some queue drops" true (drops >= 2);
+  checki "counter matches" drops (Topo.drops_queue l)
+
+let link_infinite_bandwidth () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host and b = Topo.add_node topo Host in
+  let l = Topo.add_link topo ~delay:0.005 ~src:a ~dst:b () in
+  let rng = Rng.create ~seed:10 in
+  match Topo.transmit_decision l ~rng ~now:1. ~size:1000000 with
+  | Topo.Deliver at -> checkf 1e-9 "pure propagation" 1.005 at
+  | _ -> Alcotest.fail "dropped"
+
+(* ---- Routing ---- *)
+
+let routing_shortest_path () =
+  (* a --1ms-- b --1ms-- c  and a direct a--5ms--c: route via b. *)
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host in
+  let b = Topo.add_node topo Router in
+  let c = Topo.add_node topo Host in
+  let _ = Topo.add_duplex topo ~delay:0.001 a b in
+  let _ = Topo.add_duplex topo ~delay:0.001 b c in
+  let _ = Topo.add_duplex topo ~delay:0.005 a c in
+  let route = Route.create topo in
+  checkf 1e-9 "distance via b" 0.002 (Route.distance route ~src:a ~dst:c);
+  checki "2 hops" 2 (Route.hops route ~src:a ~dst:c);
+  (match Route.next_hop route ~src:a ~dst:c with
+  | Some l -> checki "first hop toward b" b (Topo.link_dst l)
+  | None -> Alcotest.fail "unreachable")
+
+let routing_unreachable () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host in
+  let b = Topo.add_node topo Host in
+  let route = Route.create topo in
+  checkb "no route" true (Route.next_hop route ~src:a ~dst:b = None);
+  checkb "infinite distance" true (Route.distance route ~src:a ~dst:b = infinity)
+
+(* ---- Net: unicast / multicast / TTL ---- *)
+
+let mk_lan hosts =
+  let topo, switch, hs = Builders.lan ~hosts () in
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~topo ~size_of:(fun s -> String.length s) () in
+  (engine, net, switch, hs)
+
+let net_unicast () =
+  let engine, net, _, hs = mk_lan 3 in
+  let got = ref [] in
+  Net.set_handler net hs.(1) (fun ~now:_ ~src msg -> got := (src, msg) :: !got);
+  Net.unicast net ~src:hs.(0) ~dst:hs.(1) "hello";
+  Engine.run engine;
+  (match !got with
+  | [ (src, "hello") ] -> checki "src" hs.(0) src
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  (* Propagation (2 x 0.9 ms) plus serialization of 5 bytes at 10 Mbit/s
+     on each hop. *)
+  checkf 1e-5 "two LAN hops" ((2. *. 0.9e-3) +. (2. *. 40. /. 10e6))
+    (Engine.now engine)
+
+let net_loopback () =
+  let engine, net, _, hs = mk_lan 1 in
+  let got = ref 0 in
+  Net.set_handler net hs.(0) (fun ~now:_ ~src:_ _ -> incr got);
+  Net.unicast net ~src:hs.(0) ~dst:hs.(0) "self";
+  Engine.run engine;
+  checki "delivered to self" 1 !got
+
+let net_multicast_membership () =
+  let engine, net, _, hs = mk_lan 4 in
+  let counts = Array.make 4 0 in
+  Array.iteri
+    (fun i h -> Net.set_handler net h (fun ~now:_ ~src:_ _ -> counts.(i) <- counts.(i) + 1))
+    hs;
+  Net.join net ~group:7 hs.(1);
+  Net.join net ~group:7 hs.(2);
+  Net.multicast net ~src:hs.(0) ~group:7 "m";
+  Engine.run engine;
+  Alcotest.check (Alcotest.array Alcotest.int) "only members" [| 0; 1; 1; 0 |]
+    counts
+
+let net_multicast_sender_excluded () =
+  let engine, net, _, hs = mk_lan 2 in
+  let self = ref 0 and other = ref 0 in
+  Net.set_handler net hs.(0) (fun ~now:_ ~src:_ _ -> incr self);
+  Net.set_handler net hs.(1) (fun ~now:_ ~src:_ _ -> incr other);
+  Net.join net ~group:1 hs.(0);
+  Net.join net ~group:1 hs.(1);
+  Net.multicast net ~src:hs.(0) ~group:1 "m";
+  Engine.run engine;
+  checki "sender skipped" 0 !self;
+  checki "member got it" 1 !other
+
+let net_multicast_shared_link_once () =
+  (* Two sites, three members behind the remote tail: the tail circuit
+     must carry the packet exactly once. *)
+  let wan = Builders.dis_wan ~sites:2 ~hosts_per_site:3 () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:(fun s -> String.length s) ()
+  in
+  let got = ref 0 in
+  Array.iter
+    (fun h ->
+      Net.join net ~group:1 h;
+      Net.set_handler net h (fun ~now:_ ~src:_ _ -> incr got))
+    wan.sites.(1).hosts;
+  Net.multicast net ~src:wan.sites.(0).hosts.(0) ~group:1 "m";
+  Engine.run engine;
+  checki "all three members" 3 !got;
+  checki "tail crossed once" 1
+    (Topo.packets_delivered wan.sites.(1).tail_down)
+
+let net_ttl_scoping () =
+  (* TTL 2 reaches hosts within the site (host->gw->host) but not across
+     the WAN (host->gw->edge->bb->edge->gw->host = 6 links). *)
+  let wan = Builders.dis_wan ~sites:2 ~hosts_per_site:2 () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:(fun s -> String.length s) ()
+  in
+  let local = ref 0 and remote = ref 0 in
+  let h_local = wan.sites.(0).hosts.(1) in
+  let h_remote = wan.sites.(1).hosts.(0) in
+  Net.join net ~group:1 h_local;
+  Net.join net ~group:1 h_remote;
+  Net.set_handler net h_local (fun ~now:_ ~src:_ _ -> incr local);
+  Net.set_handler net h_remote (fun ~now:_ ~src:_ _ -> incr remote);
+  Net.multicast net ~ttl:2 ~src:wan.sites.(0).hosts.(0) ~group:1 "m";
+  Engine.run engine;
+  checki "local sibling reached" 1 !local;
+  checki "remote member scoped out" 0 !remote
+
+let net_leave () =
+  let engine, net, _, hs = mk_lan 2 in
+  let got = ref 0 in
+  Net.set_handler net hs.(1) (fun ~now:_ ~src:_ _ -> incr got);
+  Net.join net ~group:1 hs.(1);
+  Net.multicast net ~src:hs.(0) ~group:1 "a";
+  Engine.run engine;
+  Net.leave net ~group:1 hs.(1);
+  Net.multicast net ~src:hs.(0) ~group:1 "b";
+  Engine.run engine;
+  checki "one delivery" 1 !got
+
+let net_rtt_symmetry () =
+  let wan = Builders.dis_wan ~sites:2 ~hosts_per_site:2 () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:(fun s -> String.length s) ()
+  in
+  let a = wan.sites.(0).hosts.(0) and b = wan.sites.(1).hosts.(0) in
+  checkf 1e-9 "symmetric" (Net.rtt net a b) (Net.rtt net b a);
+  (* Paper §2.2.2: cross-site RTT about 80 ms, intra-site a few ms. *)
+  let cross = Net.rtt net a b in
+  checkb (Printf.sprintf "cross-site rtt %.1f ms" (cross *. 1e3)) true
+    (cross > 0.06 && cross < 0.1);
+  let intra = Net.rtt net a wan.sites.(0).hosts.(1) in
+  checkb (Printf.sprintf "intra-site rtt %.1f ms" (intra *. 1e3)) true
+    (intra > 0.002 && intra < 0.006)
+
+(* ---- dis_wan builder ---- *)
+
+let builder_shape () =
+  let sites = 5 and hosts_per_site = 4 in
+  let wan = Builders.dis_wan ~sites ~hosts_per_site () in
+  checki "site count" sites (Array.length wan.sites);
+  Array.iter
+    (fun s -> checki "hosts per site" hosts_per_site (Array.length s.Builders.hosts))
+    wan.sites;
+  checki "all hosts" (sites * hosts_per_site) (List.length (Builders.all_hosts wan));
+  checkb "host kind" true
+    (Topo.kind wan.topo wan.sites.(0).hosts.(0) = Topo.Host);
+  checkb "gateway kind" true
+    (Topo.kind wan.topo wan.sites.(0).gateway = Topo.Router);
+  Alcotest.check (Alcotest.option Alcotest.int) "site lookup" (Some 2)
+    (Builders.site_of_host wan wan.sites.(2).hosts.(1));
+  Alcotest.check (Alcotest.option Alcotest.int) "router is not in a site" None
+    (Builders.site_of_host wan wan.backbone)
+
+(* ---- Trace ---- *)
+
+let trace_counters () =
+  let t = Trace.create () in
+  Trace.incr t "x";
+  Trace.incr ~by:4 t "x";
+  Trace.incr t "y";
+  checki "x" 5 (Trace.get t "x");
+  checki "absent" 0 (Trace.get t "z");
+  Trace.observe t "lat" 1.;
+  Trace.observe t "lat" 3.;
+  checkf 1e-9 "sample mean" 2.
+    (Lbrm_util.Stats.Sample.mean (Trace.sample t "lat"));
+  Trace.reset t;
+  checki "reset" 0 (Trace.get t "x")
+
+let prop_route_triangle =
+  (* On random dis_wan topologies, routed distances obey symmetry (all
+     links are duplex with equal delays) and the triangle inequality. *)
+  QCheck.Test.make ~count:50 ~name:"route: symmetric + triangle inequality"
+    QCheck.(pair (int_range 2 6) (int_range 1 4))
+    (fun (sites, hosts_per_site) ->
+      let wan = Builders.dis_wan ~sites ~hosts_per_site () in
+      let route = Route.create wan.topo in
+      let hosts = Array.of_list (Builders.all_hosts wan) in
+      let d a b = Route.distance route ~src:a ~dst:b in
+      Array.for_all
+        (fun a ->
+          Array.for_all
+            (fun b ->
+              Float.abs (d a b -. d b a) < 1e-12
+              && Array.for_all
+                   (fun c -> d a b <= d a c +. d c b +. 1e-12)
+                   hosts)
+            hosts)
+        hosts)
+
+let prop_engine_random_schedules =
+  QCheck.Test.make ~name:"engine: random schedules fire in time order"
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 100.))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> ignore (Engine.schedule e ~delay:d (fun () -> fired := Engine.now e :: !fired)))
+        delays;
+      Engine.run e;
+      let out = List.rev !fired in
+      out = List.sort Float.compare delays)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick engine_ordering;
+          Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "run until" `Quick engine_run_until;
+          Alcotest.test_case "nested schedule" `Quick engine_nested_schedule;
+          qtest prop_engine_random_schedules;
+        ] );
+      ("route-properties", [ qtest prop_route_triangle ]);
+      ( "loss",
+        [
+          Alcotest.test_case "bernoulli rate" `Slow loss_bernoulli_rate;
+          Alcotest.test_case "burst windows" `Quick loss_burst_windows;
+          Alcotest.test_case "gilbert burstiness" `Slow loss_gilbert_burstiness;
+          Alcotest.test_case "combine" `Quick loss_combine;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "serialization + queueing" `Quick
+            link_serialization;
+          Alcotest.test_case "queue overflow" `Quick link_queue_overflow;
+          Alcotest.test_case "infinite bandwidth" `Quick link_infinite_bandwidth;
+        ] );
+      ( "route",
+        [
+          Alcotest.test_case "shortest path" `Quick routing_shortest_path;
+          Alcotest.test_case "unreachable" `Quick routing_unreachable;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "unicast" `Quick net_unicast;
+          Alcotest.test_case "loopback" `Quick net_loopback;
+          Alcotest.test_case "multicast membership" `Quick
+            net_multicast_membership;
+          Alcotest.test_case "sender excluded" `Quick
+            net_multicast_sender_excluded;
+          Alcotest.test_case "shared link crossed once" `Quick
+            net_multicast_shared_link_once;
+          Alcotest.test_case "TTL scoping" `Quick net_ttl_scoping;
+          Alcotest.test_case "leave" `Quick net_leave;
+          Alcotest.test_case "RTTs match the paper's scenario" `Quick
+            net_rtt_symmetry;
+        ] );
+      ("builders", [ Alcotest.test_case "dis_wan shape" `Quick builder_shape ]);
+      ("trace", [ Alcotest.test_case "counters and samples" `Quick trace_counters ]);
+    ]

@@ -1,0 +1,140 @@
+(* The real-socket runtime: LBRM agents over loopback UDP datagrams.
+   These tests bind actual sockets and run for wall-clock fractions of a
+   second; loss is injected at the send hook (loopback never drops). *)
+
+module U = Lbrm_run.Udp_runtime
+module H = Lbrm_run.Handlers
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* Small heartbeat intervals so recovery fits in a short wall-clock run. *)
+let cfg =
+  {
+    Lbrm.Config.default with
+    stat_ack_enabled = false;
+    h_min = 0.05;
+    nack_delay = 0.01;
+    nack_timeout = 0.15;
+    deposit_timeout = 0.2;
+  }
+
+type session = {
+  rt : U.t;
+  source : Lbrm.Source.t;
+  src_port : int;
+  receivers : (Lbrm.Receiver.t * int) list;
+}
+
+let make_session ~base_port ~loss ~receiver_count =
+  let rt = U.create ~loss ~seed:3 () in
+  let src_port = base_port in
+  let primary_port = base_port + 1 in
+  let secondary_port = base_port + 2 in
+  let source = Lbrm.Source.create cfg ~self:src_port ~primary:primary_port () in
+  let primary =
+    Lbrm.Logger.create cfg ~self:primary_port ~source:src_port
+      ~rng:(Lbrm_util.Rng.create ~seed:1) ()
+  in
+  let secondary =
+    Lbrm.Logger.create cfg ~self:secondary_port ~source:src_port
+      ~parent:primary_port
+      ~rng:(Lbrm_util.Rng.create ~seed:2) ()
+  in
+  U.add_agent rt ~port:src_port (H.of_source source);
+  U.add_agent rt ~port:primary_port (H.of_logger primary);
+  U.add_agent rt ~port:secondary_port (H.of_logger secondary);
+  let receivers =
+    List.init receiver_count (fun i ->
+        let port = base_port + 3 + i in
+        let r =
+          Lbrm.Receiver.create cfg ~self:port ~source:src_port
+            ~loggers:[ secondary_port; primary_port ]
+        in
+        U.add_agent rt ~port (H.of_receiver r);
+        (r, port))
+  in
+  let group = cfg.group in
+  U.join rt ~group ~port:primary_port;
+  U.join rt ~group ~port:secondary_port;
+  List.iter (fun (_, p) -> U.join rt ~group ~port:p) receivers;
+  U.perform rt ~port:src_port (Lbrm.Source.start source ~now:(U.now rt));
+  List.iter
+    (fun (r, port) -> U.perform rt ~port (Lbrm.Receiver.start r ~now:(U.now rt)))
+    receivers;
+  { rt; source; src_port; receivers }
+
+let send s payload =
+  U.perform s.rt ~port:s.src_port
+    (Lbrm.Source.send s.source ~now:(U.now s.rt) payload)
+
+let lossless_udp () =
+  let s = make_session ~base_port:48100 ~loss:0. ~receiver_count:3 in
+  for i = 1 to 5 do
+    send s (Printf.sprintf "udp-%d" i);
+    U.run_for s.rt ~seconds:0.03
+  done;
+  U.run_for s.rt ~seconds:0.3;
+  List.iter
+    (fun (r, _) -> checki "all delivered" 5 (Lbrm.Receiver.delivered r))
+    s.receivers;
+  checkb "no drops injected" true (U.datagrams_dropped s.rt = 0);
+  U.close s.rt
+
+let lossy_udp_recovers () =
+  let s = make_session ~base_port:48200 ~loss:0.3 ~receiver_count:3 in
+  for i = 1 to 8 do
+    send s (Printf.sprintf "udp-%d" i);
+    U.run_for s.rt ~seconds:0.05
+  done;
+  (* Give loss detection (heartbeats) and NACK service time to finish. *)
+  U.run_for s.rt ~seconds:1.5;
+  List.iter
+    (fun (r, port) ->
+      checki (Printf.sprintf "receiver %d complete" port) 8
+        (Lbrm.Receiver.delivered r))
+    s.receivers;
+  checkb "losses were actually injected" true (U.datagrams_dropped s.rt > 0);
+  checkb "recovery actually happened" true
+    (List.exists (fun (r, _) -> Lbrm.Receiver.recovered r > 0) s.receivers);
+  U.close s.rt
+
+let timer_rearm_and_cancel () =
+  (* The runtime's timer heap honours re-arming and cancellation. *)
+  let rt = U.create () in
+  let fired = ref [] in
+  let handlers =
+    {
+      H.on_message = (fun ~now:_ ~src:_ _ -> []);
+      on_timer =
+        (fun ~now:_ key ->
+          fired := key :: !fired;
+          []);
+      on_deliver = None;
+      on_notice = None;
+    }
+  in
+  U.add_agent rt ~port:48300 handlers;
+  U.perform rt ~port:48300
+    [
+      Lbrm.Io.Set_timer (Lbrm.Io.K_app "a", 0.02);
+      Lbrm.Io.Set_timer (Lbrm.Io.K_app "b", 0.02);
+      Lbrm.Io.Set_timer (Lbrm.Io.K_app "a", 0.05) (* re-arm a *);
+      Lbrm.Io.Cancel_timer (Lbrm.Io.K_app "b");
+    ];
+  U.run_for rt ~seconds:0.12;
+  checkb "a fired exactly once" true (!fired = [ Lbrm.Io.K_app "a" ]);
+  U.close rt
+
+let () =
+  Alcotest.run "udp"
+    [
+      ( "udp-runtime",
+        [
+          Alcotest.test_case "lossless delivery" `Quick lossless_udp;
+          Alcotest.test_case "recovery under 30% loss" `Quick
+            lossy_udp_recovers;
+          Alcotest.test_case "timer re-arm and cancel" `Quick
+            timer_rearm_and_cancel;
+        ] );
+    ]

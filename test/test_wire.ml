@@ -1,0 +1,243 @@
+(* Wire-format tests: codec round trips, size model, malformed input. *)
+
+module Message = Lbrm_wire.Message
+module Codec = Lbrm_wire.Codec
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+let msg_testable =
+  Alcotest.testable Message.pp Message.equal
+
+let roundtrip m =
+  match Codec.decode (Codec.encode m) with
+  | Ok m' -> Alcotest.check msg_testable "roundtrip" m m'
+  | Error e -> Alcotest.failf "decode error: %s" (Codec.error_to_string e)
+
+(* One representative of each constructor. *)
+let samples =
+  [
+    Message.Data { seq = 17; epoch = 3; payload = "hello" };
+    Message.Data { seq = 0; epoch = 0; payload = "" };
+    Message.Heartbeat { seq = 17; hb_index = 12; epoch = 3; payload = None };
+    Message.Heartbeat { seq = 9; hb_index = 1; epoch = 0; payload = Some "pp" };
+    Message.Nack { seqs = [] };
+    Message.Nack { seqs = [ 1; 2; 99 ] };
+    Message.Retrans { seq = 42; epoch = 7; payload = "data" };
+    Message.Log_deposit { seq = 5; epoch = 1; payload = "d" };
+    Message.Log_ack { primary_seq = 10; replica_seq = 8 };
+    Message.Replica_update { seq = 6; epoch = 2; payload = "r" };
+    Message.Replica_ack { seq = 6 };
+    Message.Acker_select { epoch = 4; p_ack = 0.25 };
+    Message.Acker_reply { epoch = 4; logger = 31 };
+    Message.Stat_ack { epoch = 4; seq = 12; logger = 31 };
+    Message.Probe { round = 2; p = 0.04 };
+    Message.Probe_reply { round = 2; logger = 5 };
+    Message.Discovery_query { nonce = 7 };
+    Message.Discovery_reply { nonce = 7; logger = 9 };
+    Message.Who_is_primary;
+    Message.Primary_is { logger = 3 };
+    Message.Replica_query;
+    Message.Replica_status { seq = 44 };
+    Message.Promote { replicas = [] };
+    Message.Promote { replicas = [ 4; 5; 6 ] };
+  ]
+
+let all_constructors_roundtrip () = List.iter roundtrip samples
+
+let size_model_matches () =
+  List.iter
+    (fun m ->
+      checkb
+        (Format.asprintf "size model for %s" (Message.kind m))
+        true
+        (Codec.roundtrip_size_matches m))
+    samples
+
+let truncation_detected () =
+  List.iter
+    (fun m ->
+      let enc = Codec.encode m in
+      (* Every strict prefix must fail to decode (never succeed). *)
+      for len = 0 to String.length enc - 1 do
+        match Codec.decode (String.sub enc 0 len) with
+        | Error _ -> ()
+        | Ok m' ->
+            Alcotest.failf "prefix of %s decoded as %s"
+              (Message.kind m) (Message.kind m')
+      done)
+    samples
+
+let trailing_detected () =
+  let enc = Codec.encode Message.Who_is_primary ^ "junk" in
+  match Codec.decode enc with
+  | Error (Codec.Trailing 4) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+
+let bad_tag_detected () =
+  match Codec.decode "\xff" with
+  | Error (Codec.Bad_tag 255) -> ()
+  | _ -> Alcotest.fail "expected Bad_tag"
+
+let bad_probability_rejected () =
+  (* A Probe with p outside [0,1] must be rejected at decode. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 11;
+  Codec.Writer.u32 w 0;
+  Codec.Writer.f64 w 2.5;
+  (match Codec.decode (Codec.Writer.contents w) with
+  | Error (Codec.Bad_value _) -> ()
+  | _ -> Alcotest.fail "accepted p=2.5");
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 11;
+  Codec.Writer.u32 w 0;
+  Codec.Writer.f64 w Float.nan;
+  match Codec.decode (Codec.Writer.contents w) with
+  | Error (Codec.Bad_value _) -> ()
+  | _ -> Alcotest.fail "accepted p=nan"
+
+let writer_reader_primitives () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 0xAB;
+  Codec.Writer.u16 w 0xCDEF;
+  Codec.Writer.u32 w 123456789;
+  Codec.Writer.f64 w 3.14159;
+  Codec.Writer.bytes w "xyz";
+  Codec.Writer.raw w "!";
+  let r = Codec.Reader.create (Codec.Writer.contents w) in
+  checki "u8" 0xAB (Result.get_ok (Codec.Reader.u8 r));
+  checki "u16" 0xCDEF (Result.get_ok (Codec.Reader.u16 r));
+  checki "u32" 123456789 (Result.get_ok (Codec.Reader.u32 r));
+  Alcotest.check (Alcotest.float 1e-12) "f64" 3.14159
+    (Result.get_ok (Codec.Reader.f64 r));
+  Alcotest.check Alcotest.string "bytes" "xyz"
+    (Result.get_ok (Codec.Reader.bytes r));
+  checki "remaining" 1 (Codec.Reader.remaining r)
+
+(* ---- Property tests over random messages ---- *)
+
+let gen_payload = QCheck.Gen.(string_size ~gen:printable (0 -- 300))
+let gen_seq = QCheck.Gen.(0 -- 1_000_000)
+let gen_addr = QCheck.Gen.(0 -- 10_000)
+let gen_prob = QCheck.Gen.(map (fun x -> float_of_int x /. 1000.) (0 -- 1000))
+
+let gen_message : Message.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 3,
+        map3
+          (fun seq epoch payload -> Message.Data { seq; epoch; payload })
+          gen_seq (0 -- 100) gen_payload );
+      ( 2,
+        map3
+          (fun seq hb_index payload ->
+            Message.Heartbeat { seq; hb_index; epoch = 1; payload })
+          gen_seq (0 -- 1000)
+          (opt gen_payload) );
+      (2, map (fun seqs -> Message.Nack { seqs }) (list_size (0 -- 40) gen_seq));
+      ( 2,
+        map3
+          (fun seq epoch payload -> Message.Retrans { seq; epoch; payload })
+          gen_seq (0 -- 100) gen_payload );
+      ( 1,
+        map3
+          (fun seq epoch payload -> Message.Log_deposit { seq; epoch; payload })
+          gen_seq (0 -- 100) gen_payload );
+      ( 1,
+        map2
+          (fun primary_seq replica_seq ->
+            Message.Log_ack { primary_seq; replica_seq })
+          gen_seq gen_seq );
+      ( 1,
+        map2
+          (fun epoch p_ack -> Message.Acker_select { epoch; p_ack })
+          (0 -- 100) gen_prob );
+      ( 1,
+        map3
+          (fun epoch seq logger -> Message.Stat_ack { epoch; seq; logger })
+          (0 -- 100) gen_seq gen_addr );
+      (1, map2 (fun round p -> Message.Probe { round; p }) (0 -- 20) gen_prob);
+      ( 1,
+        map
+          (fun replicas -> Message.Promote { replicas })
+          (list_size (0 -- 10) gen_addr) );
+    ]
+
+let arb_message = QCheck.make ~print:Message.show gen_message
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"codec: decode (encode m) = m" arb_message
+    (fun m ->
+      match Codec.decode (Codec.encode m) with
+      | Ok m' -> Message.equal m m'
+      | Error _ -> false)
+
+let prop_size_model =
+  QCheck.Test.make ~count:500
+    ~name:"codec: wire_size = |encode| + header overhead" arb_message
+    Codec.roundtrip_size_matches
+
+let prop_decode_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"codec: decode never raises on junk"
+    QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.char)
+    (fun junk ->
+      match Codec.decode junk with Ok _ -> true | Error _ -> true)
+
+let prop_mutation_fuzz =
+  (* Flip bytes of valid encodings: decode must never raise and, when it
+     succeeds, must yield a message whose re-encoding round-trips (i.e.
+     the codec is total and self-consistent even on corrupted input). *)
+  QCheck.Test.make ~count:1000 ~name:"codec: byte mutations never crash"
+    QCheck.(triple arb_message small_nat (int_bound 255))
+    (fun (m, pos, byte) ->
+      let enc = Bytes.of_string (Codec.encode m) in
+      if Bytes.length enc = 0 then true
+      else begin
+        Bytes.set enc (pos mod Bytes.length enc) (Char.chr byte);
+        match Codec.decode (Bytes.to_string enc) with
+        | Error _ -> true
+        | Ok m' -> (
+            match Codec.decode (Codec.encode m') with
+            | Ok m'' -> Message.equal m' m''
+            | Error _ -> false)
+      end)
+
+let prop_control_classification =
+  QCheck.Test.make ~count:300
+    ~name:"message: payload-bearing packets are not control" arb_message
+    (fun m ->
+      match m with
+      | Message.Data _ | Message.Retrans _ -> not (Message.is_control m)
+      | Message.Heartbeat { payload = Some _; _ } -> not (Message.is_control m)
+      | _ -> Message.is_control m)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "all constructors roundtrip" `Quick
+            all_constructors_roundtrip;
+          Alcotest.test_case "size model matches encoding" `Quick
+            size_model_matches;
+          Alcotest.test_case "every truncation detected" `Quick
+            truncation_detected;
+          Alcotest.test_case "trailing bytes detected" `Quick trailing_detected;
+          Alcotest.test_case "bad tag detected" `Quick bad_tag_detected;
+          Alcotest.test_case "bad probability rejected" `Quick
+            bad_probability_rejected;
+          Alcotest.test_case "writer/reader primitives" `Quick
+            writer_reader_primitives;
+        ] );
+      ( "properties",
+        [
+          qtest prop_roundtrip;
+          qtest prop_size_model;
+          qtest prop_decode_never_raises;
+          qtest prop_mutation_fuzz;
+          qtest prop_control_classification;
+        ] );
+    ]
