@@ -1,0 +1,227 @@
+(* Macro/micro benchmarks for the simulator hot path.
+
+   Tracks the performance trajectory of the discrete-event engine, the
+   multicast forwarding plane and the wire codec across PRs.  Emits
+   machine-readable results (ops/sec plus minor-heap words per op) to
+   BENCH_sim.json so successive PRs can be compared.
+
+   Full run:   dune exec bench/micro.exe
+   Smoke run:  dune exec bench/micro.exe -- --smoke     (a few hundred ms,
+               no JSON unless --json is given; wired to @bench-smoke)
+
+   Workloads:
+   - engine_events:     schedule-fire timer chains through the event loop
+   - multicast_1k/10k:  one source multicasting over the paper's Figure-1
+                        topology (sites x hosts LANs + T1 tails + backbone)
+   - codec_roundtrip:   encode+decode of a 128-byte Data message
+   - membership_churn:  join/leave across 8 groups with interleaved
+                        multicasts (exercises the pruned-tree cache) *)
+
+module Engine = Lbrm_sim.Engine
+module Net = Lbrm_sim.Net
+module Topo = Lbrm_sim.Topo
+module Builders = Lbrm_sim.Builders
+module Message = Lbrm_wire.Message
+module Codec = Lbrm_wire.Codec
+
+(* Hot-path scheduling: fire-and-forget, no cancellation handle needed. *)
+let post = Engine.post
+let post_at = Engine.post_at
+
+type result = {
+  name : string;
+  ops : int;
+  elapsed : float; (* seconds *)
+  minor_words : float; (* minor-heap words allocated during the run *)
+  extra : (string * float) list;
+}
+
+let results : result list ref = ref []
+
+(* Fastest of [reps] runs: wall-clock on a shared machine is noisy and
+   the minimum is the best estimate of intrinsic cost.  Allocation is
+   reported from the same (fastest) run. *)
+let run_bench ?(reps = 3) ~name f =
+  let best = ref None in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let ops, extra = f () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let minor_words = Gc.minor_words () -. w0 in
+    match !best with
+    | Some b when b.elapsed <= elapsed -> ()
+    | _ -> best := Some { name; ops; elapsed; minor_words; extra }
+  done;
+  let r = match !best with Some r -> r | None -> assert false in
+  results := r :: !results;
+  let fops = float_of_int (max 1 r.ops) in
+  Printf.printf "%-20s %10d ops  %8.3f s  %12.0f ops/s  %8.1f words/op\n%!"
+    name r.ops r.elapsed
+    (fops /. r.elapsed)
+    (r.minor_words /. fops);
+  List.iter (fun (k, v) -> Printf.printf "%22s= %.6g\n" k v) r.extra
+
+(* ---- engine: the schedule-fire pattern ------------------------------- *)
+
+let bench_engine ~events () =
+  let e = Engine.create () in
+  let chains = 256 in
+  let per = events / chains in
+  for c = 0 to chains - 1 do
+    let left = ref per in
+    (* One closure per chain, reused for every event: what remains is the
+       engine's own per-event cost. *)
+    let rec tick () =
+      if !left > 0 then begin
+        decr left;
+        post e ~delay:(1e-3 *. float_of_int ((c land 7) + 1)) tick
+      end
+    in
+    post_at e ~time:(1e-4 *. float_of_int c) tick
+  done;
+  Engine.run e;
+  (Engine.events_processed e, [])
+
+(* ---- multicast on the Figure-1 WAN ----------------------------------- *)
+
+let payload = String.make 128 'd'
+
+let bench_multicast ~sites ~hosts_per_site ~packets () =
+  let wan = Builders.dis_wan ~sites ~hosts_per_site () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:String.length ()
+  in
+  let delivered = ref 0 in
+  let handler ~now:_ ~src:_ _ = incr delivered in
+  List.iter
+    (fun h ->
+      Net.join net ~group:1 h;
+      Net.set_handler net h handler)
+    (Builders.all_hosts wan);
+  let src = wan.sites.(0).Builders.hosts.(0) in
+  for i = 1 to packets do
+    post_at engine ~time:(0.05 *. float_of_int i) (fun () ->
+        Net.multicast net ~src ~group:1 payload)
+  done;
+  Engine.run engine;
+  ( !delivered,
+    [
+      ("sends", float_of_int packets);
+      ("receivers", float_of_int ((sites * hosts_per_site) - 1));
+      ("events", float_of_int (Engine.events_processed engine));
+    ] )
+
+(* ---- wire codec ------------------------------------------------------ *)
+
+let bench_codec ~ops () =
+  let msg = Message.Data { seq = 7; epoch = 1; payload } in
+  let bytes_per_op = String.length (Codec.encode msg) in
+  let ok = ref 0 in
+  for _ = 1 to ops do
+    match Codec.decode (Codec.encode msg) with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  assert (!ok = ops);
+  (ops, [ ("wire_bytes", float_of_int bytes_per_op) ])
+
+(* ---- membership churn against the pruned-tree cache ------------------ *)
+
+(* 8 groups on a small WAN: groups 0..6 churn (one join/leave per op),
+   group 7 is stable.  Every op multicasts both to the group just
+   touched and to the stable group, so the cache must (a) stay bounded
+   under churn and (b) not recompute group 7's tree when group g's
+   membership changes. *)
+let bench_churn ~ops () =
+  let wan = Builders.dis_wan ~sites:8 ~hosts_per_site:4 () in
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~topo:wan.topo ~size_of:String.length () in
+  let hosts = Array.of_list (Builders.all_hosts wan) in
+  let n = Array.length hosts in
+  let src = hosts.(0) in
+  Array.iter (fun h -> Net.set_handler net h (fun ~now:_ ~src:_ _ -> ())) hosts;
+  (* Stable group 7 plus initial members everywhere. *)
+  for i = 1 to n - 1 do
+    Net.join net ~group:7 hosts.(i);
+    Net.join net ~group:(i mod 7) hosts.(i)
+  done;
+  let present = Array.make (7 * n) false in
+  for i = 1 to n - 1 do
+    present.((i mod 7 * n) + i) <- true
+  done;
+  for i = 0 to ops - 1 do
+    let g = i mod 7 in
+    let h = 1 + (i * 13 mod (n - 1)) in
+    let slot = (g * n) + h in
+    if present.(slot) then Net.leave net ~group:g hosts.(h)
+    else Net.join net ~group:g hosts.(h);
+    present.(slot) <- not present.(slot);
+    Net.multicast net ~src ~group:g payload;
+    Net.multicast net ~src ~group:7 payload;
+    (* Drain so in-flight packets don't pile up across iterations. *)
+    Engine.run engine
+  done;
+  let extra =
+    [
+      ("events", float_of_int (Engine.events_processed engine));
+      ("cache_size", float_of_int (Net.mcast_cache_size net));
+      ("tree_builds", float_of_int (Net.mcast_tree_builds net));
+    ]
+  in
+  (ops, extra)
+
+(* ---- JSON output ----------------------------------------------------- *)
+
+let emit_json path rs =
+  let oc = open_out path in
+  let field k v = Printf.sprintf "\"%s\": %.6g" k v in
+  let one r =
+    let fops = float_of_int (max 1 r.ops) in
+    let fields =
+      [
+        Printf.sprintf "\"name\": \"%s\"" r.name;
+        Printf.sprintf "\"ops\": %d" r.ops;
+        field "elapsed_s" r.elapsed;
+        field "ops_per_sec" (fops /. r.elapsed);
+        field "minor_words_per_op" (r.minor_words /. fops);
+      ]
+      @ List.map (fun (k, v) -> field k v) r.extra
+    in
+    "    { " ^ String.concat ", " fields ^ " }"
+  in
+  Printf.fprintf oc
+    "{\n  \"suite\": \"lbrm-sim-hotpath\",\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map one (List.rev rs)));
+  close_out oc
+
+(* ---------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let json =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> if smoke then None else Some "BENCH_sim.json"
+    in
+    find args
+  in
+  let scale n = if smoke then max 1 (n / 20) else n in
+  let reps = if smoke then 1 else 3 in
+  run_bench ~reps ~name:"engine_events" (bench_engine ~events:(scale 2_000_000));
+  run_bench ~reps ~name:"multicast_1k"
+    (bench_multicast ~sites:50 ~hosts_per_site:20 ~packets:(scale 100));
+  if not smoke then
+    run_bench ~reps ~name:"multicast_10k"
+      (bench_multicast ~sites:500 ~hosts_per_site:20 ~packets:20);
+  run_bench ~reps ~name:"codec_roundtrip" (bench_codec ~ops:(scale 400_000));
+  run_bench ~reps ~name:"membership_churn" (bench_churn ~ops:(scale 10_000));
+  match json with
+  | Some path ->
+      emit_json path !results;
+      Printf.printf "wrote %s\n%!" path
+  | None -> ()

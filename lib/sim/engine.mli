@@ -25,14 +25,24 @@ val schedule : t -> delay:float -> (unit -> unit) -> timer
 val at : t -> time:float -> (unit -> unit) -> timer
 (** Run a callback at an absolute virtual time (>= [now]). *)
 
+val post : t -> delay:float -> (unit -> unit) -> unit
+(** Like {!schedule} but fire-and-forget: no cancellation handle is
+    returned, and the queue entry is recycled through a pool, so the
+    steady schedule-fire pattern allocates nothing.  The hot path for
+    simulated packet hops and periodic ticks. *)
+
+val post_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant of {!post}. *)
+
 val cancel : t -> timer -> unit
 (** Cancel a pending timer; no-op if it already fired or was cancelled. *)
 
 val is_pending : timer -> bool
 
 val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
-(** Periodic callback starting one [period] from now, optionally
-    stopping at [until]. *)
+(** Periodic callback starting one [period] from now.  With [until],
+    the last firing is at the largest tick time [<= until]; no event is
+    left in the queue past the deadline. *)
 
 val step : t -> bool
 (** Execute the next event.  [false] when the queue is empty. *)

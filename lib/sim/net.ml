@@ -1,21 +1,43 @@
 type 'msg handler = now:float -> src:Topo.node_id -> 'msg -> unit
 
+(* Multicast state is tracked per group:
+
+   - [g_epoch] counts *actual* membership changes of this group, so a
+     join/leave in one group never invalidates another group's cached
+     trees (the old implementation used one global epoch).
+   - [trees] caches the pruned source-rooted tree per source, stamped
+     with the epoch it was built at; a stale entry is rebuilt in place
+     ([Hashtbl.replace]), so the cache holds at most one live tree per
+     (source, group) instead of leaking one per epoch.
+   - [mask] is a byte-per-node membership bitmap rebuilt lazily when
+     [mask_epoch] falls behind, making the per-delivery "is the
+     arriving node a member?" check an array load instead of a hash
+     lookup. *)
+type group = {
+  members : (Topo.node_id, unit) Hashtbl.t;
+  mutable g_epoch : int;
+  trees : (Topo.node_id, cached_tree) Hashtbl.t; (* keyed by source *)
+  mutable mask : Bytes.t;
+  mutable mask_epoch : int; (* epoch [mask] was built at; -1 = never *)
+}
+
+and cached_tree = { c_epoch : int; tree : Topo.link list array }
+
 type 'msg t = {
   engine : Engine.t;
   topo : Topo.t;
   route : Route.t;
   size_of : 'msg -> int;
-  mutable handlers : 'msg handler option array;
-  groups : (int, (Topo.node_id, unit) Hashtbl.t) Hashtbl.t;
-  mutable membership_epoch : int;
-  (* (source, group, epoch) -> pruned SPT: node -> child links on the way
-     to at least one member *)
-  mcast_cache : (int * int * int, Topo.link list array) Hashtbl.t;
+  mutable handlers : 'msg handler array; (* noop-filled: no option deref *)
+  groups : (int, group) Hashtbl.t;
   mutable observers : (Topo.link -> 'msg -> unit) list;
+  mutable tree_builds : int;
   rng : Lbrm_util.Rng.t;
 }
 
 let loopback_delay = 50e-6
+
+let noop_handler ~now:_ ~src:_ _ = ()
 
 let create ~engine ~topo ~size_of () =
   {
@@ -23,11 +45,10 @@ let create ~engine ~topo ~size_of () =
     topo;
     route = Route.create topo;
     size_of;
-    handlers = Array.make (Topo.node_count topo) None;
+    handlers = Array.make (Topo.node_count topo) noop_handler;
     groups = Hashtbl.create 8;
-    membership_epoch = 0;
-    mcast_cache = Hashtbl.create 32;
     observers = [];
+    tree_builds = 0;
     rng = Lbrm_util.Rng.split (Engine.rng engine);
   }
 
@@ -38,88 +59,119 @@ let route t = t.route
 let ensure_capacity t =
   let n = Topo.node_count t.topo in
   if Array.length t.handlers < n then begin
-    let handlers = Array.make n None in
+    let handlers = Array.make n noop_handler in
     Array.blit t.handlers 0 handlers 0 (Array.length t.handlers);
     t.handlers <- handlers
   end
 
 let set_handler t node h =
   ensure_capacity t;
-  t.handlers.(node) <- Some h
+  t.handlers.(node) <- h
 
-let group_table t group =
+let group_rec t group =
   match Hashtbl.find_opt t.groups group with
-  | Some tbl -> tbl
+  | Some g -> g
   | None ->
-      let tbl = Hashtbl.create 16 in
-      Hashtbl.add t.groups group tbl;
-      tbl
+      let g =
+        {
+          members = Hashtbl.create 16;
+          g_epoch = 0;
+          trees = Hashtbl.create 4;
+          mask = Bytes.empty;
+          mask_epoch = -1;
+        }
+      in
+      Hashtbl.add t.groups group g;
+      g
 
+(* Epochs advance only on actual membership change, so a redundant
+   join/leave costs no tree rebuilds. *)
 let join t ~group node =
-  Hashtbl.replace (group_table t group) node ();
-  t.membership_epoch <- t.membership_epoch + 1
+  let g = group_rec t group in
+  if not (Hashtbl.mem g.members node) then begin
+    Hashtbl.add g.members node ();
+    g.g_epoch <- g.g_epoch + 1
+  end
 
 let leave t ~group node =
-  Hashtbl.remove (group_table t group) node;
-  t.membership_epoch <- t.membership_epoch + 1
+  let g = group_rec t group in
+  if Hashtbl.mem g.members node then begin
+    Hashtbl.remove g.members node;
+    g.g_epoch <- g.g_epoch + 1
+  end
 
 let members t ~group =
-  Hashtbl.fold (fun n () acc -> n :: acc) (group_table t group) []
+  Hashtbl.fold (fun n () acc -> n :: acc) (group_rec t group).members []
   |> List.sort compare
 
-let is_member t ~group node = Hashtbl.mem (group_table t group) node
+let is_member t ~group node = Hashtbl.mem (group_rec t group).members node
+
+(* Byte-per-node membership bitmap, rebuilt only when the group's
+   membership actually changed since the last build. *)
+let refresh_mask t g =
+  let n = Topo.node_count t.topo in
+  if Bytes.length g.mask < n then g.mask <- Bytes.make n '\000'
+  else Bytes.fill g.mask 0 n '\000';
+  Hashtbl.iter (fun node () -> Bytes.unsafe_set g.mask node '\001') g.members;
+  g.mask_epoch <- g.g_epoch
+
+let member_mask t g node =
+  if g.mask_epoch <> g.g_epoch || Bytes.length g.mask < Topo.node_count t.topo
+  then refresh_mask t g;
+  Bytes.unsafe_get g.mask node <> '\000'
 
 let deliver t ~src ~dst msg =
-  match t.handlers.(dst) with
-  | Some h -> h ~now:(Engine.now t.engine) ~src msg
-  | None -> ()
+  (Array.unsafe_get t.handlers dst) ~now:(Engine.now t.engine) ~src msg
 
 let observe t link msg = List.iter (fun f -> f link msg) t.observers
 let on_link_transit t f = t.observers <- f :: t.observers
 
-(* Send [msg] across [link]; on survival, run [k] at the arrival time. *)
-let transmit t link msg k =
-  observe t link msg;
-  let now = Engine.now t.engine in
-  match
-    Topo.transmit_decision link ~rng:t.rng ~now ~size:(t.size_of msg)
-  with
-  | Topo.Deliver arrival ->
-      ignore (Engine.at t.engine ~time:arrival k)
-  | Topo.Dropped_loss | Topo.Dropped_queue -> ()
+(* An in-flight unicast packet.  One mutable record and one arrival
+   closure serve the whole path: each hop's transmit decision is made
+   at send time, the record is advanced, and the same closure is
+   re-posted for the next arrival — no per-hop closure chain. *)
+type flight = { mutable f_node : Topo.node_id; mutable f_ttl : int }
 
 let unicast t ?(ttl = 64) ~src ~dst msg =
   ensure_capacity t;
   if src = dst then
-    ignore
-      (Engine.schedule t.engine ~delay:loopback_delay (fun () ->
-           deliver t ~src ~dst msg))
-  else
-    let rec hop node ttl =
-      if ttl > 0 then
-        match Route.next_hop t.route ~src:node ~dst with
+    Engine.post t.engine ~delay:loopback_delay (fun () ->
+        deliver t ~src ~dst msg)
+  else begin
+    let fl = { f_node = src; f_ttl = ttl } in
+    let rec arrive () =
+      if fl.f_node = dst then deliver t ~src ~dst msg
+      else if fl.f_ttl > 0 then
+        match Route.next_hop t.route ~src:fl.f_node ~dst with
         | None -> ()
-        | Some link ->
-            transmit t link msg (fun () ->
-                let next = Topo.link_dst link in
-                if next = dst then deliver t ~src ~dst msg
-                else hop next (ttl - 1))
+        | Some link -> (
+            observe t link msg;
+            let now = Engine.now t.engine in
+            match
+              Topo.transmit_decision link ~rng:t.rng ~now ~size:(t.size_of msg)
+            with
+            | Topo.Deliver arrival ->
+                fl.f_node <- Topo.link_dst link;
+                fl.f_ttl <- fl.f_ttl - 1;
+                Engine.post_at t.engine ~time:arrival arrive
+            | Topo.Dropped_loss | Topo.Dropped_queue -> ())
     in
-    hop src ttl
+    arrive ()
+  end
 
-(* Pruned multicast tree: for each node, the SPT child links that lead to
-   at least one group member. *)
-let pruned_tree t ~src ~group =
-  let key = (src, group, t.membership_epoch) in
-  match Hashtbl.find_opt t.mcast_cache key with
-  | Some tree -> tree
-  | None ->
-      let n = Topo.node_count t.topo in
+(* Pruned multicast tree: for each node, the SPT child links that lead
+   to at least one group member.  Cached per (group, source) and
+   rebuilt in place when the group's epoch moves on, so superseded
+   trees are evicted rather than accumulated. *)
+let pruned_tree t g ~src =
+  let n = Topo.node_count t.topo in
+  match Hashtbl.find_opt g.trees src with
+  | Some ct when ct.c_epoch = g.g_epoch && Array.length ct.tree >= n -> ct.tree
+  | _ ->
       let pruned = Array.make n [] in
-      let member = group_table t group in
       (* Post-order: does the subtree rooted at [node] contain a member? *)
       let rec mark node =
-        let here = Hashtbl.mem member node in
+        let here = Hashtbl.mem g.members node in
         let keep =
           List.filter
             (fun link -> mark (Topo.link_dst link))
@@ -129,27 +181,110 @@ let pruned_tree t ~src ~group =
         here || keep <> []
       in
       ignore (mark src);
-      Hashtbl.replace t.mcast_cache key pruned;
+      Hashtbl.replace g.trees src { c_epoch = g.g_epoch; tree = pruned };
+      t.tree_builds <- t.tree_builds + 1;
       pruned
 
 let multicast t ?(ttl = 64) ~src ~group msg =
   ensure_capacity t;
-  let tree = pruned_tree t ~src ~group in
-  let member = group_table t group in
-  let rec forward node ttl =
-    if ttl > 0 then
-      List.iter
-        (fun link ->
-          transmit t link msg (fun () ->
-              let next = Topo.link_dst link in
-              if Hashtbl.mem member next && next <> src then
-                deliver t ~src ~dst:next msg;
-              forward next (ttl - 1)))
-        tree.(node)
+  let g = group_rec t group in
+  let tree = pruned_tree t g ~src in
+  let size = t.size_of msg in
+  (* Leaf fan-out batching: consecutive leaf children whose transmit
+     decisions land at the same instant (the common case — parallel
+     identical LAN links off one router) would each be their own
+     engine event with consecutive sequence numbers.  Merging such a
+     run into one arrival event that delivers to all of them is
+     observably identical — per-link decisions are still drawn in link
+     order at send time, and the run is flushed before anything else
+     is enqueued, so same-instant FIFO order is untouched — but it
+     turns ~N leaf events per router into one. *)
+  let run = ref [||] in
+  let run_len = ref 0 in
+  let run_time = ref neg_infinity in
+  let flush () =
+    let n = !run_len in
+    if n > 0 then begin
+      let children = Array.sub !run 0 n in
+      run_len := 0;
+      Engine.post_at t.engine ~time:!run_time (fun () ->
+          Array.iter
+            (fun c ->
+              if c <> src && member_mask t g c then deliver t ~src ~dst:c msg)
+            children)
+    end
   in
-  forward src ttl
+  let push_leaf child a =
+    if !run_len > 0 && a <> !run_time then flush ();
+    if !run_len = Array.length !run then begin
+      let bigger = Array.make (Stdlib.max 8 (2 * Array.length !run)) 0 in
+      Array.blit !run 0 bigger 0 !run_len;
+      run := bigger
+    end;
+    run_time := a;
+    !run.(!run_len) <- child;
+    incr run_len
+  in
+  (* One flight per concurrently in-flight copy of the packet: a linear
+     router chain advances its flight in place and re-posts the same
+     arrival closure; only branch points spawn new flights. *)
+  let rec launch fl arrive link =
+    observe t link msg;
+    let now = Engine.now t.engine in
+    match Topo.transmit_decision link ~rng:t.rng ~now ~size with
+    | Topo.Deliver arrival_time ->
+        fl.f_node <- Topo.link_dst link;
+        fl.f_ttl <- fl.f_ttl - 1;
+        Engine.post_at t.engine ~time:arrival_time arrive
+    | Topo.Dropped_loss | Topo.Dropped_queue -> ()
+  and fan_out node budget =
+    (* Offer the packet on every child link of [node]; budget > 0. *)
+    List.iter
+      (fun link ->
+        let child = Topo.link_dst link in
+        match Array.unsafe_get tree child with
+        | [] -> (
+            observe t link msg;
+            let now = Engine.now t.engine in
+            match Topo.transmit_decision link ~rng:t.rng ~now ~size with
+            | Topo.Deliver a -> push_leaf child a
+            | Topo.Dropped_loss | Topo.Dropped_queue -> ())
+        | _ ->
+            (* Keep sequence order exact: the pending leaf run precedes
+               this child's arrival event. *)
+            flush ();
+            spawn node budget link)
+      (Array.unsafe_get tree node);
+    flush ()
+  and spawn node budget link =
+    let fl = { f_node = node; f_ttl = budget } in
+    let rec arrive () =
+      let u = fl.f_node in
+      if u <> src && member_mask t g u then deliver t ~src ~dst:u msg;
+      if fl.f_ttl > 0 then
+        match Array.unsafe_get tree u with
+        | [] -> ()
+        | [ link ]
+          when (match Array.unsafe_get tree (Topo.link_dst link) with
+               | [] -> false
+               | _ -> true) ->
+            (* Linear chain to another interior node: advance this
+               flight in place, no new closure. *)
+            launch fl arrive link
+        | _ -> fan_out u fl.f_ttl
+    in
+    launch fl arrive link
+  in
+  if ttl > 0 then fan_out src ttl
 
 let one_way_delay t a b =
   if a = b then loopback_delay else Route.distance t.route ~src:a ~dst:b
 
 let rtt t a b = one_way_delay t a b +. one_way_delay t b a
+
+(* ---- cache observability (for tests and benchmarks) ------------------ *)
+
+let mcast_cache_size t =
+  Hashtbl.fold (fun _ g acc -> acc + Hashtbl.length g.trees) t.groups 0
+
+let mcast_tree_builds t = t.tree_builds

@@ -52,3 +52,12 @@ val on_link_transit : 'msg t -> (Topo.link -> 'msg -> unit) -> unit
 (** Register an observer invoked for every (message, link) offering —
     before loss/queue dropping.  Experiments use this to count protocol
     traffic crossing particular links (e.g. NACKs on a tail circuit). *)
+
+val mcast_cache_size : 'msg t -> int
+(** Number of cached pruned multicast trees, summed over all groups.
+    Bounded by one tree per (source, group): recomputing a stale tree
+    replaces the superseded entry instead of accumulating epochs. *)
+
+val mcast_tree_builds : 'msg t -> int
+(** Total pruned-tree constructions since {!create}.  A membership
+    change in one group must only force rebuilds for that group. *)

@@ -6,17 +6,24 @@ type node = { kind : kind; node_label : string; mutable out : link list }
 and link = {
   src : node_id;
   dst : node_id;
-  bandwidth : float; (* bits/s; 0 = infinite *)
-  delay : float;
-  mutable jitter : float; (* mean of exponential extra delay; 0 = none *)
+  fl : link_floats;
   queue_limit : int;
   mutable loss : Loss.t;
-  mutable busy_until : float;
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
   mutable lost : int;
   mutable queue_drops : int;
+}
+
+(* All-float record: stored flat (unboxed), so the transmit hot path
+   reads one contiguous block and updating [busy_until] allocates
+   nothing. *)
+and link_floats = {
+  bandwidth : float; (* bits/s; 0 = infinite *)
+  delay : float;
+  mutable jitter : float; (* mean of exponential extra delay; 0 = none *)
+  mutable busy_until : float;
 }
 
 type t = { mutable nodes : node array; mutable n : int }
@@ -49,12 +56,9 @@ let add_link t ?(bandwidth = 0.) ?(delay = 0.001) ?(jitter = 0.)
     {
       src;
       dst;
-      bandwidth;
-      delay;
-      jitter;
+      fl = { bandwidth; delay; jitter; busy_until = 0. };
       queue_limit = queue;
       loss;
-      busy_until = 0.;
       sent = 0;
       delivered = 0;
       bytes = 0;
@@ -79,12 +83,12 @@ let find_link t ~src ~dst =
 
 let link_src l = l.src
 let link_dst l = l.dst
-let link_delay l = l.delay
-let link_bandwidth l = l.bandwidth
+let link_delay l = l.fl.delay
+let link_bandwidth l = l.fl.bandwidth
 let link_loss l = l.loss
 let set_link_loss l loss = l.loss <- loss
-let link_jitter l = l.jitter
-let set_link_jitter l jitter = l.jitter <- jitter
+let link_jitter l = l.fl.jitter
+let set_link_jitter l jitter = l.fl.jitter <- jitter
 
 type decision = Deliver of float | Dropped_loss | Dropped_queue
 
@@ -95,12 +99,13 @@ let transmit_decision l ~rng ~now ~size =
     Dropped_loss
   end
   else begin
+    let fl = l.fl in
     let tx_time =
-      if l.bandwidth <= 0. then 0.
-      else float_of_int (8 * size) /. l.bandwidth
+      if fl.bandwidth <= 0. then 0.
+      else float_of_int (8 * size) /. fl.bandwidth
     in
     (* Queue occupancy approximated by outstanding serialization time. *)
-    let backlog = Float.max 0. (l.busy_until -. now) in
+    let backlog = Float.max 0. (fl.busy_until -. now) in
     let queued_pkts =
       if tx_time <= 0. then 0 else int_of_float (backlog /. tx_time)
     in
@@ -109,17 +114,17 @@ let transmit_decision l ~rng ~now ~size =
       Dropped_queue
     end
     else begin
-      let start = Float.max now l.busy_until in
-      l.busy_until <- start +. tx_time;
+      let start = Float.max now fl.busy_until in
+      fl.busy_until <- start +. tx_time;
       l.delivered <- l.delivered + 1;
       l.bytes <- l.bytes + size;
       (* Exponential jitter can reorder packets relative to earlier
          traffic on the same link, as IP permits. *)
       let extra =
-        if l.jitter > 0. then Lbrm_util.Rng.exponential rng ~mean:l.jitter
+        if fl.jitter > 0. then Lbrm_util.Rng.exponential rng ~mean:fl.jitter
         else 0.
       in
-      Deliver (l.busy_until +. l.delay +. extra)
+      Deliver (fl.busy_until +. fl.delay +. extra)
     end
   end
 
@@ -143,4 +148,4 @@ let reset_counters t =
 
 let pp_link fmt l =
   Format.fprintf fmt "%d->%d (bw=%.3g delay=%.3g sent=%d lost=%d)" l.src l.dst
-    l.bandwidth l.delay l.sent l.lost
+    l.fl.bandwidth l.fl.delay l.sent l.lost

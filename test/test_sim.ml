@@ -46,6 +46,68 @@ let engine_run_until () =
   Engine.run ~until:7.5 e;
   checki "two more" 7 !count
 
+(* Satellite: [every ~until] must not fire one period past the
+   deadline.  Dyadic periods keep the expected tick times exact. *)
+let engine_every_until_last_fire () =
+  let e = Engine.create () in
+  let fires = ref [] in
+  Engine.every e ~period:0.5 ~until:1.75 (fun () ->
+      fires := Engine.now e :: !fires);
+  Engine.run e;
+  (* unbounded drain: nothing may outlive the deadline *)
+  Alcotest.check
+    (Alcotest.list (Alcotest.float 1e-12))
+    "last fire at largest tick <= until" [ 0.5; 1.0; 1.5 ] (List.rev !fires);
+  checkf 1e-12 "clock stops at the last fire" 1.5 (Engine.now e);
+  checki "no event left past the deadline" 0 (Engine.pending e)
+
+let engine_every_until_boundary () =
+  (* [until] exactly on a tick: that tick still fires. *)
+  let e = Engine.create () in
+  let fires = ref [] in
+  Engine.every e ~period:0.5 ~until:2.0 (fun () ->
+      fires := Engine.now e :: !fires);
+  Engine.run e;
+  Alcotest.check
+    (Alcotest.list (Alcotest.float 1e-12))
+    "deadline tick included" [ 0.5; 1.0; 1.5; 2.0 ] (List.rev !fires);
+  checki "queue empty" 0 (Engine.pending e)
+
+(* Regression: [run ~until] reinserts the first not-yet-due event; a
+   callback scheduled afterwards, between the pause point and that
+   event, must still fire first. *)
+let engine_run_until_reinsert () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:10. (fun () -> log := "far" :: !log));
+  Engine.run ~until:1. e;
+  checkf 1e-9 "parked at until" 1. (Engine.now e);
+  ignore (Engine.schedule e ~delay:2. (fun () -> log := "near" :: !log));
+  Engine.run e;
+  Alcotest.check (Alcotest.list Alcotest.string) "near fires before far"
+    [ "near"; "far" ] (List.rev !log)
+
+(* Burst + mass cancellation drives the calendar queue through grow,
+   unlink and shrink while ordering must stay intact. *)
+let engine_burst_cancel () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let last = ref (-1.) in
+  let timers =
+    Array.init 1000 (fun i ->
+        Engine.schedule e
+          ~delay:(float_of_int (i mod 10) /. 100.)
+          (fun () ->
+            let n = Engine.now e in
+            checkb "nondecreasing" true (n >= !last);
+            last := n;
+            incr fired))
+  in
+  Array.iteri (fun i tm -> if i mod 3 = 0 then Engine.cancel e tm) timers;
+  Engine.run e;
+  checki "cancelled timers stay silent" 666 !fired;
+  checki "drained" 0 (Engine.pending e)
+
 let engine_nested_schedule () =
   let e = Engine.create () in
   let log = ref [] in
@@ -361,6 +423,68 @@ let prop_route_triangle =
             hosts)
         hosts)
 
+(* Satellite: churn across 8 groups must leave the pruned-tree cache
+   bounded (one live tree per (source, group)) and must only rebuild
+   the churned group's tree — the stable group's cache entry survives
+   every other group's membership changes. *)
+let net_mcast_cache_churn () =
+  let wan = Builders.dis_wan ~sites:8 ~hosts_per_site:4 () in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topo:wan.topo ~size_of:String.length ()
+  in
+  let hosts = Array.of_list (Builders.all_hosts wan) in
+  let n = Array.length hosts in
+  let src = hosts.(0) in
+  Array.iter (fun h -> Net.set_handler net h (fun ~now:_ ~src:_ _ -> ())) hosts;
+  (* Group 7 is stable; groups 0..6 churn below. *)
+  for i = 1 to n - 1 do
+    Net.join net ~group:7 hosts.(i);
+    Net.join net ~group:(i mod 7) hosts.(i)
+  done;
+  (* Warm every group's tree once. *)
+  for g = 0 to 7 do
+    Net.multicast net ~src ~group:g "warm"
+  done;
+  Engine.run engine;
+  let warm_builds = Net.mcast_tree_builds net in
+  let ops = 10_000 in
+  for i = 0 to ops - 1 do
+    let g = i mod 7 in
+    let h = hosts.(1 + (i mod (n - 1))) in
+    if Net.is_member net ~group:g h then Net.leave net ~group:g h
+    else Net.join net ~group:g h;
+    Net.multicast net ~src ~group:g "m";
+    Net.multicast net ~src ~group:7 "s";
+    Engine.run engine
+  done;
+  (* Bounded: superseded trees are evicted on rebuild, never accumulated. *)
+  checki "one live tree per (source, group)" 8 (Net.mcast_cache_size net);
+  (* Isolated: each op invalidates exactly the churned group's tree, and
+     the stable group's multicast always hits cache. *)
+  checki "rebuilds = churn ops only" (warm_builds + ops)
+    (Net.mcast_tree_builds net)
+
+let prop_engine_fifo_ties =
+  QCheck.Test.make ~name:"engine: equal-time events fire in posting order"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 5))
+    (fun slots ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i slot ->
+          Engine.post_at e
+            ~time:(float_of_int slot)
+            (fun () -> fired := (slot, i) :: !fired))
+        slots;
+      Engine.run e;
+      let expect =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i s -> (s, i)) slots)
+      in
+      List.rev !fired = expect)
+
 let prop_engine_random_schedules =
   QCheck.Test.make ~name:"engine: random schedules fire in time order"
     QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 100.))
@@ -382,8 +506,16 @@ let () =
           Alcotest.test_case "ordering" `Quick engine_ordering;
           Alcotest.test_case "cancel" `Quick engine_cancel;
           Alcotest.test_case "run until" `Quick engine_run_until;
+          Alcotest.test_case "every ~until last fire" `Quick
+            engine_every_until_last_fire;
+          Alcotest.test_case "every ~until boundary tick" `Quick
+            engine_every_until_boundary;
+          Alcotest.test_case "run until + late schedule" `Quick
+            engine_run_until_reinsert;
+          Alcotest.test_case "burst + cancel" `Quick engine_burst_cancel;
           Alcotest.test_case "nested schedule" `Quick engine_nested_schedule;
           qtest prop_engine_random_schedules;
+          qtest prop_engine_fifo_ties;
         ] );
       ("route-properties", [ qtest prop_route_triangle ]);
       ( "loss",
@@ -419,6 +551,8 @@ let () =
           Alcotest.test_case "leave" `Quick net_leave;
           Alcotest.test_case "RTTs match the paper's scenario" `Quick
             net_rtt_symmetry;
+          Alcotest.test_case "mcast cache bounded under churn" `Slow
+            net_mcast_cache_churn;
         ] );
       ("builders", [ Alcotest.test_case "dis_wan shape" `Quick builder_shape ]);
       ("trace", [ Alcotest.test_case "counters and samples" `Quick trace_counters ]);

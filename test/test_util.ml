@@ -122,6 +122,108 @@ let heap_prop_remove_consistent =
       in
       drain [] = List.sort Float.compare kept)
 
+(* Model-based test: a random interleaving of add / put / remove / pop
+   must agree with a sorted-list reference model at every pop, and
+   handles must report liveness correctly after removal. *)
+let heap_prop_model =
+  let model_min model =
+    (* (prio, id) with id doubling as FIFO tie-break (ids increase) *)
+    List.fold_left
+      (fun acc (p, v) ->
+        match acc with
+        | Some (bp, bv) when bp < p || (bp = p && bv < v) -> acc
+        | _ -> Some (p, v))
+      None model
+  in
+  QCheck.Test.make ~count:300
+    ~name:"heap: random add/put/remove/pop matches sorted-list model"
+    QCheck.(list (pair (int_bound 3) (float_bound_inclusive 50.)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let handles = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let drop_value v =
+        model := List.filter (fun (_, v') -> v' <> v) !model;
+        handles := List.filter (fun (_, v') -> v' <> v) !handles
+      in
+      let pop_once () =
+        match (Heap.pop h, model_min !model) with
+        | None, None -> ()
+        | Some (p, v), Some (ep, ev) ->
+            check (p = ep && v = ev);
+            drop_value ev
+        | _ -> check false
+      in
+      List.iter
+        (fun (tag, p) ->
+          match tag with
+          | 0 ->
+              let v = !next_id in
+              incr next_id;
+              let hd = Heap.add h ~prio:p v in
+              model := (p, v) :: !model;
+              handles := (hd, v) :: !handles
+          | 1 ->
+              let v = !next_id in
+              incr next_id;
+              Heap.put h ~prio:p v;
+              model := (p, v) :: !model
+          | 2 -> (
+              match !handles with
+              | [] -> ()
+              | hs ->
+                  let hd, v = List.nth hs (int_of_float p mod List.length hs) in
+                  let was_live = Heap.is_live hd in
+                  check (Heap.remove h hd = was_live);
+                  check (not (Heap.is_live hd));
+                  check (Heap.remove h hd = false);
+                  check (Heap.value hd = v);
+                  if was_live then drop_value v else check true)
+          | _ -> pop_once ())
+        ops;
+      check (Heap.size h = List.length !model);
+      while not (Heap.is_empty h) || !model <> [] do
+        pop_once ();
+        if not !ok then model := [] (* abort on first mismatch *)
+      done;
+      !ok)
+
+(* Slot blanking: once an entry leaves the heap (pop or remove), the
+   backing array and node pool must not keep its value alive.  Weak
+   pointers observe collection while the heap itself stays live. *)
+let heap_no_retention () =
+  let h = Heap.create () in
+  let n = 64 in
+  let w = Weak.create n in
+  let fill () =
+    for i = 0 to n - 1 do
+      let v = ref i in
+      Weak.set w i (Some v);
+      if i land 1 = 0 then Heap.put h ~prio:(float_of_int i) v
+      else begin
+        let hd = Heap.add h ~prio:(float_of_int i) v in
+        if i land 3 = 1 then ignore (Heap.remove h hd)
+        (* else: handle dropped here, entry drained below *)
+      end
+    done
+  in
+  fill ();
+  while Heap.pop h <> None do
+    ()
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  checki "no freed slot retains its value" 0 !live;
+  (* Keep the heap reachable past the check: the collection above must
+     be due to slot blanking, not the heap itself dying. *)
+  checki "heap still alive and empty" 0 (Heap.size (Sys.opaque_identity h))
+
 (* ---- Rng ---- *)
 
 let rng_determinism () =
@@ -333,8 +435,11 @@ let () =
           Alcotest.test_case "ordering" `Quick heap_ordering;
           Alcotest.test_case "FIFO ties" `Quick heap_fifo_ties;
           Alcotest.test_case "remove" `Quick heap_remove;
+          Alcotest.test_case "no retention after pop/remove" `Quick
+            heap_no_retention;
           qtest heap_prop_sorted;
           qtest heap_prop_remove_consistent;
+          qtest heap_prop_model;
         ] );
       ( "rng",
         [
