@@ -164,7 +164,7 @@ let tab3 () =
       Lbrm.Logger.create plain_cfg ~self:5 ~source:1 ~parent:2
         ~rng:(Rng.create ~seed:1) ()
     in
-    let payload = String.make 128 'x' in
+    let payload = Lbrm_wire.Payload.of_string (String.make 128 'x') in
     for seq = 1 to 1024 do
       ignore
         (Lbrm.Logger.handle_message l ~now:0. ~src:1
@@ -182,7 +182,12 @@ let tab3 () =
                 (Message.Nack { seqs = [ !seq ] }))))
   in
   let data_msg =
-    Message.Data { seq = 7; epoch = 1; payload = String.make 128 'x' }
+    Message.Data
+      {
+        seq = 7;
+        epoch = 1;
+        payload = Lbrm_wire.Payload.of_string (String.make 128 'x');
+      }
   in
   let encoded = Lbrm_wire.Codec.encode data_msg in
   let encode =
@@ -203,7 +208,8 @@ let tab3 () =
            incr rseq;
            ignore
              (Lbrm.Receiver.handle_message receiver ~now:1. ~src:1
-                (Message.Data { seq = !rseq; epoch = 0; payload = "" }))))
+                (Message.Data
+                   { seq = !rseq; epoch = 0; payload = Lbrm_wire.Payload.empty }))))
   in
   let hb = Heartbeat.create ~policy:Variable ~h_min ~h_max ~backoff in
   let hb_step =

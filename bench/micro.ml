@@ -13,9 +13,15 @@
    - engine_events:     schedule-fire timer chains through the event loop
    - multicast_1k/10k:  one source multicasting over the paper's Figure-1
                         topology (sites x hosts LANs + T1 tails + backbone)
-   - codec_roundtrip:   encode+decode of a 128-byte Data message
+   - codec_roundtrip:   encode+decode of a 128-byte Data message through
+                        the zero-copy path (scratch writer, payload views)
+   - log_store_churn:   sliding-window add/get/expire against the
+                        seq-indexed ring under Keep_for retention
    - membership_churn:  join/leave across 8 groups with interleaved
-                        multicasts (exercises the pruned-tree cache) *)
+                        multicasts (exercises the pruned-tree cache)
+   - protocol_recovery: full protocol macro — source -> loggers -> 1k
+                        receivers on lossy tails, recovery via
+                        NACK/retransmission *)
 
 module Engine = Lbrm_sim.Engine
 module Net = Lbrm_sim.Net
@@ -23,6 +29,10 @@ module Topo = Lbrm_sim.Topo
 module Builders = Lbrm_sim.Builders
 module Message = Lbrm_wire.Message
 module Codec = Lbrm_wire.Codec
+module Payload = Lbrm_wire.Payload
+module Log_store = Lbrm.Log_store
+module Scenario = Lbrm_run.Scenario
+module Loss = Lbrm_sim.Loss
 
 (* Hot-path scheduling: fire-and-forget, no cancellation handle needed. *)
 let post = Engine.post
@@ -117,16 +127,86 @@ let bench_multicast ~sites ~hosts_per_site ~packets () =
 (* ---- wire codec ------------------------------------------------------ *)
 
 let bench_codec ~ops () =
-  let msg = Message.Data { seq = 7; epoch = 1; payload } in
+  let msg =
+    Message.Data { seq = 7; epoch = 1; payload = Payload.of_string payload }
+  in
   let bytes_per_op = String.length (Codec.encode msg) in
+  (* The runtime pattern: one long-lived scratch writer, encode into it,
+     decode straight back out of its buffer.  The only per-op allocation
+     left is the decoded message and its payload view. *)
+  let w = Codec.Writer.create ~size:(Message.body_size msg) () in
   let ok = ref 0 in
   for _ = 1 to ops do
-    match Codec.decode (Codec.encode msg) with
+    Codec.Writer.reset w;
+    Codec.encode_into w msg;
+    match
+      Codec.decode_bytes ~len:(Codec.Writer.length w) (Codec.Writer.buffer w)
+    with
     | Ok _ -> incr ok
     | Error _ -> ()
   done;
   assert (!ok = ops);
   (ops, [ ("wire_bytes", float_of_int bytes_per_op) ])
+
+(* ---- log store under sliding-window churn ---------------------------- *)
+
+(* A logger's steady state: every packet is added once, a recent packet
+   is served per arrival, and lifetime expiry continuously reclaims the
+   tail.  The ring must stay at the live-window size (~200 entries here)
+   no matter how many packets stream through. *)
+let bench_log_store ~ops () =
+  let store = Log_store.create ~retention:(Log_store.Keep_for 2.) () in
+  let pl = String.make 128 'l' in
+  let expired = ref 0 in
+  for i = 1 to ops do
+    let now = 0.01 *. float_of_int i in
+    ignore (Log_store.add store ~now ~seq:i ~epoch:0 ~payload:pl);
+    ignore (Log_store.get store ~now (Stdlib.max 1 (i - 100)));
+    expired := !expired + Log_store.expire store ~now
+  done;
+  ( ops,
+    [
+      ("expired", float_of_int !expired);
+      ("resident", float_of_int (Log_store.count store));
+      ("capacity", float_of_int (Log_store.capacity store));
+    ] )
+
+(* ---- full-protocol recovery macro ------------------------------------ *)
+
+(* The paper's reference deployment (sites x receivers behind lossy tail
+   circuits) driven end-to-end: periodic multicasts, per-site loss,
+   receivers detecting gaps and recovering through the logger hierarchy.
+   Ops = packets delivered to applications; the extras expose how much
+   recovery traffic that took. *)
+let bench_recovery ~sites ~receivers_per_site ~packets () =
+  let interval = 0.1 in
+  let d =
+    Scenario.standard ~seed:7
+      ~initial_estimate:(float_of_int (sites * receivers_per_site))
+      ~tail_loss:(fun _site -> Loss.bernoulli 0.03)
+      ~sites ~receivers_per_site ()
+  in
+  Scenario.drive_periodic d ~interval ~count:packets ();
+  Scenario.run d ~until:((float_of_int packets +. 1.) *. interval +. 60.);
+  let sum_receivers f =
+    Array.fold_left (fun acc (r, _) -> acc + f r) 0 d.Scenario.receivers
+  in
+  let delivered = sum_receivers Lbrm.Receiver.delivered in
+  let served =
+    Array.fold_left
+      (fun acc (l, _) -> acc + Lbrm.Logger.requests_served l)
+      (Lbrm.Logger.requests_served d.Scenario.primary)
+      d.Scenario.secondaries
+  in
+  ( delivered,
+    [
+      ("packets", float_of_int packets);
+      ("receivers", float_of_int (Array.length d.Scenario.receivers));
+      ("recovered", float_of_int (sum_receivers Lbrm.Receiver.recovered));
+      ("nacks", float_of_int (sum_receivers Lbrm.Receiver.nacks_sent));
+      ("requests_served", float_of_int served);
+      ("missing", float_of_int (Scenario.total_missing d));
+    ] )
 
 (* ---- membership churn against the pruned-tree cache ------------------ *)
 
@@ -219,7 +299,11 @@ let () =
     run_bench ~reps ~name:"multicast_10k"
       (bench_multicast ~sites:500 ~hosts_per_site:20 ~packets:20);
   run_bench ~reps ~name:"codec_roundtrip" (bench_codec ~ops:(scale 400_000));
+  run_bench ~reps ~name:"log_store_churn"
+    (bench_log_store ~ops:(scale 400_000));
   run_bench ~reps ~name:"membership_churn" (bench_churn ~ops:(scale 10_000));
+  run_bench ~reps:(if smoke then 1 else 2) ~name:"protocol_recovery"
+    (bench_recovery ~sites:50 ~receivers_per_site:20 ~packets:(scale 200));
   match json with
   | Some path ->
       emit_json path !results;

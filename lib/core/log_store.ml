@@ -4,78 +4,147 @@ type seq = Seqno.t
 type retention = Keep_all | Keep_last of int | Keep_for of float
 type entry = { seq : seq; epoch : int; payload : string; logged_at : float }
 
+(* Seq-indexed circular buffer.  A sequence number lives in slot
+   [seq land mask]; the invariant that all live seqs fit in one
+   capacity-sized window makes that residue collision-free, so
+   add/get/evict are O(1) array probes — no hashing, no insertion-order
+   queue, no full-table rescans.  Parallel arrays (rather than an
+   [entry option array]) keep slots unboxed.
+
+   [lo]/[hi]/[contig] are maintained incrementally: evicting the lowest
+   or highest seq walks to its live neighbour (amortized O(1) over a
+   sliding stream), and contiguity advances as gaps fill, exactly like
+   the old [advance_contig] but never rescanning the whole table.
+
+   [Keep_for] retention uses a hashed time wheel: each live seq is
+   bucketed by the tick at which its lifetime ends, and [expire] drains
+   only the buckets the clock has passed.  This replaces the unbounded
+   insertion-order queue (which leaked evicted seqs) with O(1) amortized
+   expiry bookkeeping. *)
+
+let empty_slot = min_int
+let min_capacity = 16
+let wheel_size = 64 (* power of two *)
+
 type t = {
   retention : retention;
   on_evict : entry -> unit;
-  table : (seq, entry) Hashtbl.t;
-  order : seq Queue.t; (* insertion order, for FIFO eviction *)
-  mutable first : seq option;
-  mutable contig : seq option; (* highest contiguous from [first] *)
-  mutable newest : entry option;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable seqs : int array; (* [empty_slot] when free *)
+  mutable epochs : int array;
+  mutable payloads : string array;
+  mutable stamps : float array;
+  mutable count : int;
+  mutable lo : seq; (* lowest live seq;   valid iff count > 0 *)
+  mutable hi : seq; (* highest live seq;  valid iff count > 0 *)
+  mutable contig : seq; (* highest c with [lo..c] live; valid iff count > 0 *)
   mutable evictions : int;
+  (* Keep_for wheel; [wheel_unit = 0.] for other retentions *)
+  wheel : seq list array;
+  wheel_unit : float;
+  mutable wheel_tick : int;
 }
 
 let create ?(on_evict = fun _ -> ()) ~retention () =
+  let wheel_unit =
+    match retention with
+    | Keep_for life when life > 0. -> life /. 32.
+    | Keep_for _ -> 1e-9
+    | Keep_all | Keep_last _ -> 0.
+  in
   {
     retention;
     on_evict;
-    table = Hashtbl.create 256;
-    order = Queue.create ();
-    first = None;
-    contig = None;
-    newest = None;
+    mask = min_capacity - 1;
+    seqs = Array.make min_capacity empty_slot;
+    epochs = Array.make min_capacity 0;
+    payloads = Array.make min_capacity "";
+    stamps = Array.make min_capacity 0.;
+    count = 0;
+    lo = 0;
+    hi = 0;
+    contig = 0;
     evictions = 0;
+    wheel = (if wheel_unit > 0. then Array.make wheel_size [] else [||]);
+    wheel_unit;
+    wheel_tick = 0;
   }
 
-let count t = Hashtbl.length t.table
+let count t = t.count
+let capacity t = t.mask + 1
 let evictions t = t.evictions
-let mem t seq = Hashtbl.mem t.table seq
+let idx t s = s land t.mask
+let live t s = Array.unsafe_get t.seqs (idx t s) = s
+let mem t seq = t.count > 0 && live t seq
 
-let evict t seq =
-  match Hashtbl.find_opt t.table seq with
-  | None -> ()
-  | Some e ->
-      Hashtbl.remove t.table seq;
-      t.evictions <- t.evictions + 1;
-      t.on_evict e
+let entry_at t s =
+  let i = idx t s in
+  {
+    seq = s;
+    epoch = t.epochs.(i);
+    payload = t.payloads.(i);
+    logged_at = t.stamps.(i);
+  }
+
+let tick_of t time =
+  let q = time /. t.wheel_unit in
+  if q >= 4.6e18 then max_int else int_of_float q
+
+let wheel_push t ~tick s =
+  let b = tick land (wheel_size - 1) in
+  t.wheel.(b) <- s :: t.wheel.(b)
+
+let wheel_note t ~now s =
+  match t.retention with
+  | Keep_for life ->
+      let tick = Stdlib.max (tick_of t (now +. life)) (t.wheel_tick + 1) in
+      wheel_push t ~tick s
+  | Keep_all | Keep_last _ -> ()
 
 let advance_contig t =
-  let rec loop s =
-    let next = Seqno.succ s in
-    if Hashtbl.mem t.table next then loop next else s
-  in
-  match t.contig with
-  | None -> ()
-  | Some s -> t.contig <- Some (loop s)
+  let c = ref t.contig in
+  while live t (Seqno.succ !c) do
+    c := Seqno.succ !c
+  done;
+  t.contig <- !c
 
-let add t ~now ~seq ~epoch ~payload =
-  if Hashtbl.mem t.table seq then false
-  else begin
-    let e = { seq; epoch; payload; logged_at = now } in
-    Hashtbl.replace t.table seq e;
-    Queue.push seq t.order;
-    (match t.first with
-    | None ->
-        t.first <- Some seq;
-        t.contig <- Some seq
-    | Some first ->
-        if Seqno.(seq < first) then begin
-          t.first <- Some seq;
-          t.contig <- Some seq
-        end);
-    advance_contig t;
-    (match t.newest with
-    | Some n when Seqno.(n.seq >= seq) -> ()
-    | _ -> t.newest <- Some e);
-    (match t.retention with
-    | Keep_last n ->
-        while count t > n do
-          match Queue.take_opt t.order with
-          | Some s -> evict t s
-          | None -> ()
-        done
-    | Keep_all | Keep_for _ -> ());
-    true
+(* Remove a live seq and repair lo/hi/contig by walking to the nearest
+   live neighbour (bounded by the window, amortized O(1) on sliding
+   streams). *)
+let remove t s =
+  let i = idx t s in
+  let e = entry_at t s in
+  t.seqs.(i) <- empty_slot;
+  t.payloads.(i) <- "";
+  t.count <- t.count - 1;
+  if t.count > 0 then begin
+    if s = t.lo then begin
+      let x = ref (Seqno.succ s) in
+      while not (live t !x) do
+        x := Seqno.succ !x
+      done;
+      t.lo <- !x;
+      if Seqno.(t.contig < t.lo) then begin
+        t.contig <- t.lo;
+        advance_contig t
+      end
+    end
+    else if Seqno.(s <= t.contig) then t.contig <- Seqno.add s (-1);
+    if s = t.hi then begin
+      let x = ref (Seqno.add s (-1)) in
+      while not (live t !x) do
+        x := Seqno.add !x (-1)
+      done;
+      t.hi <- !x
+    end
+  end;
+  e
+
+let evict_seq t s =
+  if mem t s then begin
+    let e = remove t s in
+    t.evictions <- t.evictions + 1;
+    t.on_evict e
   end
 
 let expired t ~now (e : entry) =
@@ -83,60 +152,181 @@ let expired t ~now (e : entry) =
   | Keep_for life -> now -. e.logged_at > life
   | Keep_all | Keep_last _ -> false
 
-let get t ~now seq =
-  match Hashtbl.find_opt t.table seq with
-  | None -> None
-  | Some e ->
-      if expired t ~now e then begin
-        evict t seq;
-        None
-      end
-      else Some e
-
-let newest t =
-  match t.newest with
-  | Some e when Hashtbl.mem t.table e.seq -> Some e
-  | _ ->
-      (* The cached newest was evicted: rescan. *)
-      let best = ref None in
-      Hashtbl.iter
-        (fun _ e ->
-          match !best with
-          | Some b when Seqno.(b.seq >= e.seq) -> ()
-          | _ -> best := Some e)
-        t.table;
-      t.newest <- !best;
-      !best
-
-let highest_contiguous t =
-  match t.contig with
-  | Some s when Hashtbl.mem t.table s -> Some s
-  | Some _ ->
-      (* Contiguity broken by eviction: recompute from the smallest
-         surviving entry. *)
-      let smallest = ref None in
-      Hashtbl.iter
-        (fun s _ ->
-          match !smallest with
-          | Some m when Seqno.(m <= s) -> ()
-          | _ -> smallest := Some s)
-        t.table;
-      t.first <- !smallest;
-      t.contig <- !smallest;
-      advance_contig t;
-      t.contig
-  | None -> None
-
 let expire t ~now =
-  let doomed =
-    Hashtbl.fold
-      (fun s e acc -> if expired t ~now e then s :: acc else acc)
-      t.table []
-  in
-  List.iter (evict t) doomed;
-  List.length doomed
+  match t.retention with
+  | Keep_all | Keep_last _ -> 0
+  | Keep_for life ->
+      let target = tick_of t now in
+      let dropped = ref 0 in
+      let check s =
+        if mem t s then begin
+          let st = t.stamps.(idx t s) in
+          if now -. st > life then begin
+            evict_seq t s;
+            incr dropped
+          end
+          else
+            (* Survivor from an earlier wheel round: requeue for the
+               tick its lifetime actually ends at (always future). *)
+            wheel_push t ~tick:(Stdlib.max (tick_of t (st +. life)) (target + 1)) s
+        end
+      in
+      let drain b =
+        let cands = t.wheel.(b) in
+        t.wheel.(b) <- [];
+        List.iter check cands
+      in
+      if target > t.wheel_tick then begin
+        if target - t.wheel_tick >= wheel_size then
+          for b = 0 to wheel_size - 1 do
+            drain b
+          done
+        else
+          for tk = t.wheel_tick + 1 to target do
+            drain (tk land (wheel_size - 1))
+          done;
+        t.wheel_tick <- target
+      end;
+      !dropped
+
+(* --- capacity ---------------------------------------------------------- *)
+
+let pow2_at_least n =
+  let c = ref min_capacity in
+  while !c < n do
+    c := 2 * !c
+  done;
+  !c
+
+let rehash t cap' =
+  let mask' = cap' - 1 in
+  let seqs' = Array.make cap' empty_slot in
+  let epochs' = Array.make cap' 0 in
+  let payloads' = Array.make cap' "" in
+  let stamps' = Array.make cap' 0. in
+  Array.iteri
+    (fun i s ->
+      if s <> empty_slot then begin
+        let j = s land mask' in
+        seqs'.(j) <- s;
+        epochs'.(j) <- t.epochs.(i);
+        payloads'.(j) <- t.payloads.(i);
+        stamps'.(j) <- t.stamps.(i)
+      end)
+    t.seqs;
+  t.seqs <- seqs';
+  t.epochs <- epochs';
+  t.payloads <- payloads';
+  t.stamps <- stamps';
+  t.mask <- mask'
+
+let span_with t seq =
+  let new_lo = if Seqno.(seq < t.lo) then seq else t.lo in
+  let new_hi = Seqno.max t.hi seq in
+  Seqno.diff new_hi new_lo + 1
+
+(* Make the window [min lo seq .. max hi seq] representable.  Returns
+   [false] when the seq is older than a bounded window and should be
+   dropped-on-arrival instead of stored. *)
+let make_room t ~now ~seq =
+  if t.count = 0 || span_with t seq <= capacity t then true
+  else
+    match t.retention with
+    | Keep_all ->
+        rehash t (pow2_at_least (span_with t seq));
+        true
+    | Keep_for _ ->
+        (* Reclaim dead lifetime first; only grow for what is alive. *)
+        ignore (expire t ~now);
+        if t.count = 0 || span_with t seq <= capacity t then true
+        else begin
+          rehash t (pow2_at_least (span_with t seq));
+          true
+        end
+    | Keep_last n ->
+        if Seqno.(seq < t.lo) then false
+        else begin
+          (* Grow to a bounded cap, then slide: FIFO-evict the lowest
+             seqs until the newcomer fits. *)
+          let cap_max = pow2_at_least (4 * Stdlib.max 1 n) in
+          let span = span_with t seq in
+          if span <= cap_max then rehash t (pow2_at_least span)
+          else
+            while
+              t.count > 0 && Seqno.diff seq t.lo + 1 > capacity t
+            do
+              evict_seq t t.lo
+            done;
+          true
+        end
+
+let place t ~now ~seq ~epoch ~payload =
+  let i = idx t seq in
+  t.seqs.(i) <- seq;
+  t.epochs.(i) <- epoch;
+  t.payloads.(i) <- payload;
+  t.stamps.(i) <- now
+
+let add t ~now ~seq ~epoch ~payload =
+  if mem t seq then false
+  else if not (make_room t ~now ~seq) then begin
+    (* Bounded window, seq too old to keep: logically added and
+       immediately FIFO-evicted. *)
+    t.evictions <- t.evictions + 1;
+    t.on_evict { seq; epoch; payload; logged_at = now };
+    true
+  end
+  else begin
+    place t ~now ~seq ~epoch ~payload;
+    t.count <- t.count + 1;
+    if t.count = 1 then begin
+      t.lo <- seq;
+      t.hi <- seq;
+      t.contig <- seq
+    end
+    else if Seqno.(seq < t.lo) then begin
+      t.lo <- seq;
+      t.contig <- seq;
+      advance_contig t
+    end
+    else begin
+      if Seqno.(seq > t.hi) then t.hi <- seq;
+      if seq = Seqno.succ t.contig then begin
+        t.contig <- seq;
+        advance_contig t
+      end
+    end;
+    wheel_note t ~now seq;
+    (match t.retention with
+    | Keep_last n ->
+        while t.count > n do
+          evict_seq t t.lo
+        done
+    | Keep_all | Keep_for _ -> ());
+    true
+  end
+
+let get t ~now seq =
+  if not (mem t seq) then None
+  else
+    let e = entry_at t seq in
+    if expired t ~now e then begin
+      evict_seq t seq;
+      None
+    end
+    else Some e
+
+let newest t = if t.count = 0 then None else Some (entry_at t t.hi)
+let highest_contiguous t = if t.count = 0 then None else Some t.contig
 
 let iter f t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
-  |> List.sort (fun a b -> Seqno.compare a.seq b.seq)
-  |> List.iter f
+  if t.count > 0 then begin
+    let s = ref t.lo and seen = ref 0 and total = t.count in
+    while !seen < total do
+      if live t !s then begin
+        incr seen;
+        f (entry_at t !s)
+      end;
+      s := Seqno.succ !s
+    done
+  end

@@ -5,7 +5,12 @@
     only store packets until their useful lifetime has expired; others
     … may log all packets").  [Keep_last] models a bounded in-memory
     buffer; eviction is reported so a persistent logger could spill to
-    disk. *)
+    disk.
+
+    Implemented as a seq-indexed circular buffer: add/get/evict are O(1)
+    array probes, [newest]/[highest_contiguous] are maintained
+    incrementally, and [Keep_for] expiry runs off a hashed time wheel —
+    no hashing, no insertion-order queue, no full-table rescans. *)
 
 type seq = Lbrm_util.Seqno.t
 
@@ -38,6 +43,12 @@ val highest_contiguous : t -> seq option
 
 val mem : t -> seq -> bool
 val count : t -> int
+
+val capacity : t -> int
+(** Current ring capacity in slots (a power of two).  Grows with the
+    live sequence window and is bounded for [Keep_last]; exposed so
+    tests can pin memory behaviour under churn. *)
+
 val evictions : t -> int
 
 val expire : t -> now:float -> int

@@ -1,4 +1,5 @@
 module Message = Lbrm_wire.Message
+module Payload = Lbrm_wire.Payload
 module Seqno = Lbrm_util.Seqno
 module Gap_tracker = Lbrm_util.Gap_tracker
 module Rng = Lbrm_util.Rng
@@ -148,7 +149,8 @@ let request_window t seq =
       w
 
 let retrans_msg (e : Log_store.entry) =
-  Message.Retrans { seq = e.seq; epoch = e.epoch; payload = e.payload }
+  Message.Retrans
+    { seq = e.seq; epoch = e.epoch; payload = Payload.of_string e.payload }
 
 (* In-memory store first, disk archive second. *)
 let lookup t ~now seq =
@@ -242,8 +244,11 @@ let maybe_leave_channel t =
       [ Leave channel ]
   | _ -> []
 
+(* [payload] arrives as a view over the receive path; the store owns its
+   entries, so copy out exactly once here. *)
 let log_packet t ~now ~seq ~epoch ~payload ~recovered =
-  ignore (Log_store.add t.store ~now ~seq ~epoch ~payload);
+  ignore
+    (Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload));
   Hashtbl.remove t.uplink_asked seq;
   if recovered then Hashtbl.replace t.recovered_here seq ();
   match Gap_tracker.note t.tracker seq with
@@ -311,7 +316,9 @@ let log_ack t =
   Message.Log_ack { primary_seq; replica_seq = best_replica_seq t }
 
 let on_deposit t ~now ~seq ~epoch ~payload =
-  let fresh = Log_store.add t.store ~now ~seq ~epoch ~payload in
+  let fresh =
+    Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload)
+  in
   ignore (Gap_tracker.note t.tracker seq);
   let to_replicas =
     if fresh then
@@ -354,14 +361,19 @@ let on_replica_retry t seq =
             (fun r ->
               Io.send_to r
                 (Message.Replica_update
-                   { seq = e.seq; epoch = e.epoch; payload = e.payload }))
+                   {
+                     seq = e.seq;
+                     epoch = e.epoch;
+                     payload = Payload.of_string e.payload;
+                   }))
             laggards
           @ [ Set_timer (K_replica_retry seq, t.cfg.deposit_timeout) ])
 
 (* --- replica duties ----------------------------------------------------- *)
 
 let on_replica_update t ~now ~src ~seq ~epoch ~payload =
-  ignore (Log_store.add t.store ~now ~seq ~epoch ~payload);
+  ignore
+    (Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload));
   ignore (Gap_tracker.note t.tracker seq);
   let contig = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
   [ Io.send_to src (Message.Replica_ack { seq = contig }) ]

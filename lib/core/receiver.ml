@@ -1,4 +1,5 @@
 module Message = Lbrm_wire.Message
+module Payload = Lbrm_wire.Payload
 module Seqno = Lbrm_util.Seqno
 module Gap_tracker = Lbrm_util.Gap_tracker
 open Io
@@ -194,10 +195,14 @@ let escalate t seq =
 
 (* --- data-plane arrivals ---------------------------------------------- *)
 
+(* The application boundary owns its payloads: copy out of the wire view
+   here, and only for packets that are actually delivered (duplicates
+   never pay for it). *)
 let deliver t ~now seq payload ~recovered:rec_ =
   t.delivered <- t.delivered + 1;
   if rec_ then t.recovered <- t.recovered + 1;
-  Deliver { seq; payload; recovered = rec_ } :: close_pursuit t ~now seq
+  Deliver { seq; payload = Payload.to_owned payload; recovered = rec_ }
+  :: close_pursuit t ~now seq
 
 let on_data t ~now ~seq ~payload =
   match Gap_tracker.note t.tracker seq with

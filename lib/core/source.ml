@@ -1,4 +1,5 @@
 module Message = Lbrm_wire.Message
+module Payload = Lbrm_wire.Payload
 module Seqno = Lbrm_util.Seqno
 open Io
 
@@ -87,7 +88,8 @@ let apply_events t events =
               [
                 Notify (N_remulticast seq);
                 Io.send ~group:(group t)
-                  (Message.Data { seq; epoch = t.epoch; payload });
+                  (Message.Data
+                     { seq; epoch = t.epoch; payload = Payload.of_string payload });
               ]))
     events
 
@@ -113,9 +115,12 @@ let send t ~now payload =
         Hashtbl.replace t.rchannel_buf seq payload;
         [ Set_timer (K_rchannel (seq, 0), t.cfg.h_min) ]
   in
+  let pv = Payload.of_string payload in
   [
-    Io.send ~group:(group t) (Message.Data { seq; epoch = t.epoch; payload });
-    Io.send_to t.primary (Message.Log_deposit { seq; epoch = t.epoch; payload });
+    Io.send ~group:(group t)
+      (Message.Data { seq; epoch = t.epoch; payload = pv });
+    Io.send_to t.primary
+      (Message.Log_deposit { seq; epoch = t.epoch; payload = pv });
     Set_timer (K_deposit seq, t.cfg.deposit_timeout);
     arm_heartbeat t;
   ]
@@ -128,7 +133,7 @@ let heartbeat_payload t =
     t.cfg.heartbeat_payload_max > 0
     && t.seq > 0
     && String.length t.last_payload <= t.cfg.heartbeat_payload_max
-  then Some t.last_payload
+  then Some (Payload.of_string t.last_payload)
   else None
 
 let on_heartbeat_due t =
@@ -168,7 +173,9 @@ let redeposit_from t ~floor =
     (fun seq (payload, epoch) acc ->
       if Seqno.(seq > floor) then begin
         Hashtbl.replace t.deposit_retries seq 0;
-        Io.send_to t.primary (Message.Log_deposit { seq; epoch; payload })
+        Io.send_to t.primary
+          (Message.Log_deposit
+             { seq; epoch; payload = Payload.of_string payload })
         :: Set_timer (K_deposit seq, t.cfg.deposit_timeout)
         :: acc
       end
@@ -231,7 +238,8 @@ let on_deposit_timeout t seq =
         | Some (payload, epoch) ->
             [
               Io.send_to t.primary
-                (Message.Log_deposit { seq; epoch; payload });
+                (Message.Log_deposit
+                   { seq; epoch; payload = Payload.of_string payload });
               Set_timer (K_deposit seq, t.cfg.deposit_timeout);
             ]
       end
@@ -268,7 +276,8 @@ let handle_timer t ~now key =
           | Some channel, Some payload ->
               let copy =
                 Io.send ~group:channel
-                  (Message.Retrans { seq; epoch = t.epoch; payload })
+                  (Message.Retrans
+                     { seq; epoch = t.epoch; payload = Payload.of_string payload })
               in
               if k + 1 >= t.cfg.rchannel_copies then begin
                 Hashtbl.remove t.rchannel_buf seq;

@@ -10,9 +10,9 @@ type envelope = { flow : int; msg : Message.t }
 let wire_size e = 4 + Message.wire_size e.msg
 
 let encode e =
-  let w = Codec.Writer.create () in
+  let w = Codec.Writer.create ~size:(4 + Message.body_size e.msg) () in
   Codec.Writer.u32 w e.flow;
-  Codec.Writer.raw w (Codec.encode e.msg);
+  Codec.encode_into w e.msg;
   Codec.Writer.contents w
 
 let decode s =
@@ -22,7 +22,9 @@ let decode s =
     match Codec.Reader.u32 r with
     | Error e -> Error e
     | Ok flow -> (
-        match Codec.decode (String.sub s 4 (String.length s - 4)) with
+        (* Parse the message in place after the flow prefix — no
+           substring copy; payloads are views over [s]. *)
+        match Codec.decode ~pos:4 s with
         | Ok msg -> Ok { flow; msg }
         | Error e -> Error e)
 

@@ -22,7 +22,8 @@ type t = {
   timer_heap : (int * timer_key) Heap.t; (* (port, key) at wall deadline *)
   mutable sent : int;
   mutable dropped : int;
-  buf : Bytes.t;
+  buf : Bytes.t; (* reused receive buffer; decoded views alias it *)
+  wbuf : Codec.Writer.t; (* reused encode scratch *)
 }
 
 let create ?(bind_ip = "127.0.0.1") ?(loss = 0.) ?(seed = 1) () =
@@ -38,6 +39,7 @@ let create ?(bind_ip = "127.0.0.1") ?(loss = 0.) ?(seed = 1) () =
     sent = 0;
     dropped = 0;
     buf = Bytes.create 65536;
+    wbuf = Codec.Writer.create ~size:2048 ();
   }
 
 let now t = Unix.gettimeofday () -. t.started
@@ -63,11 +65,15 @@ let send_datagram t agent ~dst msg =
   if t.loss > 0. && Rng.bernoulli t.rng ~p:t.loss then
     t.dropped <- t.dropped + 1
   else begin
-    let payload = Bytes.of_string (Codec.encode msg) in
+    (* Encode straight into the runtime's scratch writer and hand its
+       buffer to sendto: zero per-datagram allocation. *)
+    let w = t.wbuf in
+    Codec.Writer.reset w;
+    Codec.encode_into w msg;
     t.sent <- t.sent + 1;
     ignore
-      (Unix.sendto agent.socket payload 0 (Bytes.length payload) []
-         (sockaddr t dst))
+      (Unix.sendto agent.socket (Codec.Writer.buffer w) 0
+         (Codec.Writer.length w) [] (sockaddr t dst))
   end
 
 let rec execute t agent action =
@@ -125,7 +131,12 @@ let drain_socket t agent =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
     | len, Unix.ADDR_INET (_, src_port) -> (
-        match Codec.decode (Bytes.sub_string t.buf 0 len) with
+        (* Decode in place from the reused receive buffer.  Payload
+           views alias [t.buf], which is safe because every resulting
+           action — including re-encoding forwards and [to_owned] at
+           retention points — runs to completion before the next
+           [recvfrom] refills it. *)
+        match Codec.decode_bytes ~len t.buf with
         | Ok msg ->
             let actions =
               agent.handlers.Handlers.on_message ~now:(now t) ~src:src_port msg

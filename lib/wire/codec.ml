@@ -8,55 +8,144 @@ let pp_error fmt = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(* Offset-based writer over a reusable [Bytes] scratch buffer.  Encoding
+   a message into a kept writer allocates nothing once the scratch has
+   grown to the working-set packet size. *)
 module Writer = struct
-  type t = Buffer.t
+  type t = { mutable buf : Bytes.t; mutable pos : int }
 
-  let create () = Buffer.create 64
-  let u8 b v = Buffer.add_uint8 b (v land 0xff)
-  let u16 b v = Buffer.add_uint16_be b (v land 0xffff)
-  let u32 b v = Buffer.add_int32_be b (Int32.of_int v)
-  let f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+  let create ?(size = 256) () = { buf = Bytes.create (max 8 size); pos = 0 }
+  let wrap buf = { buf; pos = 0 }
+  let reset t = t.pos <- 0
+  let length t = t.pos
+  let buffer t = t.buf
+  let contents t = Bytes.sub_string t.buf 0 t.pos
 
-  let bytes b s =
-    u32 b (String.length s);
-    Buffer.add_string b s
-
-  let raw b s = Buffer.add_string b s
-  let contents = Buffer.contents
-end
-
-module Reader = struct
-  type t = { src : string; mutable pos : int }
-
-  let create src = { src; pos = 0 }
-  let remaining t = String.length t.src - t.pos
-
-  let take t n f =
-    if remaining t < n then Error Truncated
-    else begin
-      let v = f t.src t.pos in
-      t.pos <- t.pos + n;
-      Ok v
+  let ensure t n =
+    let need = t.pos + n in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (max 8 (2 * Bytes.length t.buf)) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit t.buf 0 grown 0 t.pos;
+      t.buf <- grown
     end
 
-  let u8 t = take t 1 String.get_uint8
-  let u16 t = take t 2 String.get_uint16_be
+  let u8 t v =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (v land 0xff));
+    t.pos <- t.pos + 1
 
-  let u32 t =
-    take t 4 (fun s p -> Int32.to_int (String.get_int32_be s p) land 0xffffffff)
+  let u16 t v =
+    ensure t 2;
+    Bytes.set_uint16_be t.buf t.pos (v land 0xffff);
+    t.pos <- t.pos + 2
 
-  let f64 t = take t 8 (fun s p -> Int64.float_of_bits (String.get_int64_be s p))
+  let u32 t v =
+    ensure t 4;
+    Bytes.set_int32_be t.buf t.pos (Int32.of_int v);
+    t.pos <- t.pos + 4
 
-  let bytes t =
-    match u32 t with
-    | Error _ as e -> e
-    | Ok n ->
-        if remaining t < n then Error Truncated
-        else begin
-          let v = String.sub t.src t.pos n in
-          t.pos <- t.pos + n;
-          Ok v
-        end
+  let f64 t v =
+    ensure t 8;
+    Bytes.set_int64_be t.buf t.pos (Int64.bits_of_float v);
+    t.pos <- t.pos + 8
+
+  let raw t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.pos n;
+    t.pos <- t.pos + n
+
+  let bytes t s =
+    u32 t (String.length s);
+    raw t s
+
+  let payload t (p : Payload.t) =
+    let n = Payload.length p in
+    u32 t n;
+    ensure t n;
+    Bytes.blit_string p.Payload.base p.Payload.off t.buf t.pos n;
+    t.pos <- t.pos + n
+end
+
+(* Decode failures travel as an exception internally so the hot path is
+   straight-line code — no closure per [Result.bind] and no [Ok] box per
+   field read.  [decode] catches it at the message boundary; nothing
+   escapes the module. *)
+exception Fail of error
+
+let fail e = raise_notrace (Fail e)
+
+(* Positional parser over a [pos, limit) window of a string; payloads
+   come back as views over that window, never as copies. *)
+module Reader = struct
+  type t = { src : string; mutable pos : int; limit : int }
+
+  let create ?(pos = 0) ?len src =
+    let slen = String.length src in
+    let limit = match len with None -> slen | Some n -> pos + n in
+    if pos < 0 || limit < pos || limit > slen then
+      invalid_arg "Codec.Reader.create"
+    else { src; pos; limit }
+
+  let remaining t = t.limit - t.pos
+  let need t n = if t.limit - t.pos < n then fail Truncated
+
+  let u8_exn t =
+    need t 1;
+    let v = String.get_uint8 t.src t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16_exn t =
+    need t 2;
+    let v = String.get_uint16_be t.src t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32_exn t =
+    need t 4;
+    let v = Int32.to_int (String.get_int32_be t.src t.pos) land 0xffffffff in
+    t.pos <- t.pos + 4;
+    v
+
+  let f64_exn t =
+    need t 8;
+    let v = Int64.float_of_bits (String.get_int64_be t.src t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let payload_exn t =
+    let n = u32_exn t in
+    need t n;
+    let v = Payload.view t.src ~off:t.pos ~len:n in
+    t.pos <- t.pos + n;
+    v
+
+  (* Result-returning wrappers — the public face used by application
+     codecs, where per-field boxing doesn't matter. *)
+  let wrap f t = match f t with v -> Ok v | exception Fail e -> Error e
+  let u8 t = wrap u8_exn t
+  let u16 t = wrap u16_exn t
+  let u32 t = wrap u32_exn t
+  let f64 t = wrap f64_exn t
+  let payload t = wrap payload_exn t
+  let bytes t = wrap (fun t -> Payload.to_owned (payload_exn t)) t
+
+  (* [n] u32s into a fresh array; caller has already bounds-checked
+     [remaining t >= 4 * n], so the per-element reads cannot fail. *)
+  let u32_array t n =
+    let src = t.src and base = t.pos in
+    let a =
+      Array.init n (fun i ->
+          Int32.to_int (String.get_int32_be src (base + (4 * i)))
+          land 0xffffffff)
+    in
+    t.pos <- base + (4 * n);
+    a
 end
 
 (* Message tags; order is part of the wire format, append only. *)
@@ -82,14 +171,24 @@ let tag_of = function
   | Replica_status _ -> 18
   | Promote _ -> 19
 
-let encode (m : Message.t) =
-  let w = Writer.create () in
+let nack_max = 65536
+let promote_max = 1024
+
+(* One reservation, then tight unchecked-growth writes: the worst-case
+   burst NACK (65536 seqs) costs a single [ensure]. *)
+let seq_list w seqs =
+  let n = List.length seqs in
+  Writer.u32 w n;
+  Writer.ensure w (4 * n);
+  List.iter (Writer.u32 w) seqs
+
+let encode_into w (m : Message.t) =
   Writer.u8 w (tag_of m);
-  (match m with
+  match m with
   | Data { seq; epoch; payload } ->
       Writer.u32 w seq;
       Writer.u32 w epoch;
-      Writer.bytes w payload
+      Writer.payload w payload
   | Heartbeat { seq; hb_index; epoch; payload } -> (
       Writer.u32 w seq;
       Writer.u32 w hb_index;
@@ -98,25 +197,23 @@ let encode (m : Message.t) =
       | None -> Writer.u8 w 0
       | Some p ->
           Writer.u8 w 1;
-          Writer.bytes w p)
-  | Nack { seqs } ->
-      Writer.u32 w (List.length seqs);
-      List.iter (Writer.u32 w) seqs
+          Writer.payload w p)
+  | Nack { seqs } -> seq_list w seqs
   | Retrans { seq; epoch; payload } ->
       Writer.u32 w seq;
       Writer.u32 w epoch;
-      Writer.bytes w payload
+      Writer.payload w payload
   | Log_deposit { seq; epoch; payload } ->
       Writer.u32 w seq;
       Writer.u32 w epoch;
-      Writer.bytes w payload
+      Writer.payload w payload
   | Log_ack { primary_seq; replica_seq } ->
       Writer.u32 w primary_seq;
       Writer.u32 w replica_seq
   | Replica_update { seq; epoch; payload } ->
       Writer.u32 w seq;
       Writer.u32 w epoch;
-      Writer.bytes w payload
+      Writer.payload w payload
   | Replica_ack { seq } -> Writer.u32 w seq
   | Acker_select { epoch; p_ack } ->
       Writer.u32 w epoch;
@@ -142,128 +239,116 @@ let encode (m : Message.t) =
   | Primary_is { logger } -> Writer.u32 w logger
   | Replica_query -> ()
   | Replica_status { seq } -> Writer.u32 w seq
-  | Promote { replicas } ->
-      Writer.u32 w (List.length replicas);
-      List.iter (Writer.u32 w) replicas);
-  Writer.contents w
+  | Promote { replicas } -> seq_list w replicas
 
-let ( let* ) = Result.bind
+let encode (m : Message.t) =
+  (* [body_size] is exact (round-trip tests pin it), so the buffer never
+     grows and can be handed out without a trailing copy. *)
+  let buf = Bytes.create (Message.body_size m) in
+  let w = Writer.wrap buf in
+  encode_into w m;
+  if Writer.length w = Bytes.length buf && Writer.buffer w == buf then
+    Bytes.unsafe_to_string buf
+  else Writer.contents w
 
-let decode_body tag r : (Message.t, error) result =
+let decode_seq_array r ~max ~what =
+  let n = Reader.u32_exn r in
+  if n > max then fail (Bad_value (what ^ " list too long"));
+  if Reader.remaining r < 4 * n then fail Truncated;
+  Reader.u32_array r n
+
+let decode_body tag r : Message.t =
   let open Reader in
   match tag with
   | 0 ->
-      let* seq = u32 r in
-      let* epoch = u32 r in
-      let* payload = bytes r in
-      Ok (Message.Data { seq; epoch; payload })
+      let seq = u32_exn r in
+      let epoch = u32_exn r in
+      Message.Data { seq; epoch; payload = payload_exn r }
   | 1 ->
-      let* seq = u32 r in
-      let* hb_index = u32 r in
-      let* epoch = u32 r in
-      let* flag = u8 r in
-      let* payload =
-        match flag with
-        | 0 -> Ok None
-        | 1 ->
-            let* p = bytes r in
-            Ok (Some p)
-        | n -> Error (Bad_value (Printf.sprintf "heartbeat payload flag %d" n))
+      let seq = u32_exn r in
+      let hb_index = u32_exn r in
+      let epoch = u32_exn r in
+      let payload =
+        match u8_exn r with
+        | 0 -> None
+        | 1 -> Some (payload_exn r)
+        | n -> fail (Bad_value (Printf.sprintf "heartbeat payload flag %d" n))
       in
-      Ok (Message.Heartbeat { seq; hb_index; epoch; payload })
+      Message.Heartbeat { seq; hb_index; epoch; payload }
   | 2 ->
-      let* n = u32 r in
-      if n > 65536 then Error (Bad_value "nack list too long")
-      else
-        let rec loop acc i =
-          if i = 0 then Ok (List.rev acc)
-          else
-            let* s = u32 r in
-            loop (s :: acc) (i - 1)
-        in
-        let* seqs = loop [] n in
-        Ok (Message.Nack { seqs })
+      Message.Nack
+        { seqs = Array.to_list (decode_seq_array r ~max:nack_max ~what:"nack") }
   | 3 ->
-      let* seq = u32 r in
-      let* epoch = u32 r in
-      let* payload = bytes r in
-      Ok (Message.Retrans { seq; epoch; payload })
+      let seq = u32_exn r in
+      let epoch = u32_exn r in
+      Message.Retrans { seq; epoch; payload = payload_exn r }
   | 4 ->
-      let* seq = u32 r in
-      let* epoch = u32 r in
-      let* payload = bytes r in
-      Ok (Message.Log_deposit { seq; epoch; payload })
+      let seq = u32_exn r in
+      let epoch = u32_exn r in
+      Message.Log_deposit { seq; epoch; payload = payload_exn r }
   | 5 ->
-      let* primary_seq = u32 r in
-      let* replica_seq = u32 r in
-      Ok (Message.Log_ack { primary_seq; replica_seq })
+      let primary_seq = u32_exn r in
+      let replica_seq = u32_exn r in
+      Message.Log_ack { primary_seq; replica_seq }
   | 6 ->
-      let* seq = u32 r in
-      let* epoch = u32 r in
-      let* payload = bytes r in
-      Ok (Message.Replica_update { seq; epoch; payload })
-  | 7 ->
-      let* seq = u32 r in
-      Ok (Message.Replica_ack { seq })
+      let seq = u32_exn r in
+      let epoch = u32_exn r in
+      Message.Replica_update { seq; epoch; payload = payload_exn r }
+  | 7 -> Message.Replica_ack { seq = u32_exn r }
   | 8 ->
-      let* epoch = u32 r in
-      let* p_ack = f64 r in
+      let epoch = u32_exn r in
+      let p_ack = f64_exn r in
       if p_ack < 0. || p_ack > 1. || Float.is_nan p_ack then
-        Error (Bad_value "p_ack out of [0,1]")
-      else Ok (Message.Acker_select { epoch; p_ack })
+        fail (Bad_value "p_ack out of [0,1]");
+      Message.Acker_select { epoch; p_ack }
   | 9 ->
-      let* epoch = u32 r in
-      let* logger = u32 r in
-      Ok (Message.Acker_reply { epoch; logger })
+      let epoch = u32_exn r in
+      Message.Acker_reply { epoch; logger = u32_exn r }
   | 10 ->
-      let* epoch = u32 r in
-      let* seq = u32 r in
-      let* logger = u32 r in
-      Ok (Message.Stat_ack { epoch; seq; logger })
+      let epoch = u32_exn r in
+      let seq = u32_exn r in
+      Message.Stat_ack { epoch; seq; logger = u32_exn r }
   | 11 ->
-      let* round = u32 r in
-      let* p = f64 r in
+      let round = u32_exn r in
+      let p = f64_exn r in
       if p < 0. || p > 1. || Float.is_nan p then
-        Error (Bad_value "probe p out of [0,1]")
-      else Ok (Message.Probe { round; p })
+        fail (Bad_value "probe p out of [0,1]");
+      Message.Probe { round; p }
   | 12 ->
-      let* round = u32 r in
-      let* logger = u32 r in
-      Ok (Message.Probe_reply { round; logger })
-  | 13 ->
-      let* nonce = u32 r in
-      Ok (Message.Discovery_query { nonce })
+      let round = u32_exn r in
+      Message.Probe_reply { round; logger = u32_exn r }
+  | 13 -> Message.Discovery_query { nonce = u32_exn r }
   | 14 ->
-      let* nonce = u32 r in
-      let* logger = u32 r in
-      Ok (Message.Discovery_reply { nonce; logger })
-  | 15 -> Ok Message.Who_is_primary
-  | 16 ->
-      let* logger = u32 r in
-      Ok (Message.Primary_is { logger })
-  | 17 -> Ok Message.Replica_query
-  | 18 ->
-      let* seq = u32 r in
-      Ok (Message.Replica_status { seq })
+      let nonce = u32_exn r in
+      Message.Discovery_reply { nonce; logger = u32_exn r }
+  | 15 -> Message.Who_is_primary
+  | 16 -> Message.Primary_is { logger = u32_exn r }
+  | 17 -> Message.Replica_query
+  | 18 -> Message.Replica_status { seq = u32_exn r }
   | 19 ->
-      let* n = u32 r in
-      if n > 1024 then Error (Bad_value "replica list too long")
-      else
-        let rec loop acc i =
-          if i = 0 then Ok (List.rev acc)
-          else
-            let* a = u32 r in
-            loop (a :: acc) (i - 1)
-        in
-        let* replicas = loop [] n in
-        Ok (Message.Promote { replicas })
-  | t -> Error (Bad_tag t)
+      Message.Promote
+        {
+          replicas =
+            Array.to_list (decode_seq_array r ~max:promote_max ~what:"replica");
+        }
+  | t -> fail (Bad_tag t)
 
-let decode s =
-  let r = Reader.create s in
-  let* tag = Reader.u8 r in
-  let* msg = decode_body tag r in
-  match Reader.remaining r with 0 -> Ok msg | n -> Error (Trailing n)
+let decode ?pos ?len s =
+  match
+    let r = Reader.create ?pos ?len s in
+    let msg = decode_body (Reader.u8_exn r) r in
+    (match Reader.remaining r with 0 -> () | n -> fail (Trailing n));
+    msg
+  with
+  | msg -> Ok msg
+  | exception Fail e -> Error e
+  | exception Invalid_argument _ -> Error Truncated
+
+let decode_bytes ?pos ?len b =
+  (* The string view is an unsafe cast: sound because decode only reads,
+     but any payload views escape with the buffer's lifetime — owners
+     must [Payload.to_owned] before the buffer is refilled. *)
+  decode ?pos ?len (Bytes.unsafe_to_string b)
 
 let roundtrip_size_matches m =
   String.length (encode m) + Message.header_overhead = Message.wire_size m

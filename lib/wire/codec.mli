@@ -2,8 +2,20 @@
 
     Big-endian, length-delimited fields; a one-byte tag selects the
     variant.  Decoding is total: malformed input yields an {!error}
-    rather than an exception.  The {!Writer}/{!Reader} primitives are
-    exposed for application payloads (the DIS PDUs reuse them). *)
+    rather than an exception.
+
+    The codec is a zero-copy wire path:
+    - {!encode_into} writes into a caller-supplied reusable {!Writer}
+      scratch buffer — no [Buffer.t], no intermediate strings, and no
+      allocation at all once the scratch has grown to packet size;
+    - {!decode} returns payload-bearing messages whose payloads are
+      {!Payload.t} views over the input, with {!Payload.to_owned} as the
+      explicit copy-out escape hatch;
+    - {!decode_bytes} parses straight out of a reusable receive buffer
+      (views are valid only until the buffer is refilled).
+
+    The {!Writer}/{!Reader} primitives are exposed for application
+    payloads (the DIS PDUs reuse them). *)
 
 type error =
   | Truncated  (** input ended mid-field *)
@@ -14,43 +26,93 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
-val encode : Message.t -> string
-(** Serialize one message. *)
-
-val decode : string -> (Message.t, error) result
-(** Parse exactly one message; leftover bytes are an error. *)
-
-val roundtrip_size_matches : Message.t -> bool
-(** Whether [String.length (encode m) + header = Message.wire_size m] —
-    the invariant the size model relies on; exercised by tests. *)
-
-(** Append-only big-endian serializer. *)
+(** Append-only big-endian serializer over a growable [Bytes] scratch.
+    [reset] + re-encode reuses the buffer, so a long-lived writer makes
+    the encode path allocation-free. *)
 module Writer : sig
   type t
 
-  val create : unit -> t
+  val create : ?size:int -> unit -> t
+  (** Fresh writer with its own scratch (default 256 bytes). *)
+
+  val wrap : Bytes.t -> t
+  (** Writer over caller-supplied scratch; replaced (not mutated) if the
+      encoding outgrows it. *)
+
+  val reset : t -> unit
+  (** Rewind to the start, keeping the scratch for reuse. *)
+
+  val length : t -> int
+  (** Bytes written since creation/[reset]. *)
+
+  val buffer : t -> Bytes.t
+  (** Underlying scratch; only the first [length t] bytes are
+      meaningful.  Valid until the next write grows the buffer. *)
+
+  val contents : t -> string
+  (** Copy of the written bytes. *)
+
+  val ensure : t -> int -> unit
+  (** Reserve room for [n] more bytes (one growth check for a batch of
+      writes). *)
+
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit
   val u32 : t -> int -> unit
   val f64 : t -> float -> unit
+
   val bytes : t -> string -> unit
   (** u32 length prefix followed by the raw bytes. *)
 
+  val payload : t -> Payload.t -> unit
+  (** u32 length prefix followed by the view's bytes, blitted straight
+      from its backing buffer. *)
+
   val raw : t -> string -> unit
   (** Raw bytes, no prefix. *)
-
-  val contents : t -> string
 end
 
-(** Positional big-endian parser over a string. *)
+(** Positional big-endian parser over a [pos, limit) window of a
+    string. *)
 module Reader : sig
   type t
 
-  val create : string -> t
+  val create : ?pos:int -> ?len:int -> string -> t
+  (** Parser over [src.[pos .. pos+len)] (defaults: the whole string).
+      @raise Invalid_argument when the window is out of bounds. *)
+
   val u8 : t -> (int, error) result
   val u16 : t -> (int, error) result
   val u32 : t -> (int, error) result
   val f64 : t -> (float, error) result
+
   val bytes : t -> (string, error) result
+  (** Length-prefixed field, copied out as a string. *)
+
+  val payload : t -> (Payload.t, error) result
+  (** Length-prefixed field as a zero-copy view over the input. *)
+
   val remaining : t -> int
 end
+
+val encode : Message.t -> string
+(** Serialize one message into a fresh exactly-sized string. *)
+
+val encode_into : Writer.t -> Message.t -> unit
+(** Append one message to a writer (the zero-copy hot path: keep the
+    writer, [Writer.reset] between packets). *)
+
+val decode : ?pos:int -> ?len:int -> string -> (Message.t, error) result
+(** Parse exactly one message from the given window (default: the whole
+    string); leftover bytes within the window are an error.  Payloads
+    are views over [s]. *)
+
+val decode_bytes : ?pos:int -> ?len:int -> Bytes.t -> (Message.t, error) result
+(** Same, reading directly from a byte buffer (e.g. a reused socket
+    receive buffer) without copying it to a string first.  Payload views
+    alias the buffer: they are invalidated when it is refilled, so
+    retainers must {!Payload.to_owned} first. *)
+
+val roundtrip_size_matches : Message.t -> bool
+(** Whether [String.length (encode m) + header = Message.wire_size m] —
+    the invariant the size model relies on; exercised by tests. *)

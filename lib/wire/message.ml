@@ -7,18 +7,18 @@ let _ = pp_seq
 type address = int [@@deriving show, eq]
 
 type t =
-  | Data of { seq : seq; epoch : int; payload : string }
+  | Data of { seq : seq; epoch : int; payload : Payload.t }
   | Heartbeat of {
       seq : seq;
       hb_index : int;
       epoch : int;
-      payload : string option;
+      payload : Payload.t option;
     }
   | Nack of { seqs : seq list }
-  | Retrans of { seq : seq; epoch : int; payload : string }
-  | Log_deposit of { seq : seq; epoch : int; payload : string }
+  | Retrans of { seq : seq; epoch : int; payload : Payload.t }
+  | Log_deposit of { seq : seq; epoch : int; payload : Payload.t }
   | Log_ack of { primary_seq : seq; replica_seq : seq }
-  | Replica_update of { seq : seq; epoch : int; payload : string }
+  | Replica_update of { seq : seq; epoch : int; payload : Payload.t }
   | Replica_ack of { seq : seq }
   | Acker_select of { epoch : int; p_ack : float }
   | Acker_reply of { epoch : int; logger : address }
@@ -37,18 +37,18 @@ type t =
 let header_overhead = 28
 
 (* Body sizes must match Codec exactly; Codec's round-trip tests assert
-   this.  Field widths: tag 1, ints 4, seqs 4, floats 8, string
+   this.  Field widths: tag 1, ints 4, seqs 4, floats 8, payload
    length-prefix 4, option flag 1. *)
 let body_size = function
-  | Data { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Data { payload; _ } -> 1 + 4 + 4 + 4 + Payload.length payload
   | Heartbeat { payload; _ } -> (
       1 + 4 + 4 + 4 + 1
-      + match payload with None -> 0 | Some p -> 4 + String.length p)
+      + match payload with None -> 0 | Some p -> 4 + Payload.length p)
   | Nack { seqs } -> 1 + 4 + (4 * List.length seqs)
-  | Retrans { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
-  | Log_deposit { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Retrans { payload; _ } -> 1 + 4 + 4 + 4 + Payload.length payload
+  | Log_deposit { payload; _ } -> 1 + 4 + 4 + 4 + Payload.length payload
   | Log_ack _ -> 1 + 4 + 4
-  | Replica_update { payload; _ } -> 1 + 4 + 4 + 4 + String.length payload
+  | Replica_update { payload; _ } -> 1 + 4 + 4 + 4 + Payload.length payload
   | Replica_ack _ -> 1 + 4
   | Acker_select _ -> 1 + 4 + 8
   | Acker_reply _ -> 1 + 4 + 4

@@ -3,7 +3,12 @@
     One variant per packet type exchanged by sources, receivers and
     logging servers.  The [address] fields are small integer tokens: the
     simulated runtime resolves them to node ids, the UDP runtime to
-    socket addresses via its registry. *)
+    socket addresses via its registry.
+
+    Payload-bearing variants carry a {!Payload.t} view rather than a
+    string: decoding is zero-copy (the view windows the receive buffer)
+    and state machines that retain a payload own it explicitly via
+    {!Payload.to_owned}. *)
 
 type seq = Lbrm_util.Seqno.t
 
@@ -11,22 +16,27 @@ type address = int
 (** Endpoint token (logger id, etc.); resolution is a runtime concern. *)
 
 type t =
-  | Data of { seq : seq; epoch : int; payload : string }
+  | Data of { seq : seq; epoch : int; payload : Payload.t }
       (** Application data, multicast by the source. *)
-  | Heartbeat of { seq : seq; hb_index : int; epoch : int; payload : string option }
+  | Heartbeat of {
+      seq : seq;
+      hb_index : int;
+      epoch : int;
+      payload : Payload.t option;
+    }
       (** Keep-alive repeating the last sequence number.  [payload] is
           the §7 option of carrying the (small) original packet in place
           of an empty heartbeat. *)
   | Nack of { seqs : seq list }
       (** Retransmission request, receiver/secondary → logger. *)
-  | Retrans of { seq : seq; epoch : int; payload : string }
+  | Retrans of { seq : seq; epoch : int; payload : Payload.t }
       (** Repair, unicast or site-scoped multicast. *)
-  | Log_deposit of { seq : seq; epoch : int; payload : string }
+  | Log_deposit of { seq : seq; epoch : int; payload : Payload.t }
       (** Reliable handoff, source → primary logger. *)
   | Log_ack of { primary_seq : seq; replica_seq : seq }
       (** Primary → source: highest contiguously logged sequence numbers
           at the primary and at its most up-to-date replica (§2.2.3). *)
-  | Replica_update of { seq : seq; epoch : int; payload : string }
+  | Replica_update of { seq : seq; epoch : int; payload : Payload.t }
       (** Primary → replica, reliable. *)
   | Replica_ack of { seq : seq }
       (** Replica → primary: highest contiguous sequence logged. *)
@@ -57,9 +67,13 @@ type t =
 val header_overhead : int
 (** Modeled IP + UDP header bytes added to every packet (28). *)
 
+val body_size : t -> int
+(** Exact {!Codec} encoding length in bytes (tag + fields).  Computed
+    without allocating; the codec sizes its output buffers with it. *)
+
 val wire_size : t -> int
-(** Total modeled on-wire size in bytes: {!header_overhead} plus the
-    exact {!Codec} encoding length.  Computed without allocating. *)
+(** Total modeled on-wire size in bytes: {!header_overhead} plus
+    {!body_size}. *)
 
 val kind : t -> string
 (** Short tag for traces, e.g. ["data"], ["nack"]. *)

@@ -1,0 +1,55 @@
+type t = { base : string; off : int; len : int }
+
+let empty = { base = ""; off = 0; len = 0 }
+
+let of_string s =
+  if String.length s = 0 then empty else { base = s; off = 0; len = String.length s }
+
+let view base ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length base then
+    invalid_arg "Payload.view"
+  else if len = 0 then empty
+  else { base; off; len }
+
+let length t = t.len
+let is_whole t = t.off = 0 && t.len = String.length t.base
+
+let to_owned t =
+  if is_whole t then t.base else String.sub t.base t.off t.len
+
+let to_string = to_owned
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Payload.get" else t.base.[t.off + i]
+
+let equal a b =
+  a.len = b.len
+  && ((a.base == b.base && a.off = b.off)
+     ||
+     let rec eq i =
+       i = a.len
+       || Char.equal
+            (String.unsafe_get a.base (a.off + i))
+            (String.unsafe_get b.base (b.off + i))
+          && eq (i + 1)
+     in
+     eq 0)
+
+let compare a b =
+  if a.base == b.base && a.off = b.off && a.len = b.len then 0
+  else
+    let n = Stdlib.min a.len b.len in
+    let rec cmp i =
+      if i = n then Stdlib.compare a.len b.len
+      else
+        let c =
+          Char.compare
+            (String.unsafe_get a.base (a.off + i))
+            (String.unsafe_get b.base (b.off + i))
+        in
+        if c <> 0 then c else cmp (i + 1)
+    in
+    cmp 0
+
+let pp fmt t = Format.fprintf fmt "%S" (to_owned t)
+let show t = Printf.sprintf "%S" (to_owned t)

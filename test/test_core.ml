@@ -13,6 +13,10 @@ module Logger = Lbrm.Logger
 module Discovery = Lbrm.Discovery
 module Rng = Lbrm_util.Rng
 
+(* Shorthand for building wire payload views in message literals. *)
+let p = Lbrm_wire.Payload.of_string
+let pstr = Lbrm_wire.Payload.to_string
+
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
 let checkf eps = Alcotest.check (Alcotest.float eps)
@@ -127,6 +131,42 @@ let store_lifetime () =
   (* seq 1 already purged by the failed get; seq 2 expires later *)
   checki "later purge" 1 (Log_store.expire s ~now:16.);
   checki "empty" 0 (Log_store.count s)
+
+let store_churn_stays_bounded () =
+  (* Regression for the old insertion-order queue, which grew without
+     bound under Keep_for churn: 100k add+expire cycles must leave both
+     the resident count and the ring capacity at the live-window size
+     (life 10 s at 10 ms arrivals -> ~1000 live entries). *)
+  let evicted = ref 0 in
+  let s =
+    Log_store.create
+      ~on_evict:(fun _ -> incr evicted)
+      ~retention:(Log_store.Keep_for 10.) ()
+  in
+  for i = 1 to 100_000 do
+    let now = 0.01 *. float_of_int i in
+    ignore (Log_store.add s ~now ~seq:i ~epoch:0 ~payload:"x");
+    ignore (Log_store.expire s ~now)
+  done;
+  checkb "count bounded by live window" true (Log_store.count s <= 1100);
+  checkb "capacity bounded by live window" true (Log_store.capacity s <= 2048);
+  checki "everything else was evicted" (100_000 - Log_store.count s) !evicted;
+  checki "eviction counter agrees" !evicted (Log_store.evictions s);
+  (match Log_store.newest s with
+  | Some e -> checki "newest survives churn" 100_000 e.seq
+  | None -> Alcotest.fail "store emptied");
+  Alcotest.check (Alcotest.option Alcotest.int) "window is contiguous"
+    (Some 100_000)
+    (Log_store.highest_contiguous s);
+  (* iter walks the ring in ascending seq order without sorting. *)
+  let prev = ref 0 and seen = ref 0 in
+  Log_store.iter
+    (fun e ->
+      incr seen;
+      checkb "ascending" true (e.seq > !prev);
+      prev := e.seq)
+    s;
+  checki "iter covers residents" (Log_store.count s) !seen
 
 let store_prop_get_after_add =
   QCheck.Test.make ~count:200 ~name:"log_store: everything added is gettable"
@@ -374,7 +414,9 @@ let source_heartbeat_epoch_and_piggyback () =
   ignore (Source.send s ~now:0. "tiny");
   let actions = Source.handle_timer s ~now:0.25 Io.K_heartbeat in
   (match multicasts actions with
-  | [ (_, _, Message.Heartbeat { seq = 1; payload = Some "tiny"; _ }) ] -> ()
+  | [ (_, _, Message.Heartbeat { seq = 1; payload = Some pl; _ }) ]
+    when pstr pl = "tiny" ->
+      ()
   | _ -> Alcotest.fail "expected piggybacked heartbeat");
   checki "counted" 1 (Source.heartbeats_sent s);
   (* A big payload is not piggybacked. *)
@@ -421,7 +463,7 @@ let recv_cfg = { plain with recover_from_start = false }
 let receiver_delivers_in_order () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   let a1 = Receiver.handle_message r ~now:0. ~src:1
-      (Message.Data { seq = 1; epoch = 0; payload = "a" })
+      (Message.Data { seq = 1; epoch = 0; payload = p "a" })
   in
   (match delivered a1 with
   | [ (1, "a", false) ] -> ()
@@ -429,7 +471,7 @@ let receiver_delivers_in_order () =
   checki "delivered" 1 (Receiver.delivered r);
   (* Duplicate ignored. *)
   let a2 = Receiver.handle_message r ~now:0.1 ~src:1
-      (Message.Data { seq = 1; epoch = 0; payload = "a" })
+      (Message.Data { seq = 1; epoch = 0; payload = p "a" })
   in
   checki "dup not delivered" 0 (List.length (delivered a2))
 
@@ -437,9 +479,9 @@ let receiver_gap_nacks_local_logger () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5; 6 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a = Receiver.handle_message r ~now:1. ~src:1
-      (Message.Data { seq = 4; epoch = 0; payload = "d" })
+      (Message.Data { seq = 4; epoch = 0; payload = p "d" })
   in
   checkb "gap noticed" true
     (List.exists (function Io.N_gap [ 2; 3 ] -> true | _ -> false) (notices a));
@@ -454,12 +496,12 @@ let receiver_retrans_closes_pursuit () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   ignore
     (Receiver.handle_message r ~now:1. ~src:1
-       (Message.Data { seq = 3; epoch = 0; payload = "c" }));
+       (Message.Data { seq = 3; epoch = 0; payload = p "c" }));
   let a = Receiver.handle_message r ~now:1.5 ~src:5
-      (Message.Retrans { seq = 2; epoch = 0; payload = "b" })
+      (Message.Retrans { seq = 2; epoch = 0; payload = p "b" })
   in
   (match delivered a with
   | [ (2, "b", true) ] -> ()
@@ -478,10 +520,10 @@ let receiver_escalates_then_gives_up () =
   let r = Receiver.create cfg ~self:10 ~source:1 ~loggers:[ 5; 6 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   ignore
     (Receiver.handle_message r ~now:1. ~src:1
-       (Message.Data { seq = 3; epoch = 0; payload = "c" }));
+       (Message.Data { seq = 3; epoch = 0; payload = p "c" }));
   (* level 0 *)
   let a = Receiver.handle_timer r ~now:1.01 Io.K_nack_flush in
   checkb "level 0" true (unicasts_to 5 a <> []);
@@ -509,7 +551,7 @@ let receiver_heartbeat_reveals_loss () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a = Receiver.handle_message r ~now:0.3 ~src:1
       (Message.Heartbeat { seq = 3; hb_index = 1; epoch = 0; payload = None })
   in
@@ -521,7 +563,7 @@ let receiver_heartbeat_reveals_loss () =
 let receiver_heartbeat_piggyback_delivers () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   let a = Receiver.handle_message r ~now:0. ~src:1
-      (Message.Heartbeat { seq = 1; hb_index = 1; epoch = 0; payload = Some "p" })
+      (Message.Heartbeat { seq = 1; hb_index = 1; epoch = 0; payload = Some (p "p") })
   in
   match delivered a with
   | [ (1, "p", false) ] -> ()
@@ -533,7 +575,7 @@ let receiver_recover_from_start () =
       ~source:1 ~loggers:[ 5 ]
   in
   let a = Receiver.handle_message r ~now:0. ~src:1
-      (Message.Data { seq = 3; epoch = 0; payload = "c" })
+      (Message.Data { seq = 3; epoch = 0; payload = p "c" })
   in
   checkb "1 and 2 pursued" true
     (List.exists (function Io.N_gap [ 1; 2 ] -> true | _ -> false) (notices a))
@@ -542,7 +584,7 @@ let receiver_silence_queries_latest () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a = Receiver.handle_timer r ~now:65. Io.K_silence in
   checkb "silence notified" true
     (List.exists (function Io.N_silence _ -> true | _ -> false) (notices a));
@@ -560,10 +602,10 @@ let logger_secondary_serves_from_log () =
   let l = Logger.create plain ~self:5 ~source:1 ~parent:2 ~rng:(rng ()) () in
   ignore
     (Logger.handle_message l ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a = Logger.handle_message l ~now:0.5 ~src:10 (Message.Nack { seqs = [ 1 ] }) in
   (match unicasts_to 10 a with
-  | [ Message.Retrans { seq = 1; payload = "a"; _ } ] -> ()
+  | [ Message.Retrans { seq = 1; payload = pl; _ } ] when pstr pl = "a" -> ()
   | _ -> Alcotest.fail "expected unicast repair");
   checki "served" 1 (Logger.requests_served l)
 
@@ -580,7 +622,7 @@ let logger_secondary_chases_parent () =
   checkb "no duplicate uplink" true (unicasts_to 2 a = []);
   (* Parent repair satisfies both waiters. *)
   let a = Logger.handle_message l ~now:0.1 ~src:2
-      (Message.Retrans { seq = 4; epoch = 0; payload = "d" })
+      (Message.Retrans { seq = 4; epoch = 0; payload = p "d" })
   in
   checkb "waiter 10 served" true (unicasts_to 10 a <> []);
   checkb "waiter 11 served" true (unicasts_to 11 a <> [])
@@ -590,7 +632,7 @@ let logger_remulticast_threshold () =
   let l = Logger.create cfg ~self:5 ~source:1 ~parent:2 ~rng:(rng ()) () in
   ignore
     (Logger.handle_message l ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let r1 = Logger.handle_message l ~now:0.50 ~src:10 (Message.Nack { seqs = [ 1 ] }) in
   let r2 = Logger.handle_message l ~now:0.51 ~src:11 (Message.Nack { seqs = [ 1 ] }) in
   checkb "first two unicast" true
@@ -608,7 +650,7 @@ let logger_latest_query () =
     (Logger.handle_message l ~now:0. ~src:10 (Message.Nack { seqs = [] }) = []);
   ignore
     (Logger.handle_message l ~now:0. ~src:1
-       (Message.Data { seq = 2; epoch = 0; payload = "b" }));
+       (Message.Data { seq = 2; epoch = 0; payload = p "b" }));
   let a = Logger.handle_message l ~now:1. ~src:10 (Message.Nack { seqs = [] }) in
   match unicasts_to 10 a with
   | [ Message.Retrans { seq = 2; _ } ] -> ()
@@ -618,7 +660,7 @@ let logger_primary_acks_deposits () =
   let l = Logger.create plain ~self:2 ~source:1 ~rng:(rng ()) () in
   checkb "is primary" true (Logger.is_primary l);
   let a = Logger.handle_message l ~now:0. ~src:1
-      (Message.Log_deposit { seq = 1; epoch = 0; payload = "a" })
+      (Message.Log_deposit { seq = 1; epoch = 0; payload = p "a" })
   in
   (match unicasts_to 1 a with
   | [ Message.Log_ack { primary_seq = 1; replica_seq = 1 } ] -> ()
@@ -627,7 +669,7 @@ let logger_primary_acks_deposits () =
 let logger_primary_with_replicas () =
   let l = Logger.create plain ~self:2 ~source:1 ~replicas:[ 3 ] ~rng:(rng ()) () in
   let a = Logger.handle_message l ~now:0. ~src:1
-      (Message.Log_deposit { seq = 1; epoch = 0; payload = "a" })
+      (Message.Log_deposit { seq = 1; epoch = 0; payload = p "a" })
   in
   (* Replica update flows out; Log_ack reports replica_seq = 0 until the
      replica acknowledges. *)
@@ -646,7 +688,7 @@ let logger_primary_with_replicas () =
 let logger_replica_role_and_promotion () =
   let l = Logger.create plain ~self:3 ~source:1 ~parent:2 ~rng:(rng ()) () in
   let a = Logger.handle_message l ~now:0. ~src:2
-      (Message.Replica_update { seq = 1; epoch = 0; payload = "a" })
+      (Message.Replica_update { seq = 1; epoch = 0; payload = p "a" })
   in
   (match unicasts_to 2 a with
   | [ Message.Replica_ack { seq = 1 } ] -> ()
@@ -672,14 +714,14 @@ let logger_designated_acking () =
   Alcotest.check (Alcotest.list Alcotest.int) "registered" [ 2 ]
     (Logger.designated_for l);
   let a = Logger.handle_message l ~now:1. ~src:1
-      (Message.Data { seq = 1; epoch = 2; payload = "a" })
+      (Message.Data { seq = 1; epoch = 2; payload = p "a" })
   in
   checkb "stat-acked" true
     (List.exists
        (function Message.Stat_ack { epoch = 2; seq = 1; _ } -> true | _ -> false)
        (unicasts_to 1 a));
   let a = Logger.handle_message l ~now:1.2 ~src:1
-      (Message.Data { seq = 1; epoch = 2; payload = "a" })
+      (Message.Data { seq = 1; epoch = 2; payload = p "a" })
   in
   checkb "duplicate also acked" true
     (List.exists
@@ -858,14 +900,14 @@ let logger_serves_from_archive () =
   for seq = 1 to 10 do
     ignore
       (Logger.handle_message l ~now:0. ~src:1
-         (Message.Data { seq; epoch = 0; payload = Printf.sprintf "p%d" seq }))
+         (Message.Data { seq; epoch = 0; payload = p (Printf.sprintf "p%d" seq) }))
   done;
   checki "RAM bounded" 3 (Log_store.count (Logger.store l));
   checki "disk holds the evicted" 7 (Lbrm.Archive.count archive);
   (* Ask for an ancient packet: served from disk, not chased upward. *)
   let a = Logger.handle_message l ~now:1. ~src:10 (Message.Nack { seqs = [ 1 ] }) in
   (match unicasts_to 10 a with
-  | [ Message.Retrans { seq = 1; payload = "p1"; _ } ] -> ()
+  | [ Message.Retrans { seq = 1; payload = pl; _ } ] when pstr pl = "p1" -> ()
   | _ -> Alcotest.fail "expected repair from the archive");
   checkb "no uplink chase" true (unicasts_to 2 a = []);
   Lbrm.Archive.close archive;
@@ -930,9 +972,9 @@ let logger_statack_grace_delay () =
   let l = Logger.create cfg_on ~self:5 ~source:1 ~parent:2 ~rng:(rng ()) () in
   ignore
     (Logger.handle_message l ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a = Logger.handle_message l ~now:1. ~src:1
-      (Message.Data { seq = 3; epoch = 0; payload = "c" })
+      (Message.Data { seq = 3; epoch = 0; payload = p "c" })
   in
   (match timers_set a with
   | [ (Io.K_uplink_nack 2, delay) ] ->
@@ -943,9 +985,9 @@ let logger_statack_grace_delay () =
   let l2 = Logger.create plain ~self:5 ~source:1 ~parent:2 ~rng:(rng ()) () in
   ignore
     (Logger.handle_message l2 ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   let a2 = Logger.handle_message l2 ~now:1. ~src:1
-      (Message.Data { seq = 3; epoch = 0; payload = "c" })
+      (Message.Data { seq = 3; epoch = 0; payload = p "c" })
   in
   match timers_set a2 with
   | [ (Io.K_uplink_nack 2, delay) ] -> checkf 1e-9 "plain" plain.nack_delay delay
@@ -998,13 +1040,13 @@ let receiver_reorder_within_nack_delay () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   ignore
     (Receiver.handle_message r ~now:0.001 ~src:1
-       (Message.Data { seq = 3; epoch = 0; payload = "c" }));
+       (Message.Data { seq = 3; epoch = 0; payload = p "c" }));
   ignore
     (Receiver.handle_message r ~now:0.005 ~src:1
-       (Message.Data { seq = 2; epoch = 0; payload = "b" }));
+       (Message.Data { seq = 2; epoch = 0; payload = p "b" }));
   (* The flush timer fires anyway (it was armed), but finds nothing. *)
   let a = Receiver.handle_timer r ~now:0.011 Io.K_nack_flush in
   checkb "no NACK for healed reordering" true (sends a = []);
@@ -1014,16 +1056,16 @@ let receiver_duplicate_repair_ignored () =
   let r = Receiver.create recv_cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
   ignore
     (Receiver.handle_message r ~now:0. ~src:1
-       (Message.Data { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
   ignore
     (Receiver.handle_message r ~now:1. ~src:1
-       (Message.Data { seq = 3; epoch = 0; payload = "c" }));
+       (Message.Data { seq = 3; epoch = 0; payload = p "c" }));
   let a1 = Receiver.handle_message r ~now:1.5 ~src:5
-      (Message.Retrans { seq = 2; epoch = 0; payload = "b" })
+      (Message.Retrans { seq = 2; epoch = 0; payload = p "b" })
   in
   checki "first repair delivers" 1 (List.length (delivered a1));
   let a2 = Receiver.handle_message r ~now:1.6 ~src:6
-      (Message.Retrans { seq = 2; epoch = 0; payload = "b" })
+      (Message.Retrans { seq = 2; epoch = 0; payload = p "b" })
   in
   checki "duplicate repair silent" 0 (List.length (delivered a2));
   checki "delivered once" 3 (Receiver.delivered r)
@@ -1070,7 +1112,7 @@ let logger_replica_retry_laggards () =
   let l = Logger.create plain ~self:2 ~source:1 ~replicas:[ 3; 4 ] ~rng:(rng ()) () in
   ignore
     (Logger.handle_message l ~now:0. ~src:1
-       (Message.Log_deposit { seq = 1; epoch = 0; payload = "a" }));
+       (Message.Log_deposit { seq = 1; epoch = 0; payload = p "a" }));
   (* Replica 3 acks; replica 4 stays silent. *)
   ignore (Logger.handle_message l ~now:0.1 ~src:3 (Message.Replica_ack { seq = 1 }));
   let a = Logger.handle_timer l ~now:0.6 (Io.K_replica_retry 1) in
@@ -1105,7 +1147,7 @@ let source_statack_remulticast_resends_data () =
   checkb "re-multicast of the retained payload" true
     (List.exists
        (function
-         | _, _, Message.Data { seq = 1; payload = "precious"; _ } -> true
+         | _, _, Message.Data { seq = 1; payload = pl; _ } -> pstr pl = "precious"
          | _ -> false)
        (multicasts a));
   checkb "notified" true
@@ -1133,6 +1175,8 @@ let () =
           Alcotest.test_case "contiguity" `Quick store_contiguity;
           Alcotest.test_case "keep_last eviction" `Quick store_keep_last;
           Alcotest.test_case "lifetime expiry" `Quick store_lifetime;
+          Alcotest.test_case "bounded under 100k-cycle churn" `Quick
+            store_churn_stays_bounded;
           qtest store_prop_get_after_add;
         ] );
       ( "group_estimate",

@@ -18,7 +18,10 @@ let envelope_roundtrip () =
   let envs =
     [
       { Mux.flow = 0; msg = Message.Who_is_primary };
-      { Mux.flow = 7; msg = Message.Data { seq = 3; epoch = 1; payload = "x" } };
+      { Mux.flow = 7; msg =
+          Message.Data
+            { seq = 3; epoch = 1; payload = Lbrm_wire.Payload.of_string "x" };
+      };
       { Mux.flow = 123456; msg = Message.Nack { seqs = [ 1; 2 ] } };
     ]
   in

@@ -2,6 +2,10 @@
 
 module Message = Lbrm_wire.Message
 module Codec = Lbrm_wire.Codec
+module Payload = Lbrm_wire.Payload
+
+(* Payload views from string literals. *)
+let p = Payload.of_string
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -18,16 +22,16 @@ let roundtrip m =
 (* One representative of each constructor. *)
 let samples =
   [
-    Message.Data { seq = 17; epoch = 3; payload = "hello" };
-    Message.Data { seq = 0; epoch = 0; payload = "" };
+    Message.Data { seq = 17; epoch = 3; payload = p "hello" };
+    Message.Data { seq = 0; epoch = 0; payload = Payload.empty };
     Message.Heartbeat { seq = 17; hb_index = 12; epoch = 3; payload = None };
-    Message.Heartbeat { seq = 9; hb_index = 1; epoch = 0; payload = Some "pp" };
+    Message.Heartbeat { seq = 9; hb_index = 1; epoch = 0; payload = Some (p "pp") };
     Message.Nack { seqs = [] };
     Message.Nack { seqs = [ 1; 2; 99 ] };
-    Message.Retrans { seq = 42; epoch = 7; payload = "data" };
-    Message.Log_deposit { seq = 5; epoch = 1; payload = "d" };
+    Message.Retrans { seq = 42; epoch = 7; payload = p "data" };
+    Message.Log_deposit { seq = 5; epoch = 1; payload = p "d" };
     Message.Log_ack { primary_seq = 10; replica_seq = 8 };
-    Message.Replica_update { seq = 6; epoch = 2; payload = "r" };
+    Message.Replica_update { seq = 6; epoch = 2; payload = p "r" };
     Message.Replica_ack { seq = 6 };
     Message.Acker_select { epoch = 4; p_ack = 0.25 };
     Message.Acker_reply { epoch = 4; logger = 31 };
@@ -116,9 +120,39 @@ let writer_reader_primitives () =
     (Result.get_ok (Codec.Reader.bytes r));
   checki "remaining" 1 (Codec.Reader.remaining r)
 
+let payload_views () =
+  let base = "hello world" in
+  let v = Payload.view base ~off:6 ~len:5 in
+  Alcotest.check Alcotest.string "to_owned" "world" (Payload.to_owned v);
+  checki "length" 5 (Payload.length v);
+  checkb "content equality" true (Payload.equal v (p "world"));
+  (* A whole-string view owns its base already: to_owned must not copy. *)
+  checkb "whole view is zero-copy" true (Payload.to_owned (p base) == base);
+  match Payload.view base ~off:8 ~len:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted an out-of-bounds view"
+
+let nack_at_bound_roundtrips () =
+  (* The codec bounds NACK lists at 65536 seqs: the bound itself must
+     round-trip through the preallocated-array path, one past it must be
+     rejected at decode. *)
+  let seqs = List.init 65536 (fun i -> i + 1) in
+  (match Codec.decode (Codec.encode (Message.Nack { seqs })) with
+  | Ok (Message.Nack { seqs = seqs' }) ->
+      checki "length" 65536 (List.length seqs');
+      checkb "seqs preserved" true (List.equal Int.equal seqs seqs')
+  | Ok m -> Alcotest.failf "decoded as %s" (Message.kind m)
+  | Error e -> Alcotest.failf "decode error: %s" (Codec.error_to_string e));
+  let over = List.init 65537 (fun i -> i + 1) in
+  match Codec.decode (Codec.encode (Message.Nack { seqs = over })) with
+  | Error (Codec.Bad_value _) -> ()
+  | Ok _ -> Alcotest.fail "accepted an over-long nack"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
 (* ---- Property tests over random messages ---- *)
 
-let gen_payload = QCheck.Gen.(string_size ~gen:printable (0 -- 300))
+let gen_payload =
+  QCheck.Gen.(map Payload.of_string (string_size ~gen:printable (0 -- 300)))
 let gen_seq = QCheck.Gen.(0 -- 1_000_000)
 let gen_addr = QCheck.Gen.(0 -- 10_000)
 let gen_prob = QCheck.Gen.(map (fun x -> float_of_int x /. 1000.) (0 -- 1000))
@@ -184,7 +218,37 @@ let prop_decode_never_raises =
   QCheck.Test.make ~count:1000 ~name:"codec: decode never raises on junk"
     QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.char)
     (fun junk ->
-      match Codec.decode junk with Ok _ -> true | Error _ -> true)
+      (match Codec.decode junk with Ok _ -> true | Error _ -> true)
+      &&
+      match Codec.decode_bytes (Bytes.of_string junk) with
+      | Ok _ -> true
+      | Error _ -> true)
+
+let payloads_of = function
+  | Message.Data { payload; _ }
+  | Message.Retrans { payload; _ }
+  | Message.Log_deposit { payload; _ }
+  | Message.Replica_update { payload; _ }
+  | Message.Heartbeat { payload = Some payload; _ } ->
+      [ payload ]
+  | _ -> []
+
+let prop_views_equal_owned =
+  (* Decoded payloads are views over the encoded buffer; each must agree
+     byte-for-byte with its owned copy. *)
+  QCheck.Test.make ~count:500
+    ~name:"codec: decoded views equal their to_owned copies" arb_message
+    (fun m ->
+      match Codec.decode (Codec.encode m) with
+      | Error _ -> false
+      | Ok m' ->
+          List.for_all
+            (fun v ->
+              let owned = Payload.to_owned v in
+              String.length owned = Payload.length v
+              && String.equal owned (Payload.to_string v)
+              && Payload.equal v (Payload.of_string owned))
+            (payloads_of m'))
 
 let prop_mutation_fuzz =
   (* Flip bytes of valid encodings: decode must never raise and, when it
@@ -231,12 +295,16 @@ let () =
             bad_probability_rejected;
           Alcotest.test_case "writer/reader primitives" `Quick
             writer_reader_primitives;
+          Alcotest.test_case "payload views" `Quick payload_views;
+          Alcotest.test_case "nack at the 65536 bound" `Quick
+            nack_at_bound_roundtrips;
         ] );
       ( "properties",
         [
           qtest prop_roundtrip;
           qtest prop_size_model;
           qtest prop_decode_never_raises;
+          qtest prop_views_equal_owned;
           qtest prop_mutation_fuzz;
           qtest prop_control_classification;
         ] );
