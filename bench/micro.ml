@@ -25,7 +25,6 @@
 
 module Engine = Lbrm_sim.Engine
 module Net = Lbrm_sim.Net
-module Topo = Lbrm_sim.Topo
 module Builders = Lbrm_sim.Builders
 module Message = Lbrm_wire.Message
 module Codec = Lbrm_wire.Codec

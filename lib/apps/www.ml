@@ -110,7 +110,8 @@ module Server = struct
     line ^ "\n" ^ content
 
   let urls t =
-    Hashtbl.fold (fun url _ acc -> url :: acc) t.docs [] |> List.sort compare
+    Hashtbl.fold (fun url _ acc -> url :: acc) t.docs []
+    |> List.sort String.compare
 end
 
 module Client = struct
@@ -164,5 +165,5 @@ module Client = struct
 
   let flagged t =
     Hashtbl.fold (fun url p acc -> if p.stale then url :: acc else acc) t.pages []
-    |> List.sort compare
+    |> List.sort String.compare
 end

@@ -6,15 +6,68 @@
      payload bytes
      check   u32 = simple additive checksum of the fields above
    The checksum guards torn tail writes; on open we scan records until
-   EOF or a bad record, truncating the latter. *)
+   EOF or a bad record, truncating the latter.
+
+   All file access goes through an injected {!fs} record: lib/core is
+   sans-IO, so the real (Unix-backed) implementation lives in
+   Lbrm_run.File_ops and tests can drive the archive against the
+   in-memory fake below. *)
 
 module Seqno = Lbrm_util.Seqno
+
+type fs = {
+  exists : string -> bool;
+  size : string -> int;
+  read_at : string -> pos:int -> len:int -> string;
+  append : string -> string -> unit;
+  truncate : string -> len:int -> unit;
+  fsync : string -> unit;
+}
+
+exception Fs_error of string
+
+let fs_error fmt = Printf.ksprintf (fun s -> raise (Fs_error s)) fmt
+
+(* In-memory fake: one growable string per path.  Deterministic, no
+   ambient state; crash-recovery tests produce a torn tail by
+   truncating mid-record. *)
+let in_memory () =
+  let files : (string, string ref) Hashtbl.t = Hashtbl.create 4 in
+  let get path =
+    match Hashtbl.find_opt files path with
+    | Some r -> r
+    | None ->
+        let r = ref "" in
+        Hashtbl.replace files path r;
+        r
+  in
+  {
+    exists = (fun path -> Hashtbl.mem files path);
+    size = (fun path -> match Hashtbl.find_opt files path with
+                        | Some r -> String.length !r
+                        | None -> 0);
+    read_at =
+      (fun path ~pos ~len ->
+        match Hashtbl.find_opt files path with
+        | None -> ""
+        | Some r ->
+            let n = String.length !r in
+            if pos >= n then ""
+            else String.sub !r pos (Stdlib.min len (n - pos)));
+    append = (fun path data -> let r = get path in r := !r ^ data);
+    truncate =
+      (fun path ~len ->
+        match Hashtbl.find_opt files path with
+        | None -> fs_error "truncate %s: no such file" path
+        | Some r -> if String.length !r > len then r := String.sub !r 0 len);
+    fsync = (fun _ -> ());
+  }
 
 let magic = 0xA10C
 
 type t = {
   archive_path : string;
-  channel : out_channel;
+  fs : fs;
   index : (Seqno.t, int * int) Hashtbl.t; (* seq -> (offset, total length) *)
   mutable size : int; (* valid bytes *)
 }
@@ -24,95 +77,75 @@ let checksum ~seq ~epoch ~payload =
   String.iter (fun c -> acc := (!acc * 31) + Char.code c) payload;
   !acc land 0x3fffffff
 
-let record_length payload = 2 + 4 + 4 + 4 + String.length payload + 4
+let header_length = 2 + 4 + 4 + 4
+let record_length payload = header_length + String.length payload + 4
 
-(* Read one record at [pos]; None on EOF/corruption. *)
-let read_record ic pos =
-  try
-    seek_in ic pos;
-    let u16 () =
-      let a = input_byte ic in
-      let b = input_byte ic in
-      (a lsl 8) lor b
-    in
-    let u32 () =
-      let a = u16 () in
-      let b = u16 () in
-      (a lsl 16) lor b
-    in
-    if u16 () <> magic then None
-    else begin
-      let seq = u32 () in
-      let epoch = u32 () in
-      let len = u32 () in
-      if len < 0 || len > 16 * 1024 * 1024 then None
-      else begin
-        let payload = really_input_string ic len in
-        let check = u32 () in
+let get_u16 s pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
+let get_u32 s pos = (get_u16 s pos lsl 16) lor get_u16 s (pos + 2)
+
+(* Read one record at [pos]; None on EOF/corruption (incl. short
+   reads: a torn tail). *)
+let read_record t pos =
+  let header = t.fs.read_at t.archive_path ~pos ~len:header_length in
+  if String.length header < header_length then None
+  else if get_u16 header 0 <> magic then None
+  else
+    let seq = get_u32 header 2 in
+    let epoch = get_u32 header 6 in
+    let len = get_u32 header 10 in
+    if len < 0 || len > 16 * 1024 * 1024 then None
+    else
+      let rest = t.fs.read_at t.archive_path ~pos:(pos + header_length) ~len:(len + 4) in
+      if String.length rest < len + 4 then None
+      else
+        let payload = String.sub rest 0 len in
+        let check = get_u32 rest len in
         if check = checksum ~seq ~epoch ~payload then Some (seq, epoch, payload)
         else None
-      end
-    end
-  with End_of_file -> None
 
-let open_ ~path:archive_path =
+let open_ ~fs ~path:archive_path =
   try
     (* Scan existing content to rebuild the index. *)
     let index = Hashtbl.create 256 in
-    let valid =
-      if Sys.file_exists archive_path then begin
-        let ic = open_in_bin archive_path in
-        let file_len = in_channel_length ic in
-        let rec scan pos =
-          if pos >= file_len then pos
-          else
-            match read_record ic pos with
-            | Some (seq, _, payload) ->
-                let len = record_length payload in
-                if not (Hashtbl.mem index seq) then
-                  Hashtbl.replace index seq (pos, len);
-                scan (pos + len)
-            | None -> pos (* torn tail: truncate here *)
-        in
-        let valid = scan 0 in
-        close_in ic;
-        valid
-      end
-      else 0
+    let t = { archive_path; fs; index; size = 0 } in
+    let file_len = if fs.exists archive_path then fs.size archive_path else 0 in
+    let rec scan pos =
+      if pos >= file_len then pos
+      else
+        match read_record t pos with
+        | Some (seq, _, payload) ->
+            let len = record_length payload in
+            if not (Hashtbl.mem index seq) then
+              Hashtbl.replace index seq (pos, len);
+            scan (pos + len)
+        | None -> pos (* torn tail: truncate here *)
     in
-    (* Reopen for appending, truncated to the valid prefix. *)
-    let channel =
-      open_out_gen
-        [ Open_wronly; Open_creat; Open_binary ]
-        0o644 archive_path
-    in
-    (* OCaml lacks ftruncate on out_channel; emulate by rewriting when a
-       torn tail exists. *)
-    (if Sys.file_exists archive_path then
-       let current = (Unix.stat archive_path).Unix.st_size in
-       if current > valid then Unix.truncate archive_path valid);
-    seek_out channel valid;
-    Ok { archive_path; channel; index; size = valid }
-  with Sys_error e | Unix.Unix_error (_, e, _) -> Error e
+    let valid = scan 0 in
+    if file_len > valid then fs.truncate archive_path ~len:valid;
+    t.size <- valid;
+    Ok t
+  with Fs_error e | Sys_error e -> Error e
 
-let out_u16 oc v =
-  output_byte oc ((v lsr 8) land 0xff);
-  output_byte oc (v land 0xff)
+let put_u16 b v =
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
 
-let out_u32 oc v =
-  out_u16 oc ((v lsr 16) land 0xffff);
-  out_u16 oc (v land 0xffff)
+let put_u32 b v =
+  put_u16 b ((v lsr 16) land 0xffff);
+  put_u16 b (v land 0xffff)
 
 let append t ~seq ~epoch ~payload =
   if not (Hashtbl.mem t.index seq) then begin
     let pos = t.size in
-    out_u16 t.channel magic;
-    out_u32 t.channel seq;
-    out_u32 t.channel epoch;
-    out_u32 t.channel (String.length payload);
-    output_string t.channel payload;
-    out_u32 t.channel (checksum ~seq ~epoch ~payload);
     let len = record_length payload in
+    let b = Buffer.create len in
+    put_u16 b magic;
+    put_u32 b seq;
+    put_u32 b epoch;
+    put_u32 b (String.length payload);
+    Buffer.add_string b payload;
+    put_u32 b (checksum ~seq ~epoch ~payload);
+    t.fs.append t.archive_path (Buffer.contents b);
     t.size <- pos + len;
     Hashtbl.replace t.index seq (pos, len)
   end
@@ -121,39 +154,23 @@ let find t seq =
   match Hashtbl.find_opt t.index seq with
   | None -> None
   | Some (pos, _) -> (
-      flush t.channel;
-      let ic = open_in_bin t.archive_path in
-      let r = read_record ic pos in
-      close_in ic;
-      match r with
-      | Some (s, epoch, payload) when s = seq -> Some (epoch, payload)
+      match read_record t pos with
+      | Some (s, epoch, payload) when Int.equal s seq -> Some (epoch, payload)
       | _ -> None)
 
 let mem t seq = Hashtbl.mem t.index seq
 let count t = Hashtbl.length t.index
-
-let sync t =
-  flush t.channel;
-  let fd = Unix.openfile t.archive_path [ Unix.O_RDONLY ] 0 in
-  (try Unix.fsync fd with Unix.Unix_error _ -> ());
-  Unix.close fd
-
-let close t =
-  flush t.channel;
-  close_out t.channel
-
+let sync t = t.fs.fsync t.archive_path
+let close t = sync t
 let path t = t.archive_path
 
 let iter f t =
-  flush t.channel;
-  let ic = open_in_bin t.archive_path in
   let rec scan pos =
     if pos < t.size then
-      match read_record ic pos with
+      match read_record t pos with
       | Some (seq, epoch, payload) ->
           f ~seq ~epoch ~payload;
           scan (pos + record_length payload)
       | None -> ()
   in
-  scan 0;
-  close_in ic
+  scan 0

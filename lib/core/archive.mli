@@ -10,13 +10,39 @@
     Records are individually checksummed; a torn tail write (crash
     mid-append) is detected and truncated on open.
 
+    lib/core is sans-IO, so the archive never touches the filesystem
+    directly: every operation goes through an injected {!fs} record.
+    The real (Unix-backed) implementation is {!Lbrm_run.File_ops.real};
+    {!in_memory} is a deterministic fake for tests.
+
     Intended wiring: a {!Log_store} with bounded retention whose
     [on_evict] hook appends to the archive; the logger consults the
     archive when the in-memory store misses. *)
 
+type fs = {
+  exists : string -> bool;  (** does [path] currently exist? *)
+  size : string -> int;  (** current length in bytes *)
+  read_at : string -> pos:int -> len:int -> string;
+      (** up to [len] bytes starting at [pos]; shorter at EOF *)
+  append : string -> string -> unit;
+      (** append bytes at the end, creating the file if needed *)
+  truncate : string -> len:int -> unit;  (** shrink to [len] bytes *)
+  fsync : string -> unit;  (** flush to stable storage *)
+}
+(** File operations the archive needs.  Implementations signal failure
+    by raising {!Fs_error}; the archive converts that to [Error] on
+    {!open_} and lets it propagate otherwise. *)
+
+exception Fs_error of string
+
+val in_memory : unit -> fs
+(** A fresh in-memory filesystem fake (one buffer per path): fully
+    deterministic, no ambient state.  Each call returns an independent
+    store. *)
+
 type t
 
-val open_ : path:string -> (t, string) result
+val open_ : fs:fs -> path:string -> (t, string) result
 (** Open or create an archive at [path], rebuilding the index.  A
     corrupt tail is truncated (data before it is preserved); corruption
     elsewhere yields [Error]. *)
@@ -30,10 +56,12 @@ val find : t -> Lbrm_util.Seqno.t -> (int * string) option
 
 val mem : t -> Lbrm_util.Seqno.t -> bool
 val count : t -> int
+
 val sync : t -> unit
-(** Flush and fsync the data file. *)
+(** Fsync the data file. *)
 
 val close : t -> unit
+(** Alias for {!sync}: the archive holds no open handles of its own. *)
 
 val path : t -> string
 

@@ -100,7 +100,7 @@ module Hotlist = struct
     Hashtbl.fold
       (fun a c acc -> if c >= t.threshold then a :: acc else acc)
       t.counts []
-    |> List.sort compare
+    |> List.sort Int.compare
 
   let decay t =
     let halved =

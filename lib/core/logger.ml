@@ -74,7 +74,8 @@ let remulticasts t = t.remulticasts
 let uplink_nacks t = t.uplink_nacks
 
 let designated_for t =
-  Hashtbl.fold (fun e () acc -> e :: acc) t.designated [] |> List.sort compare
+  Hashtbl.fold (fun e () acc -> e :: acc) t.designated []
+  |> List.sort Int.compare
 
 (* --- upward recovery (secondary's own completeness) ------------------- *)
 

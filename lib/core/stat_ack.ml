@@ -70,7 +70,8 @@ let ignored_ackers t = Group_estimate.Hotlist.ignored t.hotlist
 let designated t =
   match Hashtbl.find_opt t.epochs t.epoch with
   | None -> []
-  | Some tbl -> Hashtbl.fold (fun a () acc -> a :: acc) tbl [] |> List.sort compare
+  | Some tbl ->
+      Hashtbl.fold (fun a () acc -> a :: acc) tbl [] |> List.sort Int.compare
 
 let group t = t.cfg.group
 

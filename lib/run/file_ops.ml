@@ -1,0 +1,72 @@
+(* The real filesystem behind Lbrm.Archive.fs.
+
+   lib/core is sans-IO: the archive asks for six primitive file
+   operations and this module supplies them with Unix.  Each call
+   opens, operates and closes — archive appends happen on the cold
+   eviction path, so handle caching is not worth the crash-consistency
+   bookkeeping it would add.  Unix and Sys errors surface as
+   Archive.Fs_error, which Archive.open_ converts to Error. *)
+
+let wrap name path f =
+  try f () with
+  | Unix.Unix_error (e, _, _) ->
+      raise (Lbrm.Archive.Fs_error
+               (Printf.sprintf "%s %s: %s" name path (Unix.error_message e)))
+  | Sys_error e ->
+      raise (Lbrm.Archive.Fs_error (Printf.sprintf "%s %s: %s" name path e))
+
+let read_at path ~pos ~len =
+  wrap "read" path (fun () ->
+      if not (Sys.file_exists path) then ""
+      else begin
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            ignore (Unix.lseek fd pos Unix.SEEK_SET);
+            let buf = Bytes.create len in
+            let rec fill off =
+              if off >= len then len
+              else
+                match Unix.read fd buf off (len - off) with
+                | 0 -> off
+                | n -> fill (off + n)
+            in
+            let got = fill 0 in
+            Bytes.sub_string buf 0 got)
+      end)
+
+let append path data =
+  wrap "append" path (fun () ->
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let len = String.length data in
+          let rec push off =
+            if off < len then
+              push (off + Unix.write_substring fd data off (len - off))
+          in
+          push 0))
+
+let fsync path =
+  wrap "fsync" path (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ()))
+
+let real : Lbrm.Archive.fs =
+  {
+    exists = Sys.file_exists;
+    size =
+      (fun path ->
+        wrap "stat" path (fun () -> (Unix.stat path).Unix.st_size));
+    read_at;
+    append;
+    truncate =
+      (fun path ~len -> wrap "truncate" path (fun () -> Unix.truncate path len));
+    fsync;
+  }

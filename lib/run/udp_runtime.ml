@@ -1,4 +1,3 @@
-module Message = Lbrm_wire.Message
 module Codec = Lbrm_wire.Codec
 module Heap = Lbrm_util.Heap
 module Rng = Lbrm_util.Rng

@@ -54,7 +54,7 @@ let gilbert_drops g ~rng ~now =
   let p = if g.bad then g.loss_bad else g.loss_good in
   Rng.bernoulli rng ~p
 
-let in_burst arr now =
+let in_burst (arr : (float * float) array) (now : float) =
   (* Binary search for the last window starting at or before now. *)
   let rec bs lo hi best =
     if lo > hi then best

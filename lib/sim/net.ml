@@ -102,7 +102,7 @@ let leave t ~group node =
 
 let members t ~group =
   Hashtbl.fold (fun n () acc -> n :: acc) (group_rec t group).members []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let is_member t ~group node = Hashtbl.mem (group_rec t group).members node
 
@@ -178,7 +178,7 @@ let pruned_tree t g ~src =
             (Route.spt_children t.route ~root:src ~node)
         in
         pruned.(node) <- keep;
-        here || keep <> []
+        here || (match keep with [] -> false | _ :: _ -> true)
       in
       ignore (mark src);
       Hashtbl.replace g.trees src { c_epoch = g.g_epoch; tree = pruned };

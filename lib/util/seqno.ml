@@ -13,7 +13,7 @@ let diff a b =
   let d = of_int (a - b) in
   if d > half then d - space else d
 
-let compare a b = Stdlib.compare (diff a b) 0
+let compare a b = Int.compare (diff a b) 0
 let ( < ) a b = compare a b < 0
 let ( <= ) a b = compare a b <= 0
 let ( > ) a b = compare a b > 0

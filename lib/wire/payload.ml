@@ -40,7 +40,7 @@ let compare a b =
   else
     let n = Stdlib.min a.len b.len in
     let rec cmp i =
-      if i = n then Stdlib.compare a.len b.len
+      if i = n then Int.compare a.len b.len
       else
         let c =
           Char.compare

@@ -1,0 +1,14 @@
+(* Deliberate [poly-compare] violations, lines asserted by
+   test_lint.ml. *)
+
+type pair = { a : int; b : string }
+
+let sorted xs = List.sort compare xs
+let bucket p = Hashtbl.hash p
+let same (x : pair) (y : pair) = x = y
+let ordered f g = (f : float -> float) < g
+
+(* The exact lib/sim/net.ml:105 bug class: hash-bucket order laundered
+   through a polymorphic sort. *)
+let keys (h : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort compare

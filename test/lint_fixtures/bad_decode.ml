@@ -1,0 +1,12 @@
+(* Deliberate [decode-totality] violations, lines asserted by
+   test_lint.ml. *)
+
+module Codec = Lbrm_wire.Codec
+
+let force s = Result.get_ok (Codec.decode s)
+let drop s = ignore (Codec.decode s)
+
+let partial s =
+  match Codec.decode s with
+  | Ok m -> m
+  | Error _ -> assert false

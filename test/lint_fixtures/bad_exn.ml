@@ -1,0 +1,6 @@
+(* Deliberate [catch-all] and [obj-magic] violations, lines asserted
+   by test_lint.ml. *)
+
+let swallow f = try f () with _ -> 0
+let swallow_named f = try f () with err -> 0
+let cast (x : int) : string = Obj.magic x

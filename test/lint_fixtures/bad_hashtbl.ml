@@ -1,0 +1,7 @@
+(* Deliberate [hashtbl-order] violation: Io.actions emitted in
+   hash-bucket order, no intervening sort. *)
+
+module Io = Lbrm.Io
+
+let acks (pending : (int, Lbrm_wire.Message.t) Hashtbl.t) : Io.action list =
+  Hashtbl.fold (fun _ msg acc -> Io.Send (Io.To_addr 1, msg) :: acc) pending []

@@ -1,0 +1,8 @@
+(* Deliberate [sans-io] violations, one per line (lines asserted by
+   test_lint.ml). *)
+
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let seed () = Random.self_init ()
+let slurp path = open_in path
+let shout s = print_endline s

@@ -1,0 +1,24 @@
+(* A module the linter must stay silent on: the blessed counterparts
+   of every bad_*.ml pattern. *)
+
+module Io = Lbrm.Io
+module Codec = Lbrm_wire.Codec
+
+let eq (a : int) b = a = b
+let keys (h : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort String.compare
+
+(* Hashtbl traversal feeding Io.actions is fine with an intervening
+   deterministic sort. *)
+let acks (pending : (int, Lbrm_wire.Message.t) Hashtbl.t) : Io.action list =
+  Hashtbl.fold (fun seq msg acc -> (seq, msg) :: acc) pending []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (_, msg) -> Io.Send (Io.To_addr 1, msg))
+
+let decode_total s =
+  match Codec.decode s with Ok m -> Some m | Error _ -> None
+
+let decode_piped s = Result.to_option (Codec.decode s)
+
+let guarded f = try f () with Invalid_argument m -> m
+let reraise f = try f () with e -> raise e

@@ -807,14 +807,20 @@ let discovery_stale_reply_ignored () =
 
 (* ---- Archive (disk tier) ---- *)
 
+(* lib/core is sans-IO: the archive runs against an injected
+   Archive.fs.  Protocol-level behaviour is tested on the in-memory
+   fake; [archive_real_fs] at the bottom drives the same scenarios
+   through the Unix-backed Lbrm_run.File_ops.real. *)
+
 let tmp_archive () =
   let path = Filename.temp_file "lbrm_archive" ".log" in
   Sys.remove path;
   path
 
 let archive_roundtrip () =
-  let path = tmp_archive () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let fs = Lbrm.Archive.in_memory () in
+  let path = "archive.log" in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   for seq = 1 to 20 do
     Lbrm.Archive.append a ~seq ~epoch:(seq mod 3)
       ~payload:(Printf.sprintf "payload-%d" seq)
@@ -831,18 +837,18 @@ let archive_roundtrip () =
   (match Lbrm.Archive.find a 7 with
   | Some (1, "payload-7") -> ()
   | _ -> Alcotest.fail "duplicate append must not overwrite");
-  Lbrm.Archive.close a;
-  Sys.remove path
+  Lbrm.Archive.close a
 
 let archive_survives_reopen () =
-  let path = tmp_archive () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let fs = Lbrm.Archive.in_memory () in
+  let path = "archive.log" in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   for seq = 1 to 10 do
     Lbrm.Archive.append a ~seq ~epoch:0 ~payload:(string_of_int seq)
   done;
   Lbrm.Archive.close a;
   (* Reopen: the index is rebuilt from the file. *)
-  let b = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   checki "count after reopen" 10 (Lbrm.Archive.count b);
   (match Lbrm.Archive.find b 10 with
   | Some (0, "10") -> ()
@@ -850,34 +856,31 @@ let archive_survives_reopen () =
   (* And appending continues to work. *)
   Lbrm.Archive.append b ~seq:11 ~epoch:0 ~payload:"11";
   checki "append after reopen" 11 (Lbrm.Archive.count b);
-  Lbrm.Archive.close b;
-  Sys.remove path
+  Lbrm.Archive.close b
 
 let archive_truncates_torn_tail () =
-  let path = tmp_archive () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let fs = Lbrm.Archive.in_memory () in
+  let path = "archive.log" in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   for seq = 1 to 5 do
     Lbrm.Archive.append a ~seq ~epoch:0 ~payload:"data"
   done;
   Lbrm.Archive.close a;
   (* Simulate a crash mid-append: garbage at the tail. *)
-  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
-  output_string oc "\xA1\x0Cgarbage-torn-write";
-  close_out oc;
-  let b = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  Lbrm.Archive.(fs.append) path "\xA1\x0Cgarbage-torn-write";
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   checki "valid prefix preserved" 5 (Lbrm.Archive.count b);
   checkb "records intact" true (Lbrm.Archive.find b 5 <> None);
   (* New appends land after the truncated tail and survive reopen. *)
   Lbrm.Archive.append b ~seq:6 ~epoch:0 ~payload:"six";
   Lbrm.Archive.close b;
-  let c = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let c = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
   checki "post-crash append persisted" 6 (Lbrm.Archive.count c);
-  Lbrm.Archive.close c;
-  Sys.remove path
+  Lbrm.Archive.close c
 
 let archive_iter_order () =
-  let path = tmp_archive () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let fs = Lbrm.Archive.in_memory () in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path:"archive.log") in
   List.iter
     (fun seq -> Lbrm.Archive.append a ~seq ~epoch:0 ~payload:"")
     [ 3; 1; 2 ];
@@ -885,14 +888,46 @@ let archive_iter_order () =
   Lbrm.Archive.iter (fun ~seq ~epoch:_ ~payload:_ -> order := seq :: !order) a;
   Alcotest.check (Alcotest.list Alcotest.int) "append order" [ 3; 1; 2 ]
     (List.rev !order);
+  Lbrm.Archive.close a
+
+let archive_real_fs () =
+  (* The Unix-backed fs from lib/run: roundtrip, reopen, and torn-tail
+     recovery against a real temp file. *)
+  let fs = Lbrm_run.File_ops.real in
+  let path = tmp_archive () in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  for seq = 1 to 5 do
+    Lbrm.Archive.append a ~seq ~epoch:(seq mod 2)
+      ~payload:(Printf.sprintf "payload-%d" seq)
+  done;
+  Lbrm.Archive.sync a;
+  (match Lbrm.Archive.find a 3 with
+  | Some (1, "payload-3") -> ()
+  | _ -> Alcotest.fail "real-fs lookup");
   Lbrm.Archive.close a;
+  (* Crash mid-append: garbage at the tail of the real file. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\xA1\x0Cgarbage-torn-write";
+  close_out oc;
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  checki "valid prefix preserved" 5 (Lbrm.Archive.count b);
+  Lbrm.Archive.append b ~seq:6 ~epoch:0 ~payload:"six";
+  Lbrm.Archive.close b;
+  let c = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  checki "post-crash append persisted" 6 (Lbrm.Archive.count c);
+  (match Lbrm.Archive.find c 6 with
+  | Some (0, "six") -> ()
+  | _ -> Alcotest.fail "post-crash append lookup");
+  Lbrm.Archive.close c;
   Sys.remove path
 
 let logger_serves_from_archive () =
   (* Bounded memory + archive: old packets evicted from RAM are still
      servable from disk. *)
-  let path = tmp_archive () in
-  let archive = Result.get_ok (Lbrm.Archive.open_ ~path) in
+  let archive =
+    Result.get_ok
+      (Lbrm.Archive.open_ ~fs:(Lbrm.Archive.in_memory ()) ~path:"archive.log")
+  in
   let cfg = { plain with retention = Log_store.Keep_last 3 } in
   let l =
     Logger.create cfg ~self:5 ~source:1 ~parent:2 ~archive ~rng:(rng ()) ()
@@ -910,8 +945,7 @@ let logger_serves_from_archive () =
   | [ Message.Retrans { seq = 1; payload = pl; _ } ] when pstr pl = "p1" -> ()
   | _ -> Alcotest.fail "expected repair from the archive");
   checkb "no uplink chase" true (unicasts_to 2 a = []);
-  Lbrm.Archive.close archive;
-  Sys.remove path
+  Lbrm.Archive.close archive
 
 (* ---- Pacer (5: congestion-responsive sending) ---- *)
 
@@ -1271,6 +1305,8 @@ let () =
             archive_truncates_torn_tail;
           Alcotest.test_case "iterates in append order" `Quick
             archive_iter_order;
+          Alcotest.test_case "real fs roundtrip + torn tail" `Quick
+            archive_real_fs;
           Alcotest.test_case "logger serves from disk" `Quick
             logger_serves_from_archive;
         ] );

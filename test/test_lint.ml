@@ -1,0 +1,130 @@
+(* lbrm-lint's own tests: drive lint_core in-process over the
+   deliberately-violating fixture library (test/lint_fixtures/) and
+   assert the exact findings — rule, file, line.  The clean fixture
+   must produce nothing.  ~all_rules:true makes the protocol-plane
+   rules apply to the fixture paths; ~root:".." resolves the cmt
+   load paths (tests run from _build/default/test). *)
+
+let fixture_dir = "lint_fixtures/.lint_fixtures.objs/byte"
+let fx name = "test/lint_fixtures/" ^ name
+
+let triple f = (f.Lint_core.rule, f.Lint_core.file, f.Lint_core.line)
+
+let run ?(allow = []) () =
+  Lint_core.run ~all_rules:true ~root:".." ~allow [ fixture_dir ]
+
+let finding_t = Alcotest.(triple string string int)
+
+let expected =
+  [
+    ("poly-compare", fx "bad_compare.ml", 6);
+    ("poly-compare", fx "bad_compare.ml", 7);
+    ("poly-compare", fx "bad_compare.ml", 8);
+    ("poly-compare", fx "bad_compare.ml", 9);
+    ("poly-compare", fx "bad_compare.ml", 14);
+    ("decode-totality", fx "bad_decode.ml", 6);
+    ("decode-totality", fx "bad_decode.ml", 7);
+    ("decode-totality", fx "bad_decode.ml", 12);
+    ("catch-all", fx "bad_exn.ml", 4);
+    ("catch-all", fx "bad_exn.ml", 5);
+    ("obj-magic", fx "bad_exn.ml", 6);
+    ("hashtbl-order", fx "bad_hashtbl.ml", 7);
+    ("sans-io", fx "bad_io.ml", 4);
+    ("sans-io", fx "bad_io.ml", 5);
+    ("sans-io", fx "bad_io.ml", 6);
+    ("sans-io", fx "bad_io.ml", 7);
+    ("sans-io", fx "bad_io.ml", 8);
+  ]
+
+(* Findings sort by (file, line, rule): mirror that for the oracle. *)
+let sort_expected l =
+  List.sort
+    (fun (r1, f1, l1) (r2, f2, l2) ->
+      let c = String.compare f1 f2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare l1 l2 in
+        if c <> 0 then c else String.compare r1 r2)
+    l
+
+let exact_findings () =
+  Alcotest.check
+    Alcotest.(list finding_t)
+    "exact findings" (sort_expected expected)
+    (List.map triple (run ()))
+
+let clean_is_silent () =
+  let noise =
+    run () |> List.filter (fun f -> String.equal f.Lint_core.file (fx "clean.ml"))
+  in
+  Alcotest.check Alcotest.(list finding_t) "clean fixture" []
+    (List.map triple noise)
+
+let diagnostic_format () =
+  (* `file:line: [rule] message` — the format CI and editors parse. *)
+  match run () with
+  | [] -> Alcotest.fail "fixtures should produce findings"
+  | f :: _ ->
+      let s = Lint_core.finding_to_string f in
+      let prefix = Printf.sprintf "%s:%d: [%s] " f.Lint_core.file f.Lint_core.line f.Lint_core.rule in
+      Alcotest.(check bool)
+        (Printf.sprintf "diagnostic %S starts with %S" s prefix)
+        true
+        (String.length s > String.length prefix
+        && String.equal (String.sub s 0 (String.length prefix)) prefix)
+
+let allowlist_suppresses_and_reports_stale () =
+  let allow =
+    List.filter_map Lint_core.parse_allow_line
+      [
+        "# grandfathered: fixture's documented cast";
+        "obj-magic test/lint_fixtures/bad_exn.ml";
+        "sans-io test/lint_fixtures/does_not_exist.ml  # stale";
+      ]
+  in
+  let got = List.map triple (run ~allow ()) in
+  Alcotest.(check bool)
+    "allowlisted finding suppressed" false
+    (List.mem ("obj-magic", fx "bad_exn.ml", 6) got);
+  Alcotest.(check bool)
+    "stale entry reported" true
+    (List.exists (fun (r, f, _) ->
+         String.equal r "stale-allow"
+         && String.equal f (fx "does_not_exist.ml"))
+       got);
+  (* Dropping the allow entry resurfaces the finding (the acceptance
+     bullet: deleting any one lint.allow entry makes @lint fail). *)
+  let unsuppressed = List.map triple (run ()) in
+  Alcotest.(check bool)
+    "finding resurfaces without its entry" true
+    (List.mem ("obj-magic", fx "bad_exn.ml", 6) unsuppressed)
+
+let line_scoped_allow () =
+  let allow =
+    List.filter_map Lint_core.parse_allow_line
+      [ "catch-all test/lint_fixtures/bad_exn.ml 4" ]
+  in
+  let got = List.map triple (run ~allow ()) in
+  Alcotest.(check bool)
+    "line 4 suppressed" false
+    (List.mem ("catch-all", fx "bad_exn.ml", 4) got);
+  Alcotest.(check bool)
+    "line 5 still reported" true
+    (List.mem ("catch-all", fx "bad_exn.ml", 5) got)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "exact findings" `Quick exact_findings;
+          Alcotest.test_case "clean fixture is silent" `Quick clean_is_silent;
+          Alcotest.test_case "diagnostic format" `Quick diagnostic_format;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppresses and reports stale" `Quick
+            allowlist_suppresses_and_reports_stale;
+          Alcotest.test_case "line-scoped entries" `Quick line_scoped_allow;
+        ] );
+    ]

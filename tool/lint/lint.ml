@@ -1,0 +1,50 @@
+(* CLI for lbrm-lint.  See lint_core.ml for the rules.
+
+   usage: lint.exe [--allow FILE] [--all-rules] [--root DIR] <cmt...>
+
+   Arguments are .cmt files or directories containing them (each
+   library's .objs/byte directory).  Exit 0: clean; 1: findings;
+   2: usage error. *)
+
+let () =
+  let allow_file = ref None in
+  let all_rules = ref false in
+  let root = ref "." in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: f :: rest ->
+        allow_file := Some f;
+        parse rest
+    | "--all-rules" :: rest ->
+        all_rules := true;
+        parse rest
+    | "--root" :: d :: rest ->
+        root := d;
+        parse rest
+    | ("--allow" | "--root") :: [] | "-h" :: _ | "--help" :: _ ->
+        prerr_endline
+          "usage: lint.exe [--allow FILE] [--all-rules] [--root DIR] <cmt...>";
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then begin
+    prerr_endline "lint.exe: no .cmt files or directories given";
+    exit 2
+  end;
+  let allow =
+    match !allow_file with Some f -> Lint_core.load_allow f | None -> []
+  in
+  let findings =
+    Lint_core.run ~all_rules:!all_rules ~root:!root ~allow (List.rev !paths)
+  in
+  List.iter
+    (fun f -> print_endline (Lint_core.finding_to_string f))
+    findings;
+  if findings <> [] then begin
+    Printf.eprintf "lbrm-lint: %d finding(s)\n" (List.length findings);
+    exit 1
+  end
