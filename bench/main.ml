@@ -189,7 +189,7 @@ let tab3 () =
         payload = Lbrm_wire.Payload.of_string (String.make 128 'x');
       }
   in
-  let encoded = Lbrm_wire.Codec.encode data_msg in
+  let encoded = Result.get_ok (Lbrm_wire.Codec.encode data_msg) in
   let encode =
     Test.make ~name:"codec_encode_data_128B"
       (Staged.stage (fun () -> ignore (Lbrm_wire.Codec.encode data_msg)))

@@ -21,7 +21,10 @@
                         multicasts (exercises the pruned-tree cache)
    - protocol_recovery: full protocol macro — source -> loggers -> 1k
                         receivers on lossy tails, recovery via
-                        NACK/retransmission *)
+                        NACK/retransmission
+   - chaos_failover:    scripted fault drills (primary-logger crash,
+                        secondary crash under loss) reporting fail-over
+                        and rediscovery latency *)
 
 module Engine = Lbrm_sim.Engine
 module Net = Lbrm_sim.Net
@@ -129,7 +132,11 @@ let bench_codec ~ops () =
   let msg =
     Message.Data { seq = 7; epoch = 1; payload = Payload.of_string payload }
   in
-  let bytes_per_op = String.length (Codec.encode msg) in
+  let bytes_per_op =
+    match Codec.encode msg with
+    | Ok s -> String.length s
+    | Error _ -> assert false
+  in
   (* The runtime pattern: one long-lived scratch writer, encode into it,
      decode straight back out of its buffer.  The only per-op allocation
      left is the decoded message and its payload view. *)
@@ -137,7 +144,7 @@ let bench_codec ~ops () =
   let ok = ref 0 in
   for _ = 1 to ops do
     Codec.Writer.reset w;
-    Codec.encode_into w msg;
+    (match Codec.encode_into w msg with Ok () -> () | Error _ -> ());
     match
       Codec.decode_bytes ~len:(Codec.Writer.length w) (Codec.Writer.buffer w)
     with
@@ -252,6 +259,34 @@ let bench_churn ~ops () =
   in
   (ops, extra)
 
+(* ---- chaos: fail-over and rediscovery under injected faults ---------- *)
+
+(* End-to-end fault drills: a primary-logger crash mid-stream and a
+   secondary-logger crash under tail loss.  Ops = application
+   deliveries across both; the extras put the headline robustness
+   numbers (fail-over / rediscovery latency) into BENCH_sim.json.
+   [violations] must stay 0 — a nonzero value means an invariant
+   (gap-free, duplicate-free, nothing abandoned) broke. *)
+let bench_chaos () =
+  let module Chaos = Lbrm_run.Chaos in
+  let module Sample = Lbrm_util.Stats.Sample in
+  let p = Chaos.primary_crash () in
+  let s = Chaos.secondary_crash () in
+  let fl = Lbrm_sim.Trace.sample p.Chaos.trace "failover_latency" in
+  let rl = Lbrm_sim.Trace.sample s.Chaos.trace "rediscovery_latency" in
+  let violations =
+    List.length p.Chaos.violations + List.length s.Chaos.violations
+  in
+  ( p.Chaos.delivered + s.Chaos.delivered,
+    [
+      ("violations", float_of_int violations);
+      ("failover_latency", Sample.median fl);
+      ("rediscovery_latency", Sample.median rl);
+      ("rediscovery_latency_p99", Sample.percentile rl 99.);
+      ("failovers", float_of_int p.Chaos.failovers);
+      ("rediscoveries", float_of_int s.Chaos.rediscoveries);
+    ] )
+
 (* ---- JSON output ----------------------------------------------------- *)
 
 let emit_json path rs =
@@ -303,6 +338,9 @@ let () =
   run_bench ~reps ~name:"membership_churn" (bench_churn ~ops:(scale 10_000));
   run_bench ~reps:(if smoke then 1 else 2) ~name:"protocol_recovery"
     (bench_recovery ~sites:50 ~receivers_per_site:20 ~packets:(scale 200));
+  (* Fixed-size drills: the virtual-time schedules are part of the
+     scenario, so there is nothing to scale down for smoke. *)
+  run_bench ~reps:1 ~name:"chaos_failover" bench_chaos;
   match json with
   | Some path ->
       emit_json path !results;

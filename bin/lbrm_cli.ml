@@ -81,6 +81,67 @@ let simulate_cmd =
       $ stat_ack $ duration)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos seed soak h_min =
+  let module C = Lbrm_run.Chaos in
+  let outcomes =
+    C.run_scripted ?h_min () @ if soak then [ C.random_chaos ~seed () ] else []
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun (o : C.outcome) ->
+      Printf.printf "%-16s %s  (deliveries %d, failovers %d, \
+                     rediscoveries %d)\n"
+        o.C.name
+        (if C.passed o then "PASS" else "FAIL")
+        o.C.delivered o.C.failovers o.C.rediscoveries;
+      let fl = Lbrm_sim.Trace.sample o.C.trace "failover_latency" in
+      if Lbrm_util.Stats.Sample.count fl > 0 then
+        Printf.printf "  failover latency    : %.3f s\n"
+          (Lbrm_util.Stats.Sample.median fl);
+      let rl = Lbrm_sim.Trace.sample o.C.trace "rediscovery_latency" in
+      if Lbrm_util.Stats.Sample.count rl > 0 then
+        Printf.printf "  rediscovery latency : median %.3f s, p99 %.3f s \
+                       (%d samples)\n"
+          (Lbrm_util.Stats.Sample.median rl)
+          (Lbrm_util.Stats.Sample.percentile rl 99.)
+          (Lbrm_util.Stats.Sample.count rl);
+      if not (C.passed o) then begin
+        incr failed;
+        List.iter (Printf.printf "  violation: %s\n") o.C.violations
+      end)
+    outcomes;
+  if !failed = 0 then 0 else 1
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Soak schedule seed.")
+  in
+  let soak =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:"Also run the seeded random crash/partition soak.")
+  in
+  let h_min =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "h-min" ]
+          ~doc:
+            "Override the minimum heartbeat interval (seconds) in the \
+             scripted scenarios; failure-detection latency scales with it.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection scenarios (logger crashes, site \
+          partition) and check end-to-end invariants")
+    Term.(const chaos $ seed $ soak $ h_min)
+
+(* ------------------------------------------------------------------ *)
 (* udp                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -263,4 +324,6 @@ let traffic_cmd =
 let () =
   let doc = "Log-Based Receiver-reliable Multicast (SIGCOMM '95)" in
   let info = Cmd.info "lbrm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; udp_cmd; traffic_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ simulate_cmd; chaos_cmd; udp_cmd; traffic_cmd ]))

@@ -11,9 +11,12 @@ type t = {
   nack_delay : float;
   nack_timeout : float;
   nack_retry_limit : int;
+  retrans_retry_limit : int;
+  rediscovery_silence : float;
   recover_from_start : bool;
   deposit_timeout : float;
   deposit_retry_limit : int;
+  source_retain_max : int;
   remcast_request_threshold : int;
   remcast_window : float;
   site_ttl : int;
@@ -47,9 +50,12 @@ let default =
     nack_delay = 0.01;
     nack_timeout = 0.5;
     nack_retry_limit = 3;
+    retrans_retry_limit = 4;
+    rediscovery_silence = 128.;
     recover_from_start = true;
     deposit_timeout = 0.5;
     deposit_retry_limit = 5;
+    source_retain_max = 65536;
     remcast_request_threshold = 3;
     remcast_window = 0.05;
     site_ttl = 2;
@@ -80,6 +86,10 @@ let validate t =
   else if t.max_it <= 0. then err "max_it must be positive"
   else if t.k_ackers <= 0 then err "k_ackers must be positive"
   else if t.nack_retry_limit < 0 then err "nack_retry_limit must be >= 0"
+  else if t.retrans_retry_limit < 1 then err "retrans_retry_limit must be >= 1"
+  else if t.rediscovery_silence <= 0. then
+    err "rediscovery_silence must be positive"
+  else if t.source_retain_max < 0 then err "source_retain_max must be >= 0"
   else if t.remcast_site_threshold < 0. then
     err "remcast_site_threshold must be >= 0"
   else if t.estimate_alpha <= 0. || t.estimate_alpha > 1. then

@@ -28,6 +28,13 @@ type t = {
           (Appendix A's "short retransmission request timer") *)
   nack_timeout : float;  (** repair wait before escalating a level *)
   nack_retry_limit : int;  (** attempts per level before giving up *)
+  retrans_retry_limit : int;
+      (** consecutive unanswered retransmission requests to the nearest
+          logger before the receiver discards it and restarts
+          expanding-ring discovery (§2.2.1) *)
+  rediscovery_silence : float;
+      (** silence deadline (seconds since anything was heard) past which
+          the receiver abandons its nearest logger and rediscovers *)
   recover_from_start : bool;
       (** sequence numbering starts at 1, so a receiver whose first
           packet has seq > 1 knows the earlier ones exist; when set, it
@@ -36,6 +43,11 @@ type t = {
   (* source → primary logger handoff *)
   deposit_timeout : float;
   deposit_retry_limit : int;  (** then the primary is suspected dead *)
+  source_retain_max : int;
+      (** soft cap on the source's replay table: above it, entries that
+          both the primary and best replica have acknowledged are
+          evicted even if statistical acking still tracks them
+          (0 = unbounded) *)
   (* logger *)
   remcast_request_threshold : int;
       (** a secondary re-multicasts a repair once this many requests for

@@ -25,6 +25,7 @@ type t = {
   recovered_here : (seq, unit) Hashtbl.t; (* packets we had to pull *)
   pending_up : (seq, address list ref) Hashtbl.t; (* awaiting parent *)
   uplink_asked : (seq, float) Hashtbl.t; (* last time we asked the parent *)
+  uplink_retries : (seq, int) Hashtbl.t; (* unanswered parent asks per seq *)
   requests : (seq, request_window) Hashtbl.t;
   replica_acked : (address, seq) Hashtbl.t;
   designated : (int, unit) Hashtbl.t; (* epochs we ack *)
@@ -56,6 +57,7 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng () =
     recovered_here = Hashtbl.create 16;
     pending_up = Hashtbl.create 16;
     uplink_asked = Hashtbl.create 16;
+    uplink_retries = Hashtbl.create 16;
     requests = Hashtbl.create 32;
     replica_acked = Hashtbl.create 4;
     designated = Hashtbl.create 4;
@@ -251,6 +253,7 @@ let log_packet t ~now ~seq ~epoch ~payload ~recovered =
   ignore
     (Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload));
   Hashtbl.remove t.uplink_asked seq;
+  Hashtbl.remove t.uplink_retries seq;
   if recovered then Hashtbl.replace t.recovered_here seq ();
   match Gap_tracker.note t.tracker seq with
   | Gap_opened gaps -> note_gaps t gaps
@@ -417,6 +420,14 @@ let handle_message t ~now ~src msg =
       t.parent <- None;
       t.replicas <- replicas;
       []
+  | Message.Primary_is { logger } ->
+      (* Answer to the Who_is_primary we send after repeated unanswered
+         uplink NACKs: our parent is dead and the primary moved.
+         Re-home; the armed K_uplink_nack timers will re-ask the new
+         parent. *)
+      if logger = t.self then t.parent <- None
+      else if not (is_primary t) then t.parent <- Some logger;
+      []
   | Message.Acker_select { epoch; p_ack } ->
       if (not (is_primary t)) && Rng.bernoulli t.rng ~p:p_ack then begin
         Hashtbl.replace t.designated epoch ();
@@ -435,7 +446,7 @@ let handle_message t ~now ~src msg =
       [ Io.send_to src (Message.Discovery_reply { nonce; logger = t.self }) ]
   | Message.Replica_status _ | Message.Log_ack _ | Message.Acker_reply _
   | Message.Stat_ack _ | Message.Probe_reply _ | Message.Discovery_reply _
-  | Message.Who_is_primary | Message.Primary_is _ ->
+  | Message.Who_is_primary ->
       []
 
 let handle_timer t ~now key =
@@ -445,9 +456,23 @@ let handle_timer t ~now key =
          unanswered: (re)try if the packet is still absent. *)
       if Log_store.mem t.store seq then begin
         Hashtbl.remove t.uplink_asked seq;
+        Hashtbl.remove t.uplink_retries seq;
         []
       end
-      else ask_parent t ~now [ seq ]
+      else begin
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.uplink_retries seq) in
+        Hashtbl.replace t.uplink_retries seq n;
+        let ask = ask_parent t ~now [ seq ] in
+        (* The parent has been silent for a whole retry budget: it may
+           be dead and replaced (§2.2.3).  Ask the source who the
+           primary is now; every further budget's worth of silence asks
+           again. *)
+        if
+          (not (is_primary t))
+          && n mod Stdlib.max 1 t.cfg.nack_retry_limit = 0
+        then Io.send_to t.source Message.Who_is_primary :: ask
+        else ask
+      end
   | K_remcast seq ->
       Hashtbl.remove t.requests seq;
       []

@@ -28,6 +28,11 @@ type t = {
   mutable gave_up : int;
   mutable nacks_sent : int;
   mutable on_rchannel : bool; (* currently subscribed to the channel *)
+  (* re-discovery of a replacement nearest logger (§2.2.1): armed when
+     the current level-0 logger stops answering *)
+  mutable discovery : Discovery.t option;
+  mutable level0_failures : int; (* consecutive unanswered level-0 asks *)
+  mutable rediscoveries : int;
 }
 
 let create cfg ~self ~source ~loggers =
@@ -50,6 +55,9 @@ let create cfg ~self ~source ~loggers =
     gave_up = 0;
     nacks_sent = 0;
     on_rchannel = false;
+    discovery = None;
+    level0_failures = 0;
+    rediscoveries = 0;
   }
 
 let highest_seen t = Option.value ~default:0 (Gap_tracker.highest t.tracker)
@@ -60,6 +68,9 @@ let gave_up t = t.gave_up
 let nacks_sent t = t.nacks_sent
 let set_loggers t loggers = if loggers <> [] then t.loggers <- loggers
 let last_heard t = t.last_heard
+let loggers t = t.loggers
+let rediscoveries t = t.rediscoveries
+let discovering t = Option.is_some t.discovery
 
 let logger_at t level = List.nth_opt t.loggers level
 let levels t = List.length t.loggers
@@ -136,6 +147,59 @@ let abandon_pursuit t seq =
   t.gave_up <- t.gave_up + 1;
   [ Cancel_timer (K_nack_escalate seq); Notify (N_gave_up seq) ]
 
+(* --- nearest-logger re-discovery (§2.2.1) ----------------------------- *)
+
+(* The chosen secondary stopped answering: drop it from the hierarchy
+   (keeping at least a last-resort level) and restart the expanding-ring
+   search instead of retrying it forever. *)
+let begin_rediscovery t ~now =
+  match t.discovery with
+  | Some _ -> []
+  | None ->
+      t.level0_failures <- 0;
+      (match t.loggers with
+      | _ :: (_ :: _ as rest) ->
+          t.loggers <- rest;
+          Hashtbl.iter
+            (fun _ p -> p.level <- Stdlib.max 0 (p.level - 1))
+            t.pursuits
+      | _ -> ());
+      let dsc = Discovery.create t.cfg in
+      t.discovery <- Some dsc;
+      Discovery.start dsc ~now
+
+(* A new nearest logger answered the ring search: put it at the front of
+   the hierarchy and re-request everything still missing from it. *)
+let adopt_logger t logger =
+  t.rediscoveries <- t.rediscoveries + 1;
+  t.level0_failures <- 0;
+  t.loggers <- logger :: List.filter (fun a -> a <> logger) t.loggers;
+  let any = ref false in
+  Hashtbl.iter
+    (fun _ p ->
+      any := true;
+      p.level <- 0;
+      p.needs_send <- true)
+    t.pursuits;
+  if !any then [ Set_timer (K_nack_flush, 0.) ] else []
+
+let finish_discovery t =
+  match t.discovery with
+  | Some dsc when Discovery.finished dsc -> (
+      t.discovery <- None;
+      match Discovery.result dsc with
+      | Some logger -> adopt_logger t logger
+      | None -> [] (* ring exhausted: keep what is left of the hierarchy *))
+  | Some _ | None -> []
+
+(* Called whenever a level-0 retransmission request went unanswered for
+   a full [nack_timeout]. *)
+let note_level0_failure t ~now =
+  t.level0_failures <- t.level0_failures + 1;
+  if t.level0_failures >= t.cfg.retrans_retry_limit && Option.is_none t.discovery
+  then begin_rediscovery t ~now
+  else []
+
 (* Send one NACK per hierarchy level covering every seq pursued there. *)
 let flush_nacks t =
   let by_level = Hashtbl.create 4 in
@@ -164,7 +228,7 @@ let flush_nacks t =
           @ acc)
     by_level []
 
-let escalate t seq =
+let escalate t ~now seq =
   match Hashtbl.find_opt t.pursuits seq with
   | None -> []
   | Some p ->
@@ -172,26 +236,30 @@ let escalate t seq =
         Hashtbl.remove t.pursuits seq;
         []
       end
-      else if p.attempts < (p.level + 1) * t.cfg.nack_retry_limit then begin
-        (* Retry at the same level. *)
-        p.needs_send <- true;
-        [ Set_timer (K_nack_flush, 0.) ]
+      else begin
+        (* The pending request at this pursuit's level went unanswered;
+           track level-0 silence for the re-discovery fallback. *)
+        let redisc = if p.level = 0 then note_level0_failure t ~now else [] in
+        if p.attempts < (p.level + 1) * t.cfg.nack_retry_limit then begin
+          (* Retry at the same level. *)
+          p.needs_send <- true;
+          Set_timer (K_nack_flush, 0.) :: redisc
+        end
+        else if p.level + 1 < levels t then begin
+          p.level <- p.level + 1;
+          p.needs_send <- true;
+          Set_timer (K_nack_flush, 0.) :: redisc
+        end
+        else if not p.asked_source then begin
+          (* The whole hierarchy failed: maybe the primary moved. *)
+          p.asked_source <- true;
+          p.attempts <- p.level * t.cfg.nack_retry_limit;
+          Io.send_to t.source Message.Who_is_primary
+          :: Set_timer (K_nack_escalate seq, 2. *. t.cfg.nack_timeout)
+          :: redisc
+        end
+        else abandon_pursuit t seq @ redisc
       end
-      else if p.level + 1 < levels t then begin
-        p.level <- p.level + 1;
-        p.needs_send <- true;
-        [ Set_timer (K_nack_flush, 0.) ]
-      end
-      else if not p.asked_source then begin
-        (* The whole hierarchy failed: maybe the primary moved. *)
-        p.asked_source <- true;
-        p.attempts <- p.level * t.cfg.nack_retry_limit;
-        [
-          Io.send_to t.source Message.Who_is_primary;
-          Set_timer (K_nack_escalate seq, 2. *. t.cfg.nack_timeout);
-        ]
-      end
-      else abandon_pursuit t seq
 
 (* --- data-plane arrivals ---------------------------------------------- *)
 
@@ -233,14 +301,24 @@ let on_retrans t ~now ~seq ~payload =
 
 (* --- dispatch ---------------------------------------------------------- *)
 
-let handle_message t ~now ~src:_ msg =
+let handle_message t ~now ~src msg =
   match msg with
   | Message.Data { seq; payload; _ } ->
       heard t ~now :: on_data t ~now ~seq ~payload
   | Message.Heartbeat { seq; payload; _ } ->
       heard t ~now :: on_heartbeat t ~now ~seq ~payload
   | Message.Retrans { seq; payload; _ } ->
+      (* The nearest logger proving itself alive clears the
+         re-discovery failure count. *)
+      if logger_at t 0 = Some src then t.level0_failures <- 0;
       heard t ~now :: on_retrans t ~now ~seq ~payload
+  | Message.Discovery_reply _ -> (
+      match t.discovery with
+      | None -> []
+      | Some dsc -> (
+          match Discovery.handle_message dsc ~now ~src msg with
+          | None -> []
+          | Some acts -> acts @ finish_discovery t))
   | Message.Primary_is { logger } ->
       (* Replace the last level of the hierarchy. *)
       let rec replace_last = function
@@ -260,7 +338,14 @@ let start t ~now =
 let handle_timer t ~now key =
   match key with
   | K_nack_flush -> flush_nacks t
-  | K_nack_escalate seq -> escalate t seq
+  | K_nack_escalate seq -> escalate t ~now seq
+  | K_discovery _ -> (
+      match t.discovery with
+      | None -> []
+      | Some dsc -> (
+          match Discovery.handle_timer dsc ~now key with
+          | None -> []
+          | Some acts -> acts @ finish_discovery t))
   | K_silence ->
       (* MaxIT passed with nothing heard: ask the nearest logger what
          the latest packet is, in case we missed everything. *)
@@ -271,5 +356,17 @@ let handle_timer t ~now key =
             [ Io.send_to logger (Message.Nack { seqs = [] }) ]
         | _ -> []
       in
-      (Notify (N_silence (now -. t.last_heard)) :: ask) @ [ arm_silence t ]
+      (* Prolonged total silence can also mean the nearest logger died
+         with the flow idle: past the deadline, go looking for a live
+         one instead of NACKing a corpse forever. *)
+      let redisc =
+        if
+          t.last_heard > 0.
+          && now -. t.last_heard >= t.cfg.rediscovery_silence
+          && Option.is_none t.discovery
+        then begin_rediscovery t ~now
+        else []
+      in
+      (Notify (N_silence (now -. t.last_heard)) :: ask)
+      @ redisc @ [ arm_silence t ]
   | _ -> []

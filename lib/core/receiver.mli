@@ -46,5 +46,15 @@ val nacks_sent : t -> int
 val set_loggers : t -> address list -> unit
 (** Replace the recovery hierarchy (after discovery). *)
 
+val loggers : t -> address list
+(** Current recovery hierarchy, nearest first. *)
+
+val rediscoveries : t -> int
+(** Times a failed nearest logger was replaced via expanding-ring
+    discovery. *)
+
+val discovering : t -> bool
+(** Whether an expanding-ring search is currently in flight. *)
+
 val last_heard : t -> float
 (** Time anything was last received from the flow. *)

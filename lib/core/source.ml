@@ -25,6 +25,8 @@ type t = {
   rchannel_buf : (seq, string) Hashtbl.t; (* awaiting channel copies *)
   deposit_retries : (seq, int) Hashtbl.t;
   mutable released : seq;
+  mutable acked_primary : seq; (* primary's contiguous mark, high water *)
+  mutable evict_floor : seq; (* cap eviction already swept up to here *)
   mutable failover : failover;
   mutable failovers_done : int;
   mutable heartbeats_sent : int;
@@ -47,6 +49,8 @@ let create cfg ~self ~primary ?(replicas = []) ?initial_estimate () =
     rchannel_buf = Hashtbl.create 64;
     deposit_retries = Hashtbl.create 64;
     released = 0;
+    acked_primary = 0;
+    evict_floor = 0;
     failover = Normal;
     failovers_done = 0;
     heartbeats_sent = 0;
@@ -61,6 +65,7 @@ let released t = t.released
 let stat t = t.stat
 let heartbeats_sent t = t.heartbeats_sent
 let data_multicasts t = t.data_multicasts
+let failovers t = t.failovers_done
 
 let group t = t.cfg.group
 
@@ -93,6 +98,31 @@ let apply_events t events =
               ]))
     events
 
+(* Soft cap on the replay table (§2.3.2 meets fail-over): entries that
+   both the primary and the best replica have durably acknowledged are
+   only being retained for a potential stat-ack re-multicast, so once
+   the table outgrows [source_retain_max] they are evicted anyway — a
+   re-multicast for an evicted seq degrades to logger recovery.  The
+   [evict_floor] mark makes the sweep amortized O(1): a long outage
+   freezes the floor, so the (futile) scan runs once, not per send. *)
+let enforce_retain_bound t =
+  let cap = t.cfg.source_retain_max in
+  if cap > 0 && Hashtbl.length t.retained > cap then begin
+    let floor =
+      if Seqno.(t.acked_primary < t.released) then t.acked_primary
+      else t.released
+    in
+    if Seqno.(floor > t.evict_floor) then begin
+      t.evict_floor <- floor;
+      let evict =
+        Hashtbl.fold
+          (fun seq _ acc -> if Seqno.(seq <= floor) then seq :: acc else acc)
+          t.retained []
+      in
+      List.iter (Hashtbl.remove t.retained) evict
+    end
+  end
+
 let arm_heartbeat t = Set_timer (K_heartbeat, Heartbeat.next_delay t.hb)
 
 let start t ~now =
@@ -104,6 +134,7 @@ let send t ~now payload =
   let seq = t.seq in
   t.last_payload <- payload;
   Hashtbl.replace t.retained seq (payload, t.epoch);
+  enforce_retain_bound t;
   Hashtbl.replace t.deposit_retries seq 0;
   Heartbeat.on_data t.hb;
   t.data_multicasts <- t.data_multicasts + 1;
@@ -195,11 +226,30 @@ let finish_failover t =
           [ Notify (N_new_primary t.primary) ]
       | (best, best_seq) :: _ ->
           let others = List.filter (fun r -> r <> best) t.replicas in
+          (* [Promote] is wire-bounded to [Codec.promote_max] replicas;
+             never build an unencodable one.  Replicas beyond the bound
+             are dropped from the set — they keep their logs but the
+             new primary will not feed them. *)
+          let others =
+            List.filteri (fun i _ -> i < Lbrm_wire.Codec.promote_max) others
+          in
+          (* Every pending deposit retry was aimed at the dead primary
+             and its count is at or near the suspicion limit; left
+             armed, the first one to fire would start a second, spurious
+             fail-over round.  Stop them all — [redeposit_from] re-arms
+             fresh clocks for the packets the new primary lacks. *)
+          let stale =
+            Hashtbl.fold (fun seq _ acc -> seq :: acc) t.deposit_retries []
+          in
+          List.iter (Hashtbl.remove t.deposit_retries) stale;
+          let cancels =
+            List.map (fun seq -> Cancel_timer (K_deposit seq)) stale
+          in
           t.primary <- best;
           t.replicas <- others;
           (Io.send_to best (Message.Promote { replicas = others })
           :: Notify (N_new_primary best)
-          :: redeposit_from t ~floor:best_seq))
+          :: (cancels @ redeposit_from t ~floor:best_seq)))
 
 let on_log_ack t ~primary_seq ~replica_seq =
   (* Deposits at or below the primary's contiguous mark stop retrying. *)
@@ -222,6 +272,8 @@ let on_log_ack t ~primary_seq ~replica_seq =
   in
   List.iter (Hashtbl.remove t.retained) release;
   if Seqno.(replica_seq > t.released) then t.released <- replica_seq;
+  if Seqno.(primary_seq > t.acked_primary) then t.acked_primary <- primary_seq;
+  enforce_retain_bound t;
   List.map (fun seq -> Cancel_timer (K_deposit seq)) stop
 
 let on_deposit_timeout t seq =

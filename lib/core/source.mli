@@ -61,5 +61,10 @@ val stat : t -> Stat_ack.t
 (** The embedded statistical-acknowledgement machine. *)
 
 val heartbeats_sent : t -> int
+
 val data_multicasts : t -> int
 (** Data transmissions including stat-ack re-multicasts. *)
+
+val failovers : t -> int
+(** Fail-over rounds begun (primary suspected dead with replicas
+    available). *)

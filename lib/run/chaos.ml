@@ -1,0 +1,290 @@
+module Trace = Lbrm_sim.Trace
+module Fault = Lbrm_sim.Fault
+module Topo = Lbrm_sim.Topo
+module Builders = Lbrm_sim.Builders
+module Rng = Lbrm_util.Rng
+module Sample = Lbrm_util.Stats.Sample
+open Lbrm.Io
+
+type outcome = {
+  name : string;
+  violations : string list;
+  failovers : int;
+  rediscoveries : int;
+  delivered : int;
+  trace : Trace.t;
+  digest : string;
+}
+
+let passed o = o.violations = []
+
+(* Canonical rendering of every counter and every sample (name-sorted,
+   values in insertion order, full float precision): two runs of the
+   same seeded scenario must produce byte-identical metric streams, and
+   this digest is how the soak asserts it. *)
+let digest_of_trace trace =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "c %s %d\n" k v))
+    (Trace.counters trace);
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string buf (Printf.sprintf "s %s" k);
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf " %.17g" v))
+        (Sample.values s);
+      Buffer.add_char buf '\n')
+    (Trace.samples trace);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Per-(receiver, seq) delivery counts.  A restarted receiver has no
+   dedup state and may legitimately re-deliver packets its previous
+   incarnation already handed up, so the fault hooks clear a node's
+   counts when it restarts; within one incarnation any second delivery
+   of a seq is a protocol bug. *)
+type tracker = { counts : (int * int, int) Hashtbl.t; mutable dups : int }
+
+let tracker () = { counts = Hashtbl.create 4096; dups = 0 }
+
+let track tk node seq =
+  let key = (node, seq) in
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt tk.counts key) in
+  Hashtbl.replace tk.counts key n;
+  if n > 1 then tk.dups <- tk.dups + 1
+
+let forget_node tk node =
+  let stale =
+    Hashtbl.fold
+      (fun ((n, _) as key) _ acc -> if n = node then key :: acc else acc)
+      tk.counts []
+  in
+  List.iter (Hashtbl.remove tk.counts) stale
+
+(* ---- invariants ------------------------------------------------------ *)
+
+let completeness_violations (d : Scenario.deployment) =
+  let last = Lbrm.Source.last_seq d.source in
+  let vs = ref [] in
+  Array.iter
+    (fun (_, node) ->
+      let seen = Hashtbl.find d.delivered node in
+      let missing = ref 0 in
+      for s = 1 to last do
+        if not (Hashtbl.mem seen s) then incr missing
+      done;
+      if !missing > 0 then
+        vs :=
+          Printf.sprintf "node %d: %d of %d packets never delivered" node
+            !missing last
+          :: !vs)
+    d.receivers;
+  List.rev !vs
+
+let common_violations d tk =
+  completeness_violations d
+  @ (if tk.dups > 0 then
+       [ Printf.sprintf "%d duplicate deliveries" tk.dups ]
+     else [])
+  @
+  let gave_up = Trace.get (Scenario.trace d) "loss.gave_up" in
+  if gave_up > 0 then [ Printf.sprintf "%d recoveries abandoned" gave_up ]
+  else []
+
+let rediscovery_count (d : Scenario.deployment) =
+  Array.fold_left
+    (fun acc (r, _) -> acc + Lbrm.Receiver.rediscoveries r)
+    0 d.receivers
+
+let finish ~name d tk extra =
+  let trace = Scenario.trace d in
+  let violations = common_violations d tk @ extra in
+  {
+    name;
+    violations;
+    failovers = Lbrm.Source.failovers d.Scenario.source;
+    rediscoveries = rediscovery_count d;
+    delivered = Trace.get trace "app.delivered";
+    trace;
+    digest = digest_of_trace trace;
+  }
+
+(* Short heartbeats and generous retry budgets: gaps must surface and
+   repairs must survive multi-second outages inside a ~30 s horizon.
+   The detection clocks are provisioned in heartbeat periods — a
+   deposit goes unanswered after ~1.2 heartbeats, a retransmission
+   request after ~2.4 — so crash-detection latency in the scenarios
+   scales linearly with [h_min] (the EXPERIMENTS.md table). *)
+let chaos_cfg ?(h_min = 0.25) () =
+  {
+    Lbrm.Config.default with
+    h_min;
+    h_max = 2.0;
+    max_it = 4.0;
+    deposit_timeout = 1.2 *. h_min;
+    nack_timeout = 2.4 *. h_min;
+    nack_retry_limit = 8;
+  }
+
+(* ---- scripted scenarios ---------------------------------------------- *)
+
+(* Primary logger dies mid-stream with deposits outstanding: the source
+   must suspect it, poll the replicas (Replica_query / Replica_status),
+   promote the most up-to-date one and re-deposit from its floor — all
+   over the simulated WAN.  The crashed node later restarts as a replica
+   of the new primary. *)
+let primary_crash ?(seed = 11) ?h_min () =
+  let crash_at = 3.0 and restart_at = 10.0 and horizon = 30.0 in
+  let tk = tracker () in
+  let failover_at = ref None in
+  let d =
+    Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~replica_count:2
+      ~initial_estimate:12.
+      ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
+        track tk node seq)
+      ~on_source_notice:(fun ~now n ->
+        match n with
+        | N_new_primary _ -> if !failover_at = None then failover_at := Some now
+        | _ -> ())
+      ~sites:4 ~receivers_per_site:3 ()
+  in
+  Scenario.drive_periodic d ~interval:0.05 ~count:100 ();
+  Scenario.schedule_faults d
+    ~on_restart:(fun node -> forget_node tk node)
+    (Fault.outage ~at:crash_at ~downtime:(restart_at -. crash_at)
+       d.Scenario.primary_node);
+  Scenario.run d ~until:horizon;
+  let trace = Scenario.trace d in
+  (match !failover_at with
+  | Some t -> Trace.observe trace "failover_latency" (t -. crash_at)
+  | None -> ());
+  let extra =
+    (match !failover_at with
+    | None -> [ "no N_new_primary within the horizon" ]
+    | Some _ -> [])
+    @
+    let n = Lbrm.Source.failovers d.Scenario.source in
+    if n <> 1 then [ Printf.sprintf "expected exactly 1 fail-over, saw %d" n ]
+    else []
+  in
+  finish ~name:"primary_crash" d tk extra
+
+(* A site's secondary logger dies under ongoing tail loss: that site's
+   receivers burn through [retrans_retry_limit] unanswered requests,
+   discard the dead logger, and re-run expanding-ring discovery to adopt
+   a live one.  Per-receiver rediscovery latency is sampled relative to
+   the crash instant. *)
+let secondary_crash ?(seed = 12) ?h_min () =
+  let crash_at = 3.0 and restart_at = 20.0 and horizon = 40.0 in
+  let lossy_site = 1 in
+  let tk = tracker () in
+  let rediscovered = ref [] in
+  let d =
+    Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~initial_estimate:9.
+      ~tail_loss:(fun site ->
+        if site = lossy_site then Lbrm_sim.Loss.bernoulli 0.15
+        else Lbrm_sim.Loss.none)
+      ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
+        track tk node seq)
+      ~on_notice:(fun node ~now n ->
+        match n with
+        | N_discovery (Some _) -> rediscovered := (node, now) :: !rediscovered
+        | _ -> ())
+      ~sites:3 ~receivers_per_site:3 ()
+  in
+  Scenario.drive_periodic d ~interval:0.05 ~count:100 ();
+  let _, victim = d.Scenario.secondaries.(lossy_site) in
+  Scenario.schedule_faults d
+    ~on_restart:(fun node -> forget_node tk node)
+    (Fault.outage ~at:crash_at ~downtime:(restart_at -. crash_at) victim);
+  Scenario.run d ~until:horizon;
+  let trace = Scenario.trace d in
+  List.iter
+    (fun (_, t) ->
+      if t >= crash_at then
+        Trace.observe trace "rediscovery_latency" (t -. crash_at))
+    (List.rev !rediscovered);
+  let orphans = Scenario.site_receivers d ~site:lossy_site in
+  let extra =
+    List.filter_map
+      (fun (_, node) ->
+        if List.exists (fun (n, t) -> n = node && t >= crash_at) !rediscovered
+        then None
+        else
+          Some
+            (Printf.sprintf "receiver %d never rediscovered a live logger"
+               node))
+      orphans
+  in
+  finish ~name:"secondary_crash" d tk extra
+
+(* A whole site drops off the WAN for four seconds and heals.  Nothing
+   is deliverable during the cut, so the test is pure log-based catch-up
+   afterwards: every receiver behind the partition must close the gap
+   through its (equally partitioned, hence initially empty-handed) site
+   secondary, with no fail-over and no duplicates anywhere. *)
+let partition_heal ?(seed = 13) () =
+  let t0 = 2.1 and t1 = 6.1 and horizon = 30.0 in
+  let cut_site = 3 in
+  let tk = tracker () in
+  let d =
+    Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~initial_estimate:12.
+      ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
+        track tk node seq)
+      ~sites:4 ~receivers_per_site:3 ()
+  in
+  Scenario.drive_periodic d ~interval:0.05 ~count:160 ();
+  Scenario.schedule_faults d
+    (Fault.partition_site d.Scenario.wan ~site:cut_site ~t0 ~t1);
+  Scenario.run d ~until:horizon;
+  let site = d.Scenario.wan.Builders.sites.(cut_site) in
+  let cut_drops =
+    Topo.drops_down site.Builders.tail_up
+    + Topo.drops_down site.Builders.tail_down
+  in
+  let extra =
+    (if cut_drops = 0 then [ "partition dropped no traffic" ] else [])
+    @
+    let n = Lbrm.Source.failovers d.Scenario.source in
+    if n <> 0 then
+      [ Printf.sprintf "partition must not trigger fail-over (saw %d)" n ]
+    else []
+  in
+  finish ~name:"partition_heal" d tk extra
+
+(* Seeded random soak: crash/restart cycles over loggers and a sample of
+   receivers plus transient site partitions, drawn from a schedule RNG
+   decoupled from the engine's.  Checked for the same gap-free /
+   duplicate-free / nothing-abandoned invariants; the digest lets the
+   caller assert byte-identical metrics for equal seeds. *)
+let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) () =
+  let horizon = 20.0 and quiesce = 40.0 in
+  let tk = tracker () in
+  let d =
+    Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~replica_count:1
+      ~initial_estimate:8.
+      ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
+        track tk node seq)
+      ~sites:4 ~receivers_per_site:2 ()
+  in
+  Scenario.drive_periodic d ~interval:0.1 ~count:100 ();
+  let hosts =
+    Array.to_list (Array.map snd d.Scenario.secondaries)
+    @ List.map snd d.Scenario.replicas
+    @ (Array.to_list d.Scenario.receivers
+      |> List.filteri (fun i _ -> i mod 3 = 0)
+      |> List.map snd)
+  in
+  let schedule_rng = Rng.create ~seed:((seed * 7919) + 1) in
+  let events =
+    Fault.random_schedule ~rng:schedule_rng ~wan:d.Scenario.wan ~hosts
+      ~sites:[ 1; 2; 3 ] ~crashes ~partitions ~min_down:1. ~max_down:3.
+      ~horizon ()
+  in
+  Scenario.schedule_faults d
+    ~on_restart:(fun node -> forget_node tk node)
+    events;
+  Scenario.run d ~until:quiesce;
+  finish ~name:"random_chaos" d tk []
+
+let run_scripted ?h_min () =
+  [ primary_crash ?h_min (); secondary_crash ?h_min (); partition_heal () ]

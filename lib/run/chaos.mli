@@ -1,0 +1,63 @@
+(** End-to-end chaos harness: scripted and randomized fault schedules
+    over {!Scenario.standard} deployments, with invariant checking after
+    quiescence.
+
+    Every scenario drives a packet stream, injects faults through
+    {!Lbrm_sim.Fault}, runs well past the last repair, and then checks
+    the receiver-reliable contract:
+
+    - {e gap-free}: every receiver delivered every sequence number the
+      source ever multicast;
+    - {e duplicate-free}: no receiver incarnation handed the same
+      sequence number to the application twice;
+    - {e nothing abandoned}: no recovery exhausted its retry budget;
+    - scenario-specific expectations (exactly one fail-over, every
+      orphaned receiver rediscovered a logger, a partition never causes
+      fail-over, …).
+
+    Fail-over and rediscovery latencies are recorded as
+    ["failover_latency"] / ["rediscovery_latency"] samples on the
+    deployment's {!Lbrm_sim.Trace}, where benchmarks pick them up. *)
+
+type outcome = {
+  name : string;
+  violations : string list;  (** empty iff every invariant held *)
+  failovers : int;  (** fail-over rounds the source began *)
+  rediscoveries : int;
+      (** receivers that replaced a dead logger via discovery *)
+  delivered : int;  (** total application deliveries *)
+  trace : Lbrm_sim.Trace.t;
+  digest : string;
+      (** hex digest of the canonical counter/sample rendering — equal
+          seeds must yield equal digests *)
+}
+
+val passed : outcome -> bool
+
+val digest_of_trace : Lbrm_sim.Trace.t -> string
+(** The digest {!outcome.digest} is computed with: counters and samples
+    name-sorted, sample values in insertion order at full precision. *)
+
+val primary_crash : ?seed:int -> ?h_min:float -> unit -> outcome
+(** Crash the primary logger at t = 3 s with deposits in flight; it
+    restarts at t = 10 s as a replica of whichever logger the source
+    promoted.  Expects exactly one fail-over and records its latency. *)
+
+val secondary_crash : ?seed:int -> ?h_min:float -> unit -> outcome
+(** Crash one site's secondary logger under 15% tail loss; that site's
+    receivers must re-run expanding-ring discovery and repair through an
+    adopted remote logger.  Records per-receiver rediscovery latency. *)
+
+val partition_heal : ?seed:int -> unit -> outcome
+(** Sever one site's tail circuit for 4 s, then heal.  Receivers behind
+    the cut must close the whole gap afterwards; fail-over must not
+    trigger. *)
+
+val random_chaos :
+  ?seed:int -> ?crashes:int -> ?partitions:int -> unit -> outcome
+(** Seeded random crash/restart and partition schedule over loggers and
+    receivers ({!Lbrm_sim.Fault.random_schedule}); the soak re-runs this
+    with equal seeds and compares digests. *)
+
+val run_scripted : ?h_min:float -> unit -> outcome list
+(** The three scripted scenarios, in order, at their default seeds. *)

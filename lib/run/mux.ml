@@ -12,8 +12,9 @@ let wire_size e = 4 + Message.wire_size e.msg
 let encode e =
   let w = Codec.Writer.create ~size:(4 + Message.body_size e.msg) () in
   Codec.Writer.u32 w e.flow;
-  Codec.encode_into w e.msg;
-  Codec.Writer.contents w
+  match Codec.encode_into w e.msg with
+  | Ok () -> Ok (Codec.Writer.contents w)
+  | Error _ as e -> e
 
 let decode s =
   if String.length s < 4 then Error Codec.Truncated

@@ -18,7 +18,7 @@ type envelope = { flow : int; msg : Lbrm_wire.Message.t }
 val wire_size : envelope -> int
 (** Message wire size + 4 flow-id bytes. *)
 
-val encode : envelope -> string
+val encode : envelope -> (string, Lbrm_wire.Codec.error) result
 val decode : string -> (envelope, Lbrm_wire.Codec.error) result
 
 type t

@@ -11,17 +11,19 @@ type deployment = {
   runtime : Sim_runtime.t;
   wan : Builders.wan;
   cfg : Lbrm.Config.t;
-  source : Lbrm.Source.t;
+  mutable source : Lbrm.Source.t;
   source_node : node_id;
-  primary : Lbrm.Logger.t;
+  mutable primary : Lbrm.Logger.t;
   primary_node : node_id;
-  replicas : (Lbrm.Logger.t * node_id) list;
+  mutable replicas : (Lbrm.Logger.t * node_id) list;
   secondaries : (Lbrm.Logger.t * node_id) array;
   receivers : (Lbrm.Receiver.t * node_id) array;
   (* regional (mid-tier) loggers, when a hierarchy was requested *)
   regionals : (Lbrm.Logger.t * node_id) list;
   (* per-receiver delivered seqs, for completeness checks *)
   delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* node -> fresh-machine factory, run when a crashed node restarts *)
+  rebuilders : (node_id, unit -> unit) Hashtbl.t;
 }
 
 let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
@@ -156,20 +158,127 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     (fun (r, node) ->
       Sim_runtime.perform runtime ~node (Lbrm.Receiver.start r ~now))
     receivers;
-  {
-    runtime;
-    wan;
-    cfg;
-    source;
-    source_node;
-    primary;
-    primary_node;
+  let d =
+    {
+      runtime;
+      wan;
+      cfg;
+      source;
+      source_node;
+      primary;
+      primary_node;
+      replicas;
+      secondaries;
+      receivers;
+      regionals = [];
+      delivered = delivered_table;
+      rebuilders = Hashtbl.create 16;
+    }
+  in
+  (* Restart factories.  A restarted process has no soft state, so every
+     rebuilder creates the state machine from scratch — empty log store,
+     fresh discovery — and re-homes it on whoever the source currently
+     considers primary (fail-over may have moved the role while the node
+     was down).  [fault_rng] is split after all existing streams so that
+     deployments that never crash are bit-identical to before. *)
+  let fault_rng = Rng.split rng in
+  let current_primary () = Lbrm.Source.primary d.source in
+  let logger_rebuilder node update =
+    Hashtbl.replace d.rebuilders node (fun () ->
+        let current = current_primary () in
+        let l =
+          if current = node then
+            (* Restarted while still (or again) the primary: resume the
+               role, with the other log hosts as its replicas. *)
+            let others =
+              List.filter (fun n -> n <> node) (primary_node :: replica_nodes)
+            in
+            Lbrm.Logger.create cfg ~self:node ~source:source_node
+              ~replicas:others ~rng:(Rng.split fault_rng) ()
+          else
+            Lbrm.Logger.create cfg ~self:node ~source:source_node
+              ~parent:current ~rng:(Rng.split fault_rng) ()
+        in
+        update l;
+        Sim_runtime.replace_agent runtime ~node (Handlers.of_logger l))
+  in
+  logger_rebuilder primary_node (fun l -> d.primary <- l);
+  List.iter
+    (fun (_, node) ->
+      logger_rebuilder node (fun l ->
+          d.replicas <-
+            List.map
+              (fun (l0, n) -> if n = node then (l, n) else (l0, n))
+              d.replicas))
     replicas;
+  Array.iteri
+    (fun i (_, node) ->
+      logger_rebuilder node (fun l -> d.secondaries.(i) <- (l, node)))
     secondaries;
+  Array.iteri
+    (fun i (_, node) ->
+      let site_secondary =
+        match logging with
+        | `Centralized -> None
+        | `Distributed ->
+            let found = ref None in
+            Array.iter
+              (fun site ->
+                if Array.exists (fun h -> h = node) site.Builders.hosts then
+                  found := Some site.Builders.hosts.(0))
+              wan.sites;
+            !found
+      in
+      Hashtbl.replace d.rebuilders node (fun () ->
+          let hierarchy =
+            match site_secondary with
+            | None -> [ current_primary () ]
+            | Some s -> [ s; current_primary () ]
+          in
+          let r =
+            Lbrm.Receiver.create cfg ~self:node ~source:source_node
+              ~loggers:hierarchy
+          in
+          d.receivers.(i) <- (r, node);
+          let seen = Hashtbl.find delivered_table node in
+          let deliver ~now ~seq ~payload ~recovered =
+            Hashtbl.replace seen seq ();
+            match on_deliver with
+            | Some f -> f node ~now ~seq ~payload ~recovered
+            | None -> ()
+          in
+          let notice = Option.map (fun f ~now n -> f node ~now n) on_notice in
+          Sim_runtime.replace_agent runtime ~node
+            (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r);
+          Sim_runtime.perform runtime ~node
+            (Lbrm.Receiver.start r ~now:(Sim_runtime.now runtime))))
     receivers;
-    regionals = [];
-    delivered = delivered_table;
-  }
+  d
+
+let crash d ~node =
+  Lbrm_sim.Topo.set_node_up d.wan.Builders.topo node false;
+  Sim_runtime.crash d.runtime ~node
+
+let restart d ~node =
+  Lbrm_sim.Topo.set_node_up d.wan.Builders.topo node true;
+  match Hashtbl.find_opt d.rebuilders node with
+  | Some rebuild -> rebuild ()
+  | None -> ()
+
+let schedule_faults ?(on_crash = fun _ -> ()) ?(on_restart = fun _ -> ()) d
+    events =
+  Lbrm_sim.Fault.apply
+    ~engine:(Sim_runtime.engine d.runtime)
+    ~topo:d.wan.Builders.topo
+    ~on_crash:(fun node ->
+      Sim_runtime.crash d.runtime ~node;
+      on_crash node)
+    ~on_restart:(fun node ->
+      (match Hashtbl.find_opt d.rebuilders node with
+      | Some rebuild -> rebuild ()
+      | None -> ());
+      on_restart node)
+    events
 
 let site_receivers d ~site =
   let hosts = d.wan.sites.(site).Builders.hosts in
@@ -357,4 +466,7 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
     receivers;
     regionals;
     delivered = delivered_table;
+    (* no restart support in the hierarchical builder (yet): restarted
+       nodes come back up silent *)
+    rebuilders = Hashtbl.create 1;
   }

@@ -12,17 +12,22 @@ type deployment = {
   runtime : Sim_runtime.t;
   wan : Lbrm_sim.Builders.wan;
   cfg : Lbrm.Config.t;
-  source : Lbrm.Source.t;
+  mutable source : Lbrm.Source.t;
   source_node : node_id;
-  primary : Lbrm.Logger.t;
+  mutable primary : Lbrm.Logger.t;
+      (** the machine currently installed at [primary_node] — after a
+          crash/restart cycle this is a fresh instance, and if fail-over
+          moved the role it is no longer the group's primary *)
   primary_node : node_id;
-  replicas : (Lbrm.Logger.t * node_id) list;
+  mutable replicas : (Lbrm.Logger.t * node_id) list;
   secondaries : (Lbrm.Logger.t * node_id) array;  (** index = site *)
   receivers : (Lbrm.Receiver.t * node_id) array;
   regionals : (Lbrm.Logger.t * node_id) list;
       (** mid-tier loggers (only from {!hierarchical}) *)
   delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
       (** per-receiver-node set of delivered sequence numbers *)
+  rebuilders : (node_id, unit -> unit) Hashtbl.t;
+      (** node → factory installing a fresh state machine at restart *)
 }
 
 val standard :
@@ -79,6 +84,31 @@ val hierarchical :
     future-work item): receiver → site secondary → regional logger →
     primary.  Regions are consecutive runs of [sites_per_region] sites;
     region r's logger lives at its first site.  No replicas. *)
+
+(** {2 Fault injection}
+
+    Crashing a node marks its host down in the topology (in-flight and
+    future deliveries to it vanish, and route/tree caches covering it
+    are invalidated) and cancels the agent's timers, so the process goes
+    completely quiet.  Restarting marks the host up and runs the node's
+    rebuilder: a {e fresh} state machine — empty log store, no pursuit
+    state, new discovery — homed on whoever the source currently
+    considers primary.  This makes rejoin after a crash real rather than
+    a resumption. *)
+
+val crash : deployment -> node:node_id -> unit
+val restart : deployment -> node:node_id -> unit
+
+val schedule_faults :
+  ?on_crash:(node_id -> unit) ->
+  ?on_restart:(node_id -> unit) ->
+  deployment ->
+  Lbrm_sim.Fault.event list ->
+  unit
+(** Post a declarative fault schedule into the engine (see
+    {!Lbrm_sim.Fault}).  [on_crash]/[on_restart] fire after the built-in
+    crash/rebuild handling — hooks for harnesses that time fail-over or
+    track delivery incarnations. *)
 
 val site_receivers : deployment -> site:int -> (Lbrm.Receiver.t * node_id) list
 (** Receivers whose host is at the given site. *)

@@ -96,4 +96,21 @@ let add_agent t ~node handlers =
       let actions = handlers.Handlers.on_message ~now:(now t) ~src msg in
       List.iter (execute t agent) actions)
 
+let cancel_timers t agent =
+  Hashtbl.iter (fun _ timer -> Engine.cancel (engine t) timer) agent.timers;
+  Hashtbl.reset agent.timers
+
+let crash t ~node =
+  match Hashtbl.find_opt t.agents node with
+  | None -> ()
+  | Some agent -> cancel_timers t agent
+
+let replace_agent t ~node handlers =
+  (match Hashtbl.find_opt t.agents node with
+  | None -> ()
+  | Some agent ->
+      cancel_timers t agent;
+      Hashtbl.remove t.agents node);
+  add_agent t ~node handlers
+
 let run ?until t = Engine.run ?until (engine t)

@@ -19,6 +19,17 @@ val trace : t -> Lbrm_sim.Trace.t
 val add_agent : t -> node:Lbrm_sim.Topo.node_id -> Handlers.t -> unit
 (** Install an agent on a host node.  At most one agent per node. *)
 
+val crash : t -> node:Lbrm_sim.Topo.node_id -> unit
+(** Cancel every pending timer of the node's agent (a crashed process
+    loses its soft state; with the node also marked down in {!Lbrm_sim.Topo}
+    it goes completely quiet).  No-op if no agent is installed. *)
+
+val replace_agent : t -> node:Lbrm_sim.Topo.node_id -> Handlers.t -> unit
+(** Swap in a freshly created agent for the node — the restart half of a
+    crash/restart cycle.  Outstanding timers of the old agent are
+    cancelled; the old state machine is unreachable afterwards, so the
+    restarted process genuinely rejoins from scratch. *)
+
 val perform : t -> node:Lbrm_sim.Topo.node_id -> Lbrm.Io.action list -> unit
 (** Execute actions on behalf of an agent — used to kick off machines
     ([Source.start], [Receiver.start]) or to inject application sends. *)

@@ -68,11 +68,16 @@ let send_datagram t agent ~dst msg =
        buffer to sendto: zero per-datagram allocation. *)
     let w = t.wbuf in
     Codec.Writer.reset w;
-    Codec.encode_into w msg;
-    t.sent <- t.sent + 1;
-    ignore
-      (Unix.sendto agent.socket (Codec.Writer.buffer w) 0
-         (Codec.Writer.length w) [] (sockaddr t dst))
+    match Codec.encode_into w msg with
+    | Error _ ->
+        (* Oversized message from a buggy peer stack: count it as a drop
+           rather than ship an unparseable datagram. *)
+        t.dropped <- t.dropped + 1
+    | Ok () ->
+        t.sent <- t.sent + 1;
+        ignore
+          (Unix.sendto agent.socket (Codec.Writer.buffer w) 0
+             (Codec.Writer.length w) [] (sockaddr t dst))
   end
 
 let rec execute t agent action =

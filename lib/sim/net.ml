@@ -21,7 +21,7 @@ type group = {
   mutable mask_epoch : int; (* epoch [mask] was built at; -1 = never *)
 }
 
-and cached_tree = { c_epoch : int; tree : Topo.link list array }
+and cached_tree = { c_epoch : int; c_state : int; tree : Topo.link list array }
 
 type 'msg t = {
   engine : Engine.t;
@@ -121,7 +121,11 @@ let member_mask t g node =
   Bytes.unsafe_get g.mask node <> '\000'
 
 let deliver t ~src ~dst msg =
-  (Array.unsafe_get t.handlers dst) ~now:(Engine.now t.engine) ~src msg
+  (* A crashed host's handler goes quiet: packets addressed to it are
+     dropped on arrival, including ones already in flight at crash
+     time. *)
+  if Topo.node_up t.topo dst then
+    (Array.unsafe_get t.handlers dst) ~now:(Engine.now t.engine) ~src msg
 
 let observe t link msg = List.iter (fun f -> f link msg) t.observers
 let on_link_transit t f = t.observers <- f :: t.observers
@@ -141,7 +145,9 @@ let unicast t ?(ttl = 64) ~src ~dst msg =
     let fl = { f_node = src; f_ttl = ttl } in
     let rec arrive () =
       if fl.f_node = dst then deliver t ~src ~dst msg
-      else if fl.f_ttl > 0 then
+      else if fl.f_ttl > 0 && Topo.node_up t.topo fl.f_node then
+        (* A node that crashed while this packet was in flight towards
+           it silently eats it rather than forwarding. *)
         match Route.next_hop t.route ~src:fl.f_node ~dst with
         | None -> ()
         | Some link -> (
@@ -154,7 +160,7 @@ let unicast t ?(ttl = 64) ~src ~dst msg =
                 fl.f_node <- Topo.link_dst link;
                 fl.f_ttl <- fl.f_ttl - 1;
                 Engine.post_at t.engine ~time:arrival arrive
-            | Topo.Dropped_loss | Topo.Dropped_queue -> ())
+            | Topo.Dropped_loss | Topo.Dropped_queue | Topo.Dropped_down -> ())
     in
     arrive ()
   end
@@ -165,11 +171,18 @@ let unicast t ?(ttl = 64) ~src ~dst msg =
    trees are evicted rather than accumulated. *)
 let pruned_tree t g ~src =
   let n = Topo.node_count t.topo in
+  let state = Topo.state_epoch t.topo in
   match Hashtbl.find_opt g.trees src with
-  | Some ct when ct.c_epoch = g.g_epoch && Array.length ct.tree >= n -> ct.tree
+  | Some ct
+    when ct.c_epoch = g.g_epoch && ct.c_state = state
+         && Array.length ct.tree >= n ->
+      ct.tree
   | _ ->
       let pruned = Array.make n [] in
-      (* Post-order: does the subtree rooted at [node] contain a member? *)
+      (* Post-order: does the subtree rooted at [node] contain a member?
+         The SPT already excludes down links and down nodes, so a tree
+         built at this state epoch never routes through failed
+         elements. *)
       let rec mark node =
         let here = Hashtbl.mem g.members node in
         let keep =
@@ -181,7 +194,7 @@ let pruned_tree t g ~src =
         here || (match keep with [] -> false | _ :: _ -> true)
       in
       ignore (mark src);
-      Hashtbl.replace g.trees src { c_epoch = g.g_epoch; tree = pruned };
+      Hashtbl.replace g.trees src { c_epoch = g.g_epoch; c_state = state; tree = pruned };
       t.tree_builds <- t.tree_builds + 1;
       pruned
 
@@ -236,7 +249,7 @@ let multicast t ?(ttl = 64) ~src ~group msg =
         fl.f_node <- Topo.link_dst link;
         fl.f_ttl <- fl.f_ttl - 1;
         Engine.post_at t.engine ~time:arrival_time arrive
-    | Topo.Dropped_loss | Topo.Dropped_queue -> ()
+    | Topo.Dropped_loss | Topo.Dropped_queue | Topo.Dropped_down -> ()
   and fan_out node budget =
     (* Offer the packet on every child link of [node]; budget > 0. *)
     List.iter
@@ -248,7 +261,7 @@ let multicast t ?(ttl = 64) ~src ~group msg =
             let now = Engine.now t.engine in
             match Topo.transmit_decision link ~rng:t.rng ~now ~size with
             | Topo.Deliver a -> push_leaf child a
-            | Topo.Dropped_loss | Topo.Dropped_queue -> ())
+            | Topo.Dropped_loss | Topo.Dropped_queue | Topo.Dropped_down -> ())
         | _ ->
             (* Keep sequence order exact: the pending leaf run precedes
                this child's arrival event. *)
@@ -260,8 +273,11 @@ let multicast t ?(ttl = 64) ~src ~group msg =
     let fl = { f_node = node; f_ttl = budget } in
     let rec arrive () =
       let u = fl.f_node in
+      (* [deliver] re-checks the destination itself; the guard here stops
+         a node that went down mid-flight from forwarding onwards (its
+         tree entry predates the crash). *)
       if u <> src && member_mask t g u then deliver t ~src ~dst:u msg;
-      if fl.f_ttl > 0 then
+      if fl.f_ttl > 0 && Topo.node_up t.topo u then
         match Array.unsafe_get tree u with
         | [] -> ()
         | [ link ]

@@ -7,9 +7,15 @@ type table = {
   children : Topo.link list array; (* SPT child links per node *)
 }
 
-type t = { topo : Topo.t; cache : (Topo.node_id, table) Hashtbl.t }
+type t = {
+  topo : Topo.t;
+  cache : (Topo.node_id, table) Hashtbl.t;
+  (* Topo.state_epoch the cache was built at: a node or link going up or
+     down silently invalidates every table. *)
+  mutable at_epoch : int;
+}
 
-let create topo = { topo; cache = Hashtbl.create 16 }
+let create topo = { topo; cache = Hashtbl.create 16; at_epoch = Topo.state_epoch topo }
 let invalidate t = Hashtbl.reset t.cache
 
 (* Dijkstra from [src]; also records, for each node, the first link taken
@@ -34,7 +40,8 @@ let compute t src =
           let relax link =
             let v = Topo.link_dst link in
             let nd = d +. Topo.link_delay link in
-            if nd < dist.(v) then begin
+            if Topo.link_up link && Topo.node_up t.topo v && nd < dist.(v)
+            then begin
               dist.(v) <- nd;
               hops.(v) <- hops.(u) + 1;
               parent_link.(v) <- Some link;
@@ -42,7 +49,11 @@ let compute t src =
               ignore (Heap.add pq ~prio:nd v)
             end
           in
-          List.iter relax (Topo.links_from t.topo u)
+          (* A down node neither originates nor forwards; [src] itself
+             still relaxes so routes *to* a down host vanish while its
+             table stays queryable. *)
+          if u = src || Topo.node_up t.topo u then
+            List.iter relax (Topo.links_from t.topo u)
         end;
         drain ()
   in
@@ -58,6 +69,11 @@ let compute t src =
   { dist; hops; first; children }
 
 let table t src =
+  let epoch = Topo.state_epoch t.topo in
+  if epoch <> t.at_epoch then begin
+    Hashtbl.reset t.cache;
+    t.at_epoch <- epoch
+  end;
   match Hashtbl.find_opt t.cache src with
   | Some tbl -> tbl
   | None ->

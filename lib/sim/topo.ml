@@ -1,7 +1,12 @@
 type node_id = int
 type kind = Host | Router
 
-type node = { kind : kind; node_label : string; mutable out : link list }
+type node = {
+  kind : kind;
+  node_label : string;
+  mutable out : link list;
+  mutable up : bool;
+}
 
 and link = {
   src : node_id;
@@ -9,11 +14,13 @@ and link = {
   fl : link_floats;
   queue_limit : int;
   mutable loss : Loss.t;
+  mutable link_up : bool;
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
   mutable lost : int;
   mutable queue_drops : int;
+  mutable down_drops : int;
 }
 
 (* All-float record: stored flat (unboxed), so the transmit hot path
@@ -26,16 +33,21 @@ and link_floats = {
   mutable busy_until : float;
 }
 
-type t = { mutable nodes : node array; mutable n : int }
+(* [state_epoch] counts up/down flips of nodes and links.  Consumers
+   that cache anything derived from reachability (route tables, pruned
+   multicast trees) compare their build epoch against it and rebuild
+   when it has moved — the same mechanism the per-group membership
+   epochs use. *)
+type t = { mutable nodes : node array; mutable n : int; mutable state_epoch : int }
 
-let create () = { nodes = [||]; n = 0 }
+let create () = { nodes = [||]; n = 0; state_epoch = 0 }
 
 let add_node t ?label kind =
   let id = t.n in
   let node_label =
     match label with Some l -> l | None -> Printf.sprintf "n%d" id
   in
-  let node = { kind; node_label; out = [] } in
+  let node = { kind; node_label; out = []; up = true } in
   if Array.length t.nodes = t.n then begin
     let nodes = Array.make (max 8 (2 * t.n)) node in
     Array.blit t.nodes 0 nodes 0 t.n;
@@ -48,6 +60,15 @@ let add_node t ?label kind =
 let node_count t = t.n
 let kind t id = t.nodes.(id).kind
 let label t id = t.nodes.(id).node_label
+let state_epoch t = t.state_epoch
+let node_up t id = t.nodes.(id).up
+
+let set_node_up t id up =
+  let node = t.nodes.(id) in
+  if node.up <> up then begin
+    node.up <- up;
+    t.state_epoch <- t.state_epoch + 1
+  end
 
 let add_link t ?(bandwidth = 0.) ?(delay = 0.001) ?(jitter = 0.)
     ?(queue = 1000) ?(loss = Loss.none) ~src ~dst () =
@@ -59,11 +80,13 @@ let add_link t ?(bandwidth = 0.) ?(delay = 0.001) ?(jitter = 0.)
       fl = { bandwidth; delay; jitter; busy_until = 0. };
       queue_limit = queue;
       loss;
+      link_up = true;
       sent = 0;
       delivered = 0;
       bytes = 0;
       lost = 0;
       queue_drops = 0;
+      down_drops = 0;
     }
   in
   t.nodes.(src).out <- link :: t.nodes.(src).out;
@@ -89,12 +112,23 @@ let link_loss l = l.loss
 let set_link_loss l loss = l.loss <- loss
 let link_jitter l = l.fl.jitter
 let set_link_jitter l jitter = l.fl.jitter <- jitter
+let link_up l = l.link_up
 
-type decision = Deliver of float | Dropped_loss | Dropped_queue
+let set_link_up t l up =
+  if l.link_up <> up then begin
+    l.link_up <- up;
+    t.state_epoch <- t.state_epoch + 1
+  end
+
+type decision = Deliver of float | Dropped_loss | Dropped_queue | Dropped_down
 
 let transmit_decision l ~rng ~now ~size =
   l.sent <- l.sent + 1;
-  if Loss.drops l.loss ~rng ~now then begin
+  if not l.link_up then begin
+    l.down_drops <- l.down_drops + 1;
+    Dropped_down
+  end
+  else if Loss.drops l.loss ~rng ~now then begin
     l.lost <- l.lost + 1;
     Dropped_loss
   end
@@ -133,6 +167,7 @@ let packets_delivered l = l.delivered
 let bytes_delivered l = l.bytes
 let drops_loss l = l.lost
 let drops_queue l = l.queue_drops
+let drops_down l = l.down_drops
 
 let reset_counters t =
   for i = 0 to t.n - 1 do
@@ -142,7 +177,8 @@ let reset_counters t =
         l.delivered <- 0;
         l.bytes <- 0;
         l.lost <- 0;
-        l.queue_drops <- 0)
+        l.queue_drops <- 0;
+        l.down_drops <- 0)
       t.nodes.(i).out
   done
 

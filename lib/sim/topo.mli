@@ -31,6 +31,22 @@ val node_count : t -> int
 val kind : t -> node_id -> kind
 val label : t -> node_id -> string
 
+(** {2 Fault state}
+
+    Nodes and links start up.  Taking a host down makes the net layer
+    drop deliveries to it and packets being forwarded through it; a down
+    link refuses every transmission ({!decision.Dropped_down}).  Every
+    actual flip bumps {!state_epoch}, which route tables and cached
+    multicast trees compare against their build epoch. *)
+
+val state_epoch : t -> int
+(** Monotone counter of up/down state changes (nodes and links). *)
+
+val node_up : t -> node_id -> bool
+val set_node_up : t -> node_id -> bool -> unit
+val link_up : link -> bool
+val set_link_up : t -> link -> bool -> unit
+
 val add_link :
   t ->
   ?bandwidth:float ->
@@ -86,6 +102,7 @@ type decision =
   | Deliver of float  (** arrival time at the far end *)
   | Dropped_loss
   | Dropped_queue
+  | Dropped_down  (** the link is administratively down *)
 
 val transmit_decision :
   link -> rng:Lbrm_util.Rng.t -> now:float -> size:int -> decision
@@ -102,6 +119,7 @@ val packets_delivered : link -> int
 val bytes_delivered : link -> int
 val drops_loss : link -> int
 val drops_queue : link -> int
+val drops_down : link -> int
 val reset_counters : t -> unit
 
 val pp_link : Format.formatter -> link -> unit

@@ -174,6 +174,17 @@ let tag_of = function
 let nack_max = 65536
 let promote_max = 1024
 
+(* Same limits the decoder enforces, checked before a single byte is
+   written so a rejected message never dirties the caller's writer. *)
+let validate (m : Message.t) =
+  match m with
+  | Nack { seqs } when List.compare_length_with seqs nack_max > 0 ->
+      Error (Bad_value "nack list too long")
+  | Promote { replicas } when List.compare_length_with replicas promote_max > 0
+    ->
+      Error (Bad_value "replica list too long")
+  | _ -> Ok ()
+
 (* One reservation, then tight unchecked-growth writes: the worst-case
    burst NACK (65536 seqs) costs a single [ensure]. *)
 let seq_list w seqs =
@@ -182,7 +193,7 @@ let seq_list w seqs =
   Writer.ensure w (4 * n);
   List.iter (Writer.u32 w) seqs
 
-let encode_into w (m : Message.t) =
+let write_body w (m : Message.t) =
   Writer.u8 w (tag_of m);
   match m with
   | Data { seq; epoch; payload } ->
@@ -241,15 +252,26 @@ let encode_into w (m : Message.t) =
   | Replica_status { seq } -> Writer.u32 w seq
   | Promote { replicas } -> seq_list w replicas
 
+let encode_into w (m : Message.t) =
+  match validate m with
+  | Error _ as e -> e
+  | Ok () ->
+      write_body w m;
+      Ok ()
+
 let encode (m : Message.t) =
-  (* [body_size] is exact (round-trip tests pin it), so the buffer never
-     grows and can be handed out without a trailing copy. *)
-  let buf = Bytes.create (Message.body_size m) in
-  let w = Writer.wrap buf in
-  encode_into w m;
-  if Writer.length w = Bytes.length buf && Writer.buffer w == buf then
-    Bytes.unsafe_to_string buf
-  else Writer.contents w
+  match validate m with
+  | Error _ as e -> e
+  | Ok () ->
+      (* [body_size] is exact (round-trip tests pin it), so the buffer
+         never grows and can be handed out without a trailing copy. *)
+      let buf = Bytes.create (Message.body_size m) in
+      let w = Writer.wrap buf in
+      write_body w m;
+      Ok
+        (if Writer.length w = Bytes.length buf && Writer.buffer w == buf then
+           Bytes.unsafe_to_string buf
+         else Writer.contents w)
 
 let decode_seq_array r ~max ~what =
   let n = Reader.u32_exn r in
@@ -351,4 +373,6 @@ let decode_bytes ?pos ?len b =
   decode ?pos ?len (Bytes.unsafe_to_string b)
 
 let roundtrip_size_matches m =
-  String.length (encode m) + Message.header_overhead = Message.wire_size m
+  match encode m with
+  | Error _ -> false
+  | Ok s -> String.length s + Message.header_overhead = Message.wire_size m

@@ -95,12 +95,24 @@ module Reader : sig
   val remaining : t -> int
 end
 
-val encode : Message.t -> string
-(** Serialize one message into a fresh exactly-sized string. *)
+val nack_max : int
+(** Largest sequence list a [Nack] may carry (decoder-enforced; the
+    encoder refuses to build anything bigger). *)
 
-val encode_into : Writer.t -> Message.t -> unit
+val promote_max : int
+(** Largest replica-floor list a [Promote] may carry; protocol code
+    must truncate before encoding. *)
+
+val encode : Message.t -> (string, error) result
+(** Serialize one message into a fresh exactly-sized string.
+    [Error (Bad_value _)] when a sequence list exceeds {!nack_max} /
+    {!promote_max} — the same limits {!decode} enforces, so every
+    encodable message round-trips. *)
+
+val encode_into : Writer.t -> Message.t -> (unit, error) result
 (** Append one message to a writer (the zero-copy hot path: keep the
-    writer, [Writer.reset] between packets). *)
+    writer, [Writer.reset] between packets).  Validates before writing:
+    on [Error] the writer is untouched. *)
 
 val decode : ?pos:int -> ?len:int -> string -> (Message.t, error) result
 (** Parse exactly one message from the given window (default: the whole

@@ -1,0 +1,11 @@
+(* [sans-io]: the global Random state is ambient — draws depend on
+   unrelated call sites, so a seeded run is not reproducible.
+   Random.State.* with an injected state is the legal form (what
+   Lbrm_util.Rng wraps). *)
+
+let draw () = Random.int 10
+let jitter () = Random.float 1.0
+let shuffle_bit () = Random.bool ()
+
+(* Legal: explicit injected state. *)
+let ok st = Random.State.int st 10

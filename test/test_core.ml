@@ -456,6 +456,69 @@ let source_failover_promotes_best () =
        (function Io.N_new_primary 4 -> true | _ -> false)
        (notices actions))
 
+let source_promote_stays_encodable () =
+  (* A replica population past the wire bound must not produce an
+     unencodable Promote: finish_failover truncates the survivor set. *)
+  let bound = Lbrm_wire.Codec.promote_max in
+  let cfg = { plain with deposit_retry_limit = 0 } in
+  let replicas = List.init (bound + 50) (fun i -> 100 + i) in
+  let s = Source.create cfg ~self:1 ~primary:2 ~replicas () in
+  ignore (Source.send s ~now:0. "a");
+  ignore (Source.handle_timer s ~now:0.5 (Io.K_deposit 1));
+  ignore
+    (Source.handle_message s ~now:0.6 ~src:100
+       (Message.Replica_status { seq = 1 }));
+  let actions = Source.handle_timer s ~now:1.5 (Io.K_failover 1) in
+  match
+    List.find_map
+      (function Message.Promote { replicas } -> Some replicas | _ -> None)
+      (unicasts_to 100 actions)
+  with
+  | None -> Alcotest.fail "expected a Promote to the surviving replica"
+  | Some kept ->
+      checkb "within the wire bound" true (List.length kept <= bound);
+      checkb "encodable" true
+        (Result.is_ok
+           (Lbrm_wire.Codec.encode (Message.Promote { replicas = kept })))
+
+let source_retained_bounded_100k () =
+  (* 100k packets with statistical acking holding every payload pending:
+     the replay table must respect [source_retain_max], including across
+     a fail-over of the primary logger. *)
+  let cap = 512 in
+  let cfg = { cfg with source_retain_max = cap; deposit_retry_limit = 0 } in
+  let s =
+    Source.create cfg ~self:1 ~primary:2 ~replicas:[ 3; 4 ]
+      ~initial_estimate:20. ()
+  in
+  ignore (Source.start s ~now:0.);
+  let n = 100_000 in
+  let worst = ref 0 in
+  for i = 1 to n do
+    let now = float_of_int i *. 0.001 in
+    ignore (Source.send s ~now "x");
+    ignore
+      (Source.handle_message s ~now ~src:2
+         (Message.Log_ack { primary_seq = i; replica_seq = i }));
+    worst := max !worst (Source.retained s)
+  done;
+  checkb "bounded throughout" true (!worst <= cap + 1);
+  (* The stream rides through a fail-over: the next deposit times out,
+     the best replica is promoted, and the unacked tail is re-deposited
+     — with the table still bounded. *)
+  ignore (Source.send s ~now:200. "y");
+  ignore (Source.handle_timer s ~now:200.5 (Io.K_deposit (n + 1)));
+  ignore
+    (Source.handle_message s ~now:200.6 ~src:4
+       (Message.Replica_status { seq = n }));
+  let a = Source.handle_timer s ~now:201.5 (Io.K_failover 1) in
+  checki "promoted" 4 (Source.primary s);
+  checkb "unacked tail re-deposited to the new primary" true
+    (List.exists
+       (function Message.Log_deposit { seq; _ } -> seq = n + 1 | _ -> false)
+       (unicasts_to 4 a));
+  checkb "still bounded" true (Source.retained s <= cap + 1)
+
 (* ---- Receiver (driven directly) ---- *)
 
 let recv_cfg = { plain with recover_from_start = false }
@@ -593,6 +656,75 @@ let receiver_silence_queries_latest () =
   | _ -> Alcotest.fail "expected latest query");
   checkb "watchdog re-armed" true
     (List.exists (function Io.K_silence, _ -> true | _ -> false) (timers_set a))
+
+let receiver_rediscovery_after_unanswered () =
+  (* retrans_retry_limit unanswered level-0 requests: the receiver drops
+     the dead secondary from its hierarchy and re-runs expanding-ring
+     discovery instead of NACKing a corpse forever. *)
+  let cfg = { recv_cfg with retrans_retry_limit = 2; nack_retry_limit = 8 } in
+  let r = Receiver.create cfg ~self:10 ~source:1 ~loggers:[ 5; 6 ] in
+  ignore
+    (Receiver.handle_message r ~now:0. ~src:1
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
+  ignore
+    (Receiver.handle_message r ~now:1. ~src:1
+       (Message.Data { seq = 3; epoch = 0; payload = p "c" }));
+  ignore (Receiver.handle_timer r ~now:1.01 Io.K_nack_flush);
+  (* unanswered request #1: still patient *)
+  ignore (Receiver.handle_timer r ~now:1.6 (Io.K_nack_escalate 2));
+  ignore (Receiver.handle_timer r ~now:1.61 Io.K_nack_flush);
+  checkb "not yet searching" false (Receiver.discovering r);
+  (* unanswered request #2 trips the fallback *)
+  let a = Receiver.handle_timer r ~now:2.2 (Io.K_nack_escalate 2) in
+  checkb "searching" true (Receiver.discovering r);
+  Alcotest.(check (list int)) "dead logger dropped" [ 6 ] (Receiver.loggers r);
+  let nonce =
+    match
+      List.find_map
+        (function
+          | _, _, Message.Discovery_query { nonce } -> Some nonce | _ -> None)
+        (multicasts a)
+    with
+    | Some nonce -> nonce
+    | None -> Alcotest.fail "expected a ring query"
+  in
+  (* A nearby logger answers: adopted nearest-first, pursuits replayed. *)
+  let a =
+    Receiver.handle_message r ~now:2.3 ~src:7
+      (Message.Discovery_reply { nonce; logger = 7 })
+  in
+  checkb "search finished" false (Receiver.discovering r);
+  checki "rediscovery counted" 1 (Receiver.rediscoveries r);
+  Alcotest.(check (list int)) "adopted nearest-first" [ 7; 6 ]
+    (Receiver.loggers r);
+  checkb "re-flush scheduled" true
+    (List.exists
+       (function Io.K_nack_flush, _ -> true | _ -> false)
+       (timers_set a));
+  let a = Receiver.handle_timer r ~now:2.31 Io.K_nack_flush in
+  checkb "missing packet re-requested from the new logger" true
+    (List.exists
+       (function Message.Nack { seqs = [ 2 ] } -> true | _ -> false)
+       (unicasts_to 7 a))
+
+let receiver_silence_triggers_rediscovery () =
+  (* Total silence past the rediscovery deadline also means the nearest
+     logger may be dead with the flow idle: go looking for a live one. *)
+  let cfg = { recv_cfg with rediscovery_silence = 5. } in
+  let r = Receiver.create cfg ~self:10 ~source:1 ~loggers:[ 5 ] in
+  ignore
+    (Receiver.handle_message r ~now:1. ~src:1
+       (Message.Data { seq = 1; epoch = 0; payload = p "a" }));
+  ignore (Receiver.handle_timer r ~now:4. Io.K_silence);
+  checkb "before the deadline: quiet" false (Receiver.discovering r);
+  let a = Receiver.handle_timer r ~now:7. Io.K_silence in
+  checkb "past the deadline: searching" true (Receiver.discovering r);
+  checkb "ring query sent" true
+    (List.exists
+       (function _, _, Message.Discovery_query _ -> true | _ -> false)
+       (multicasts a));
+  Alcotest.(check (list int)) "last-resort level kept" [ 5 ]
+    (Receiver.loggers r)
 
 (* ---- Logger (driven directly) ---- *)
 
@@ -1247,6 +1379,10 @@ let () =
             source_answers_who_is_primary;
           Alcotest.test_case "fail-over promotes best replica" `Quick
             source_failover_promotes_best;
+          Alcotest.test_case "promote stays wire-encodable" `Quick
+            source_promote_stays_encodable;
+          Alcotest.test_case "retained bounded over 100k + fail-over" `Quick
+            source_retained_bounded_100k;
           qtest prop_source_send_always_deposits;
         ] );
       ( "receiver",
@@ -1267,6 +1403,10 @@ let () =
             receiver_recover_from_start;
           Alcotest.test_case "silence queries latest" `Quick
             receiver_silence_queries_latest;
+          Alcotest.test_case "rediscovery after unanswered requests" `Quick
+            receiver_rediscovery_after_unanswered;
+          Alcotest.test_case "rediscovery on prolonged silence" `Quick
+            receiver_silence_triggers_rediscovery;
         ] );
       ( "logger",
         [

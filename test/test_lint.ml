@@ -34,6 +34,9 @@ let expected =
     ("sans-io", fx "bad_io.ml", 6);
     ("sans-io", fx "bad_io.ml", 7);
     ("sans-io", fx "bad_io.ml", 8);
+    ("sans-io", fx "bad_rng.ml", 6);
+    ("sans-io", fx "bad_rng.ml", 7);
+    ("sans-io", fx "bad_rng.ml", 8);
   ]
 
 (* Findings sort by (file, line, rule): mirror that for the oracle. *)

@@ -27,7 +27,7 @@ let envelope_roundtrip () =
   in
   List.iter
     (fun e ->
-      match Mux.decode (Mux.encode e) with
+      match Mux.decode (Result.get_ok (Mux.encode e)) with
       | Ok e' ->
           checki "flow" e.Mux.flow e'.Mux.flow;
           checkb "msg" true (Message.equal e.Mux.msg e'.Mux.msg)

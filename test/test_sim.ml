@@ -498,6 +498,196 @@ let prop_engine_random_schedules =
       let out = List.rev !fired in
       out = List.sort Float.compare delays)
 
+(* ---- fault plane ---- *)
+
+let fault_state_epoch () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host in
+  let b = Topo.add_node topo Host in
+  let ab = Topo.add_duplex topo ~delay:0.001 a b in
+  let e0 = Topo.state_epoch topo in
+  checkb "nodes start up" true (Topo.node_up topo a);
+  checkb "links start up" true (Topo.link_up (fst ab));
+  Topo.set_node_up topo a false;
+  checki "node flip bumps epoch" (e0 + 1) (Topo.state_epoch topo);
+  Topo.set_node_up topo a false;
+  checki "idempotent flip does not bump" (e0 + 1) (Topo.state_epoch topo);
+  Topo.set_link_up topo (fst ab) false;
+  checki "link flip bumps epoch" (e0 + 2) (Topo.state_epoch topo);
+  Topo.set_node_up topo a true;
+  Topo.set_link_up topo (fst ab) true;
+  checki "restores bump too" (e0 + 4) (Topo.state_epoch topo)
+
+let fault_down_node_drops_delivery () =
+  let engine, net, _, hs = mk_lan 3 in
+  let topo = Net.topo net in
+  let got = ref 0 in
+  Net.set_handler net hs.(1) (fun ~now:_ ~src:_ _ -> incr got);
+  Topo.set_node_up topo hs.(1) false;
+  Net.unicast net ~src:hs.(0) ~dst:hs.(1) "x";
+  Engine.run engine;
+  checki "down host hears nothing" 0 !got;
+  Topo.set_node_up topo hs.(1) true;
+  Net.unicast net ~src:hs.(0) ~dst:hs.(1) "y";
+  Engine.run engine;
+  checki "delivered after restart" 1 !got
+
+let fault_down_link_counted () =
+  (* Fresh routes and trees never include a down link, so Dropped_down
+     accounts for packets already in flight: the multicast tree is
+     captured at launch, and a link that dies while the packet crosses
+     the LAN eats it at the switch. *)
+  let engine, net, switch, hs = mk_lan 3 in
+  let topo = Net.topo net in
+  let got = ref 0 in
+  Net.join net ~group:1 hs.(1);
+  Net.set_handler net hs.(1) (fun ~now:_ ~src:_ _ -> incr got);
+  let link =
+    match Topo.find_link topo ~src:switch ~dst:hs.(1) with
+    | Some l -> l
+    | None -> Alcotest.fail "no downlink"
+  in
+  ignore
+    (Engine.schedule engine ~delay:0.0001 (fun () ->
+         Topo.set_link_up topo link false));
+  Net.multicast net ~src:hs.(0) ~group:1 "x";
+  Engine.run engine;
+  checki "packet eaten in flight" 0 !got;
+  checki "drop attributed to the dead link" 1 (Topo.drops_down link);
+  checki "not counted as loss" 0 (Topo.drops_loss link)
+
+let fault_route_around_down_link () =
+  (* a --1ms-- b --1ms-- c with a direct a --5ms-- c fallback: routing
+     prefers b until the a-b link dies, and must recover it on heal. *)
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host in
+  let b = Topo.add_node topo Router in
+  let c = Topo.add_node topo Host in
+  let ab, _ = Topo.add_duplex topo ~delay:0.001 a b in
+  let _ = Topo.add_duplex topo ~delay:0.001 b c in
+  let _ = Topo.add_duplex topo ~delay:0.005 a c in
+  let route = Route.create topo in
+  checkf 1e-9 "via b" 0.002 (Route.distance route ~src:a ~dst:c);
+  Topo.set_link_up topo ab false;
+  checkf 1e-9 "around the dead link" 0.005
+    (Route.distance route ~src:a ~dst:c);
+  Topo.set_link_up topo ab true;
+  checkf 1e-9 "healed" 0.002 (Route.distance route ~src:a ~dst:c);
+  (* Down routers disappear from paths entirely. *)
+  Topo.set_node_up topo b false;
+  checkf 1e-9 "around the dead router" 0.005
+    (Route.distance route ~src:a ~dst:c)
+
+let fault_multicast_tree_invalidation () =
+  (* Multicast trees are cached per (membership, topology-state) epoch:
+     severing a site's tail must stop deliveries there without touching
+     the other site, and healing must restore them. *)
+  let wan = Builders.dis_wan ~sites:2 ~hosts_per_site:2 () in
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~topo:wan.topo ~size_of:String.length () in
+  let counts = Hashtbl.create 8 in
+  let members =
+    [ wan.sites.(0).Builders.hosts.(1); wan.sites.(1).Builders.hosts.(1) ]
+  in
+  List.iter
+    (fun h ->
+      Hashtbl.replace counts h 0;
+      Net.join net ~group:1 h;
+      Net.set_handler net h (fun ~now:_ ~src:_ _ ->
+          Hashtbl.replace counts h (1 + Hashtbl.find counts h)))
+    members;
+  let src = wan.sites.(0).Builders.hosts.(0) in
+  let local = List.nth members 0 and remote = List.nth members 1 in
+  Net.multicast net ~src ~group:1 "a";
+  Engine.run engine;
+  checki "both sites reached" 1 (Hashtbl.find counts remote);
+  let site1 = wan.sites.(1) in
+  Topo.set_link_up wan.topo site1.Builders.tail_up false;
+  Topo.set_link_up wan.topo site1.Builders.tail_down false;
+  Net.multicast net ~src ~group:1 "b";
+  Engine.run engine;
+  checki "partitioned site unreachable" 1 (Hashtbl.find counts remote);
+  checki "local site unaffected" 2 (Hashtbl.find counts local);
+  Topo.set_link_up wan.topo site1.Builders.tail_up true;
+  Topo.set_link_up wan.topo site1.Builders.tail_down true;
+  Net.multicast net ~src ~group:1 "c";
+  Engine.run engine;
+  checki "healed site reachable again" 2 (Hashtbl.find counts remote)
+
+module Fault = Lbrm_sim.Fault
+
+let fault_apply_schedule () =
+  let topo = Topo.create () in
+  let a = Topo.add_node topo Host in
+  let b = Topo.add_node topo Host in
+  let ab, _ = Topo.add_duplex topo ~delay:0.001 a b in
+  let engine = Engine.create () in
+  let log = ref [] in
+  Fault.apply ~engine ~topo
+    ~on_crash:(fun n -> log := ("crash", n, Engine.now engine) :: !log)
+    ~on_restart:(fun n -> log := ("restart", n, Engine.now engine) :: !log)
+    (Fault.outage ~at:1.0 ~downtime:2.0 a
+    @ [ Fault.link_down ~at:0.5 ab; Fault.link_up ~at:1.5 ab ]);
+  ignore
+    (Engine.schedule engine ~delay:1.2 (fun () ->
+         checkb "down mid-outage" false (Topo.node_up topo a);
+         checkb "link down mid-window" false (Topo.link_up ab)));
+  Engine.run engine;
+  checkb "back up after restart" true (Topo.node_up topo a);
+  checkb "link back up" true (Topo.link_up ab);
+  match List.rev !log with
+  | [ ("crash", n1, t1); ("restart", n2, t2) ] ->
+      checki "crash node" a n1;
+      checki "restart node" a n2;
+      checkf 1e-9 "crash time" 1.0 t1;
+      checkf 1e-9 "restart time" 3.0 t2
+  | _ -> Alcotest.fail "expected exactly one crash and one restart hook"
+
+let fault_random_schedule_well_formed () =
+  let wan = Builders.dis_wan ~sites:3 ~hosts_per_site:2 () in
+  let rng = Rng.create ~seed:9 in
+  let hosts = Builders.all_hosts wan in
+  let horizon = 20. in
+  let events =
+    Fault.random_schedule ~rng ~wan ~hosts ~sites:[ 1; 2 ] ~crashes:4
+      ~partitions:3 ~min_down:1. ~max_down:3. ~horizon ()
+  in
+  let crashes = ref [] and restarts = ref [] in
+  List.iter
+    (fun { Fault.at; what } ->
+      checkb "within horizon" true (at >= 0. && at <= horizon);
+      match what with
+      | Fault.Crash n -> crashes := (n, at) :: !crashes
+      | Fault.Restart n -> restarts := (n, at) :: !restarts
+      | Fault.Link_down _ | Fault.Link_up _ -> ())
+    events;
+  checki "every crash has a restart" (List.length !crashes)
+    (List.length !restarts);
+  List.iter
+    (fun (n, t_crash) ->
+      checkb "restart strictly after its crash" true
+        (List.exists (fun (m, t) -> m = n && t > t_crash) !restarts))
+    !crashes;
+  (* Same seed, same schedule. *)
+  let events' =
+    Fault.random_schedule ~rng:(Rng.create ~seed:9) ~wan ~hosts
+      ~sites:[ 1; 2 ] ~crashes:4 ~partitions:3 ~min_down:1. ~max_down:3.
+      ~horizon ()
+  in
+  checkb "deterministic in the seed" true
+    (List.for_all2
+       (fun (e : Fault.event) (e' : Fault.event) ->
+         e.at = e'.at
+         &&
+         match (e.what, e'.what) with
+         | Fault.Crash a, Fault.Crash b | Fault.Restart a, Fault.Restart b ->
+             a = b
+         | Fault.Link_down l, Fault.Link_down l'
+         | Fault.Link_up l, Fault.Link_up l' ->
+             l == l'
+         | _ -> false)
+       events events')
+
 let () =
   Alcotest.run "sim"
     [
@@ -556,4 +746,21 @@ let () =
         ] );
       ("builders", [ Alcotest.test_case "dis_wan shape" `Quick builder_shape ]);
       ("trace", [ Alcotest.test_case "counters and samples" `Quick trace_counters ]);
+      ( "faults",
+        [
+          Alcotest.test_case "up/down flips bump the state epoch" `Quick
+            fault_state_epoch;
+          Alcotest.test_case "down host drops deliveries" `Quick
+            fault_down_node_drops_delivery;
+          Alcotest.test_case "down link drops are attributed" `Quick
+            fault_down_link_counted;
+          Alcotest.test_case "routing avoids down elements" `Quick
+            fault_route_around_down_link;
+          Alcotest.test_case "multicast tree invalidation" `Quick
+            fault_multicast_tree_invalidation;
+          Alcotest.test_case "fault schedule applies through the engine"
+            `Quick fault_apply_schedule;
+          Alcotest.test_case "random schedule well-formed + deterministic"
+            `Quick fault_random_schedule_well_formed;
+        ] );
     ]

@@ -154,6 +154,33 @@ let many_sites_scale () =
     true
     (acks < 20 * 40)
 
+let chaos_random_soak () =
+  (* A seeded random schedule of logger/receiver crashes and transient
+     site partitions, applied through the engine: after quiescence every
+     surviving receiver is gap-free, nothing was delivered twice within
+     one incarnation, and no recovery was abandoned. *)
+  let module Chaos = Lbrm_run.Chaos in
+  let o = Chaos.random_chaos ~seed:7 () in
+  checkb
+    (Printf.sprintf "invariants hold (%s)"
+       (String.concat "; " o.Chaos.violations))
+    true (Chaos.passed o);
+  checkb "packets actually flowed" true (o.Chaos.delivered > 0)
+
+let chaos_same_seed_same_trace () =
+  (* Faults ride the same deterministic engine as everything else: two
+     runs with equal seeds must produce byte-identical metric traces
+     (the digest canonicalizes every counter and every sample), and a
+     different seed must not. *)
+  let module Chaos = Lbrm_run.Chaos in
+  let a = Chaos.random_chaos ~seed:5 () in
+  let b = Chaos.random_chaos ~seed:5 () in
+  Alcotest.(check string)
+    "same seed, byte-identical metrics" a.Chaos.digest b.Chaos.digest;
+  let c = Chaos.random_chaos ~seed:6 () in
+  checkb "different seed, different trace" true
+    (a.Chaos.digest <> c.Chaos.digest)
+
 let () =
   Alcotest.run "soak"
     [
@@ -165,5 +192,12 @@ let () =
           Alcotest.test_case "combined faults" `Quick combined_faults_soak;
           Alcotest.test_case "long idle stability" `Quick long_idle_stability;
           Alcotest.test_case "100-site scale" `Quick many_sites_scale;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "seeded random fault schedule" `Quick
+            chaos_random_soak;
+          Alcotest.test_case "same seed, same metric trace" `Quick
+            chaos_same_seed_same_trace;
         ] );
     ]

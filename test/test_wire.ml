@@ -14,8 +14,15 @@ let qtest = QCheck_alcotest.to_alcotest
 let msg_testable =
   Alcotest.testable Message.pp Message.equal
 
+(* Every message in these tests is within the codec's list bounds unless
+   a test is explicitly probing them. *)
+let encode_exn m =
+  match Codec.encode m with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "encode error: %s" (Codec.error_to_string e)
+
 let roundtrip m =
-  match Codec.decode (Codec.encode m) with
+  match Codec.decode (encode_exn m) with
   | Ok m' -> Alcotest.check msg_testable "roundtrip" m m'
   | Error e -> Alcotest.failf "decode error: %s" (Codec.error_to_string e)
 
@@ -62,7 +69,7 @@ let size_model_matches () =
 let truncation_detected () =
   List.iter
     (fun m ->
-      let enc = Codec.encode m in
+      let enc = encode_exn m in
       (* Every strict prefix must fail to decode (never succeed). *)
       for len = 0 to String.length enc - 1 do
         match Codec.decode (String.sub enc 0 len) with
@@ -74,7 +81,7 @@ let truncation_detected () =
     samples
 
 let trailing_detected () =
-  let enc = Codec.encode Message.Who_is_primary ^ "junk" in
+  let enc = encode_exn Message.Who_is_primary ^ "junk" in
   match Codec.decode enc with
   | Error (Codec.Trailing 4) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
@@ -133,21 +140,42 @@ let payload_views () =
   | _ -> Alcotest.fail "accepted an out-of-bounds view"
 
 let nack_at_bound_roundtrips () =
-  (* The codec bounds NACK lists at 65536 seqs: the bound itself must
-     round-trip through the preallocated-array path, one past it must be
-     rejected at decode. *)
-  let seqs = List.init 65536 (fun i -> i + 1) in
-  (match Codec.decode (Codec.encode (Message.Nack { seqs })) with
+  (* The codec bounds NACK lists at [nack_max] seqs: the bound itself
+     must round-trip through the preallocated-array path, one past it
+     must be refused by the encoder (same limit the decoder enforces). *)
+  let seqs = List.init Codec.nack_max (fun i -> i + 1) in
+  (match Codec.decode (encode_exn (Message.Nack { seqs })) with
   | Ok (Message.Nack { seqs = seqs' }) ->
-      checki "length" 65536 (List.length seqs');
+      checki "length" Codec.nack_max (List.length seqs');
       checkb "seqs preserved" true (List.equal Int.equal seqs seqs')
   | Ok m -> Alcotest.failf "decoded as %s" (Message.kind m)
   | Error e -> Alcotest.failf "decode error: %s" (Codec.error_to_string e));
-  let over = List.init 65537 (fun i -> i + 1) in
-  match Codec.decode (Codec.encode (Message.Nack { seqs = over })) with
+  let over = List.init (Codec.nack_max + 1) (fun i -> i + 1) in
+  match Codec.encode (Message.Nack { seqs = over }) with
   | Error (Codec.Bad_value _) -> ()
-  | Ok _ -> Alcotest.fail "accepted an over-long nack"
+  | Ok _ -> Alcotest.fail "encoded an over-long nack"
   | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+
+let promote_at_bound () =
+  (* Fail-over Promotes carry replica floors; at [promote_max] they
+     round-trip, one past it the encoder returns a typed error without
+     dirtying the caller's writer. *)
+  let at = List.init Codec.promote_max (fun i -> i) in
+  (match Codec.decode (encode_exn (Message.Promote { replicas = at })) with
+  | Ok (Message.Promote { replicas }) ->
+      checki "length" Codec.promote_max (List.length replicas)
+  | Ok m -> Alcotest.failf "decoded as %s" (Message.kind m)
+  | Error e -> Alcotest.failf "decode error: %s" (Codec.error_to_string e));
+  let over = List.init (Codec.promote_max + 1) (fun i -> i) in
+  (match Codec.encode (Message.Promote { replicas = over }) with
+  | Error (Codec.Bad_value _) -> ()
+  | Ok _ -> Alcotest.fail "encoded an over-long promote"
+  | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e));
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 0x55;
+  match Codec.encode_into w (Message.Promote { replicas = over }) with
+  | Error _ -> checki "writer untouched on error" 1 (Codec.Writer.length w)
+  | Ok () -> Alcotest.fail "encode_into accepted an over-long promote"
 
 (* ---- Property tests over random messages ---- *)
 
@@ -205,7 +233,7 @@ let arb_message = QCheck.make ~print:Message.show gen_message
 let prop_roundtrip =
   QCheck.Test.make ~count:500 ~name:"codec: decode (encode m) = m" arb_message
     (fun m ->
-      match Codec.decode (Codec.encode m) with
+      match Codec.decode (encode_exn m) with
       | Ok m' -> Message.equal m m'
       | Error _ -> false)
 
@@ -239,7 +267,7 @@ let prop_views_equal_owned =
   QCheck.Test.make ~count:500
     ~name:"codec: decoded views equal their to_owned copies" arb_message
     (fun m ->
-      match Codec.decode (Codec.encode m) with
+      match Codec.decode (encode_exn m) with
       | Error _ -> false
       | Ok m' ->
           List.for_all
@@ -257,17 +285,36 @@ let prop_mutation_fuzz =
   QCheck.Test.make ~count:1000 ~name:"codec: byte mutations never crash"
     QCheck.(triple arb_message small_nat (int_bound 255))
     (fun (m, pos, byte) ->
-      let enc = Bytes.of_string (Codec.encode m) in
+      let enc = Bytes.of_string (encode_exn m) in
       if Bytes.length enc = 0 then true
       else begin
         Bytes.set enc (pos mod Bytes.length enc) (Char.chr byte);
         match Codec.decode (Bytes.to_string enc) with
         | Error _ -> true
         | Ok m' -> (
-            match Codec.decode (Codec.encode m') with
+            (* Anything the decoder accepted is within the list bounds,
+               so re-encoding must succeed. *)
+            match Codec.decode (encode_exn m') with
             | Ok m'' -> Message.equal m' m''
             | Error _ -> false)
       end)
+
+let prop_promote_bound =
+  (* Encoding succeeds exactly within the decoder's Promote bound, and
+     every encodable Promote round-trips. *)
+  QCheck.Test.make ~count:60 ~name:"codec: promote encodes iff within bound"
+    QCheck.(int_range (Codec.promote_max - 30) (Codec.promote_max + 30))
+    (fun n ->
+      let m = Message.Promote { replicas = List.init n (fun i -> i) } in
+      match Codec.encode m with
+      | Ok s -> (
+          n <= Codec.promote_max
+          &&
+          match Codec.decode s with
+          | Ok m' -> Message.equal m m'
+          | Error _ -> false)
+      | Error (Codec.Bad_value _) -> n > Codec.promote_max
+      | Error _ -> false)
 
 let prop_control_classification =
   QCheck.Test.make ~count:300
@@ -298,6 +345,8 @@ let () =
           Alcotest.test_case "payload views" `Quick payload_views;
           Alcotest.test_case "nack at the 65536 bound" `Quick
             nack_at_bound_roundtrips;
+          Alcotest.test_case "promote at the 1024 bound" `Quick
+            promote_at_bound;
         ] );
       ( "properties",
         [
@@ -306,6 +355,7 @@ let () =
           qtest prop_decode_never_raises;
           qtest prop_views_equal_owned;
           qtest prop_mutation_fuzz;
+          qtest prop_promote_bound;
           qtest prop_control_classification;
         ] );
     ]

@@ -190,6 +190,13 @@ let sans_io_violation path ty =
     Some (Printf.sprintf "%s reads ambient system state" n)
   else if String.equal n "Random.self_init" || String.equal n "Random.State.make_self_init"
   then Some (n ^ ": nondeterministic seeding; inject an Rng.t instead")
+  else if has_prefix ~prefix:"Random." n && not (has_prefix ~prefix:"Random.State." n)
+  then
+    (* The global Random state is ambient mutable state shared across
+       the whole program: draws depend on unrelated call sites, so a
+       seeded run is not reproducible.  Random.State.* with an injected
+       state is fine (Rng.t wraps one). *)
+    Some (n ^ " draws from the ambient global RNG; inject an Rng.t instead")
   else if List.mem n stdio_banned then
     Some (n ^ " performs console IO; emit Io.actions instead")
   else if has_prefix ~prefix:"In_channel." n || has_prefix ~prefix:"Out_channel." n
