@@ -184,13 +184,13 @@ let bench_log_store ~ops () =
    receivers detecting gaps and recovering through the logger hierarchy.
    Ops = packets delivered to applications; the extras expose how much
    recovery traffic that took. *)
-let bench_recovery ~sites ~receivers_per_site ~packets () =
+let bench_recovery ?sink ~sites ~receivers_per_site ~packets () =
   let interval = 0.1 in
   let d =
     Scenario.standard ~seed:7
       ~initial_estimate:(float_of_int (sites * receivers_per_site))
       ~tail_loss:(fun _site -> Loss.bernoulli 0.03)
-      ~sites ~receivers_per_site ()
+      ?sink ~sites ~receivers_per_site ()
   in
   Scenario.drive_periodic d ~interval ~count:packets ();
   Scenario.run d ~until:((float_of_int packets +. 1.) *. interval +. 60.);
@@ -213,6 +213,24 @@ let bench_recovery ~sites ~receivers_per_site ~packets () =
       ("requests_served", float_of_int served);
       ("missing", float_of_int (Scenario.total_missing d));
     ] )
+
+(* Same macro with typed tracing into a ring buffer: the delta against
+   protocol_recovery is the cost of the enabled observability plane
+   (the disabled plane's cost is already inside protocol_recovery,
+   whose machines all carry a null sink). *)
+let bench_recovery_traced ~sites ~receivers_per_site ~packets () =
+  let ring = Lbrm.Trace.Ring.create ~capacity:65536 in
+  let ops, extra =
+    bench_recovery
+      ~sink:(Lbrm.Trace.Ring.sink ring)
+      ~sites ~receivers_per_site ~packets ()
+  in
+  ( ops,
+    extra
+    @ [
+        ("trace_pushed", float_of_int (Lbrm.Trace.Ring.pushed ring));
+        ("trace_dropped", float_of_int (Lbrm.Trace.Ring.dropped ring));
+      ] )
 
 (* ---- membership churn against the pruned-tree cache ------------------ *)
 
@@ -337,7 +355,11 @@ let () =
     (bench_log_store ~ops:(scale 400_000));
   run_bench ~reps ~name:"membership_churn" (bench_churn ~ops:(scale 10_000));
   run_bench ~reps:(if smoke then 1 else 2) ~name:"protocol_recovery"
-    (bench_recovery ~sites:50 ~receivers_per_site:20 ~packets:(scale 200));
+    (bench_recovery ?sink:None ~sites:50 ~receivers_per_site:20
+       ~packets:(scale 200));
+  run_bench ~reps:(if smoke then 1 else 2) ~name:"protocol_recovery_traced"
+    (bench_recovery_traced ~sites:50 ~receivers_per_site:20
+       ~packets:(scale 200));
   (* Fixed-size drills: the virtual-time schedules are part of the
      scenario, so there is nothing to scale down for smoke. *)
   run_bench ~reps:1 ~name:"chaos_failover" bench_chaos;

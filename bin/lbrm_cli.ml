@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate   run an LBRM deployment on the simulated WAN and report
+     trace      reconstruct causal recovery timelines from typed traces
      udp        run a live LBRM session over loopback UDP sockets
      traffic    print the STOW-97 traffic arithmetic (2.1.2)
 
@@ -140,6 +141,99 @@ let chaos_cmd =
          "Run the fault-injection scenarios (logger crashes, site \
           partition) and check end-to-end invariants")
     Term.(const chaos $ seed $ soak $ h_min)
+
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Reconstruct, from the merged typed trace of a scripted scenario, the
+   causal chain of every loss: gap detection -> NACK -> logger
+   retransmission -> delivery, plus recovery-latency percentiles. *)
+let trace_scenario name seed jsonl_path =
+  let module C = Lbrm_run.Chaos in
+  let module T = Lbrm.Trace in
+  let module Tl = Lbrm.Timeline in
+  let events =
+    match name with
+    | "primary-crash" -> (C.primary_crash ~seed ()).C.events
+    | "secondary-crash" -> (C.secondary_crash ~seed ()).C.events
+    | "partition-heal" -> (C.partition_heal ~seed ()).C.events
+    | "lossy" ->
+        let collector = T.Collector.create () in
+        let d =
+          Lbrm_run.Scenario.standard ~seed ~initial_estimate:50.
+            ~tail_loss:(fun _ -> Lbrm_sim.Loss.bernoulli 0.05)
+            ~sink:(T.Collector.sink collector)
+            ~sites:50 ~receivers_per_site:1 ()
+        in
+        Lbrm_run.Scenario.drive_periodic d ~interval:0.1 ~count:40 ();
+        Lbrm_run.Scenario.run d ~until:30.;
+        T.Collector.records collector
+    | other ->
+        Printf.eprintf
+          "unknown scenario %S (expected primary-crash, secondary-crash, \
+           partition-heal or lossy)\n"
+          other;
+        exit 2
+  in
+  (match jsonl_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (T.jsonl_of_records events);
+      close_out oc;
+      Printf.printf "wrote %d records to %s\n" (List.length events) path
+  | None -> ());
+  let losses = Tl.build events in
+  Printf.printf "%s: %d trace records, %d losses (digest %s)\n" name
+    (List.length events) (List.length losses) (T.digest events);
+  List.iter (fun l -> Format.printf "  %a@." Tl.pp_loss l) losses;
+  let lats = Tl.latencies losses in
+  (match lats with
+  | [] -> Printf.printf "no recovered losses\n"
+  | _ ->
+      let s = Lbrm_util.Stats.Sample.create () in
+      List.iter (Lbrm_util.Stats.Sample.add s) lats;
+      let pct p = Lbrm_util.Stats.Sample.percentile s p in
+      Printf.printf
+        "recovery latency over %d losses: p50 %.3f s, p90 %.3f s, p99 %.3f \
+         s, max %.3f s\n"
+        (List.length lats) (pct 50.) (pct 90.) (pct 99.)
+        (Lbrm_util.Stats.Sample.max s));
+  let promotions = List.length (T.Query.promotions events) in
+  let abandoned =
+    List.length (List.filter (fun l -> Tl.abandoned l) losses)
+  in
+  Printf.printf "promotions %d, abandoned recoveries %d\n" promotions
+    abandoned;
+  if abandoned = 0 then 0 else 1
+
+let trace_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "One of primary-crash, secondary-crash, partition-heal or \
+             lossy (a 50-site run under 5% tail loss).")
+  in
+  let seed =
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Scenario seed.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also dump the merged trace as JSON Lines to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scripted scenario with tracing enabled and print the \
+          causal recovery timeline of every loss")
+    Term.(const trace_scenario $ scenario $ seed $ jsonl)
 
 (* ------------------------------------------------------------------ *)
 (* udp                                                                 *)
@@ -326,4 +420,4 @@ let () =
   let info = Cmd.info "lbrm" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ simulate_cmd; chaos_cmd; udp_cmd; traffic_cmd ]))
+       (Cmd.group info [ simulate_cmd; chaos_cmd; trace_cmd; udp_cmd; traffic_cmd ]))

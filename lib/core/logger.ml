@@ -16,6 +16,7 @@ type request_window = {
 type t = {
   cfg : Config.t;
   self : address;
+  sink : Trace.sink;
   source : address;
   mutable parent : address option;
   mutable replicas : address list;
@@ -36,7 +37,8 @@ type t = {
   mutable on_rchannel : bool; (* subscribed to the retransmission channel *)
 }
 
-let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng () =
+let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng
+    ?(sink = Trace.null ()) () =
   let on_evict =
     match archive with
     | None -> None
@@ -48,6 +50,7 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng () =
   {
     cfg;
     self;
+    sink;
     source;
     parent;
     replicas;
@@ -69,6 +72,7 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng () =
   }
 
 let is_primary t = t.parent = None
+let trace t ~now ev = Trace.emit t.sink ~at:now ~node:t.self ev
 let store t = t.store
 let self t = t.self
 let requests_served t = t.requests_served
@@ -98,6 +102,8 @@ let ask_parent t ~now seqs =
   | Some parent, fresh ->
       List.iter (fun s -> Hashtbl.replace t.uplink_asked s now) fresh;
       t.uplink_nacks <- t.uplink_nacks + 1;
+      if Trace.is_on t.sink then
+        trace t ~now (Trace.Uplink_nack { dest = parent; seqs = fresh });
       Io.send_to parent (Message.Nack { seqs = fresh })
       :: List.map
            (fun s -> Set_timer (K_uplink_nack s, t.cfg.uplink_nack_timeout))
@@ -175,7 +181,7 @@ let lookup t ~now seq =
    packets it had to recover.  The primary never scope-multicasts:
    requesters are spread across sites, and mass loss at the source's
    side is the statistical-acknowledgement machinery's job (§2.3). *)
-let serve t ~requester (e : Log_store.entry) =
+let serve t ~now ~requester (e : Log_store.entry) =
   let w = request_window t e.seq in
   w.count <- w.count + 1;
   let threshold =
@@ -189,12 +195,19 @@ let serve t ~requester (e : Log_store.entry) =
     then begin
       w.multicast_done <- true;
       t.remulticasts <- t.remulticasts + 1;
+      if Trace.is_on t.sink then
+        trace t ~now (Trace.Retrans { seq = e.seq; mode = Trace.R_site_mcast });
       [
         Io.send ~ttl:t.cfg.site_ttl ~group:t.cfg.group (retrans_msg e);
         Set_timer (K_remcast e.seq, t.cfg.remcast_window);
       ]
     end
-    else [ Io.send_to requester (retrans_msg e) ]
+    else begin
+      if Trace.is_on t.sink then
+        trace t ~now
+          (Trace.Retrans { seq = e.seq; mode = Trace.R_unicast requester });
+      [ Io.send_to requester (retrans_msg e) ]
+    end
   in
   if w.count = 1 then
     Set_timer (K_remcast e.seq, t.cfg.remcast_window) :: actions
@@ -207,13 +220,15 @@ let on_nack t ~now ~src seqs =
       match Log_store.newest t.store with
       | Some e ->
           t.requests_served <- t.requests_served + 1;
+          if Trace.is_on t.sink then
+            trace t ~now (Trace.Retrans { seq = e.seq; mode = Trace.R_unicast src });
           [ Io.send_to src (retrans_msg e) ]
       | None -> [])
   | seqs ->
       List.concat_map
         (fun seq ->
           match lookup t ~now seq with
-          | Some e -> serve t ~requester:src e
+          | Some e -> serve t ~now ~requester:src e
           | None ->
               (* We do not have it either: remember the requester and
                  chase the packet up the hierarchy. *)
@@ -250,8 +265,11 @@ let maybe_leave_channel t =
 (* [payload] arrives as a view over the receive path; the store owns its
    entries, so copy out exactly once here. *)
 let log_packet t ~now ~seq ~epoch ~payload ~recovered =
-  ignore
-    (Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload));
+  let fresh =
+    Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload)
+  in
+  if fresh && Trace.is_on t.sink then
+    trace t ~now (Trace.Log_write { seq; recovered });
   Hashtbl.remove t.uplink_asked seq;
   Hashtbl.remove t.uplink_retries seq;
   if recovered then Hashtbl.replace t.recovered_here seq ();
@@ -260,7 +278,7 @@ let log_packet t ~now ~seq ~epoch ~payload ~recovered =
   | Fills_gap -> maybe_leave_channel t
   | First | In_order | Duplicate -> []
 
-let satisfy_waiters t (e : Log_store.entry) =
+let satisfy_waiters t ~now (e : Log_store.entry) =
   match Hashtbl.find_opt t.pending_up e.seq with
   | None -> []
   | Some waiters ->
@@ -274,16 +292,26 @@ let satisfy_waiters t (e : Log_store.entry) =
          && List.length ws >= t.cfg.remcast_request_threshold
        then begin
          t.remulticasts <- t.remulticasts + 1;
+         if Trace.is_on t.sink then
+           trace t ~now
+             (Trace.Retrans { seq = e.seq; mode = Trace.R_site_mcast });
          [ Io.send ~ttl:t.cfg.site_ttl ~group:t.cfg.group (retrans_msg e) ]
        end
-       else List.map (fun wtr -> Io.send_to wtr (retrans_msg e)) ws)
+       else
+         List.map
+           (fun wtr ->
+             if Trace.is_on t.sink then
+               trace t ~now
+                 (Trace.Retrans { seq = e.seq; mode = Trace.R_unicast wtr });
+             Io.send_to wtr (retrans_msg e))
+           ws)
 
 let on_data t ~now ~seq ~epoch ~payload =
   let log_actions = log_packet t ~now ~seq ~epoch ~payload ~recovered:false in
   let stat = maybe_stat_ack t ~epoch ~seq in
   let waiters =
     match Log_store.get t.store ~now seq with
-    | Some e -> satisfy_waiters t e
+    | Some e -> satisfy_waiters t ~now e
     | None -> []
   in
   log_actions @ stat @ waiters
@@ -337,7 +365,7 @@ let on_deposit t ~now ~seq ~epoch ~payload =
   in
   let waiters =
     match Log_store.get t.store ~now seq with
-    | Some e -> satisfy_waiters t e
+    | Some e -> satisfy_waiters t ~now e
     | None -> []
   in
   (Io.send_to t.source (log_ack t) :: to_replicas) @ waiters
@@ -399,7 +427,7 @@ let handle_message t ~now ~src msg =
       let stat = maybe_stat_ack t ~epoch ~seq in
       let waiters =
         match Log_store.get t.store ~now seq with
-        | Some e -> satisfy_waiters t e
+        | Some e -> satisfy_waiters t ~now e
         | None -> []
       in
       log_actions @ stat @ waiters

@@ -33,6 +33,7 @@ val create :
   ?replicas:address list ->
   ?archive:Archive.t ->
   rng:Lbrm_util.Rng.t ->
+  ?sink:Trace.sink ->
   unit ->
   t
 (** [parent = None] makes this the primary.  [rng] drives the

@@ -17,7 +17,8 @@ type pursuit = {
 
 type t = {
   cfg : Config.t;
-  self : address; [@warning "-69"]
+  self : address;
+  sink : Trace.sink;
   source : address;
   mutable loggers : address list;
   tracker : Gap_tracker.t;
@@ -35,11 +36,12 @@ type t = {
   mutable rediscoveries : int;
 }
 
-let create cfg ~self ~source ~loggers =
+let create ?(sink = Trace.null ()) cfg ~self ~source ~loggers =
   assert (loggers <> []);
   {
     cfg;
     self;
+    sink;
     source;
     loggers;
     tracker =
@@ -73,6 +75,7 @@ let rediscoveries t = t.rediscoveries
 let discovering t = Option.is_some t.discovery
 
 let logger_at t level = List.nth_opt t.loggers level
+let trace t ~now ev = Trace.emit t.sink ~at:now ~node:t.self ev
 let levels t = List.length t.loggers
 
 let arm_silence t = Set_timer (K_silence, t.cfg.max_it)
@@ -98,6 +101,7 @@ let open_pursuits t ~now seqs =
   with
   | [] -> []
   | fresh ->
+      if Trace.is_on t.sink then trace t ~now (Trace.Gap_detected { seqs = fresh });
       List.iter
         (fun s ->
           Hashtbl.replace t.pursuits s
@@ -141,10 +145,11 @@ let close_pursuit t ~now seq =
       :: Notify (N_recovered { seq; latency = now -. p.detected_at })
       :: maybe_leave_channel t
 
-let abandon_pursuit t seq =
+let abandon_pursuit t ~now seq =
   Hashtbl.remove t.pursuits seq;
   Gap_tracker.abandon t.tracker seq;
   t.gave_up <- t.gave_up + 1;
+  if Trace.is_on t.sink then trace t ~now (Trace.Gave_up { seq });
   [ Cancel_timer (K_nack_escalate seq); Notify (N_gave_up seq) ]
 
 (* --- nearest-logger re-discovery (§2.2.1) ----------------------------- *)
@@ -166,12 +171,15 @@ let begin_rediscovery t ~now =
       | _ -> ());
       let dsc = Discovery.create t.cfg in
       t.discovery <- Some dsc;
+      if Trace.is_on t.sink then trace t ~now (Trace.Rediscovery Trace.D_started);
       Discovery.start dsc ~now
 
 (* A new nearest logger answered the ring search: put it at the front of
    the hierarchy and re-request everything still missing from it. *)
-let adopt_logger t logger =
+let adopt_logger t ~now logger =
   t.rediscoveries <- t.rediscoveries + 1;
+  if Trace.is_on t.sink then
+    trace t ~now (Trace.Rediscovery (Trace.D_adopted logger));
   t.level0_failures <- 0;
   t.loggers <- logger :: List.filter (fun a -> a <> logger) t.loggers;
   let any = ref false in
@@ -183,13 +191,17 @@ let adopt_logger t logger =
     t.pursuits;
   if !any then [ Set_timer (K_nack_flush, 0.) ] else []
 
-let finish_discovery t =
+let finish_discovery t ~now =
   match t.discovery with
   | Some dsc when Discovery.finished dsc -> (
       t.discovery <- None;
       match Discovery.result dsc with
-      | Some logger -> adopt_logger t logger
-      | None -> [] (* ring exhausted: keep what is left of the hierarchy *))
+      | Some logger -> adopt_logger t ~now logger
+      | None ->
+          (* ring exhausted: keep what is left of the hierarchy *)
+          if Trace.is_on t.sink then
+            trace t ~now (Trace.Rediscovery Trace.D_exhausted);
+          [])
   | Some _ | None -> []
 
 (* Called whenever a level-0 retransmission request went unanswered for
@@ -201,7 +213,7 @@ let note_level0_failure t ~now =
   else []
 
 (* Send one NACK per hierarchy level covering every seq pursued there. *)
-let flush_nacks t =
+let flush_nacks t ~now =
   let by_level = Hashtbl.create 4 in
   Hashtbl.iter
     (fun seq p ->
@@ -221,6 +233,8 @@ let flush_nacks t =
       | Some logger ->
           t.nacks_sent <- t.nacks_sent + 1;
           let seqs = List.sort Seqno.compare seqs in
+          if Trace.is_on t.sink then
+            trace t ~now (Trace.Nack_sent { dest = logger; level; seqs });
           Io.send_to logger (Message.Nack { seqs })
           :: List.map
                (fun s -> Set_timer (K_nack_escalate s, t.cfg.nack_timeout))
@@ -258,7 +272,7 @@ let escalate t ~now seq =
           :: Set_timer (K_nack_escalate seq, 2. *. t.cfg.nack_timeout)
           :: redisc
         end
-        else abandon_pursuit t seq @ redisc
+        else abandon_pursuit t ~now seq @ redisc
       end
 
 (* --- data-plane arrivals ---------------------------------------------- *)
@@ -269,6 +283,8 @@ let escalate t ~now seq =
 let deliver t ~now seq payload ~recovered:rec_ =
   t.delivered <- t.delivered + 1;
   if rec_ then t.recovered <- t.recovered + 1;
+  if Trace.is_on t.sink then
+    trace t ~now (Trace.Deliver { seq; recovered = rec_ });
   Deliver { seq; payload = Payload.to_owned payload; recovered = rec_ }
   :: close_pursuit t ~now seq
 
@@ -318,7 +334,7 @@ let handle_message t ~now ~src msg =
       | Some dsc -> (
           match Discovery.handle_message dsc ~now ~src msg with
           | None -> []
-          | Some acts -> acts @ finish_discovery t))
+          | Some acts -> acts @ finish_discovery t ~now))
   | Message.Primary_is { logger } ->
       (* Replace the last level of the hierarchy. *)
       let rec replace_last = function
@@ -337,7 +353,7 @@ let start t ~now =
 
 let handle_timer t ~now key =
   match key with
-  | K_nack_flush -> flush_nacks t
+  | K_nack_flush -> flush_nacks t ~now
   | K_nack_escalate seq -> escalate t ~now seq
   | K_discovery _ -> (
       match t.discovery with
@@ -345,7 +361,7 @@ let handle_timer t ~now key =
       | Some dsc -> (
           match Discovery.handle_timer dsc ~now key with
           | None -> []
-          | Some acts -> acts @ finish_discovery t))
+          | Some acts -> acts @ finish_discovery t ~now))
   | K_silence ->
       (* MaxIT passed with nothing heard: ask the nearest logger what
          the latest packet is, in case we missed everything. *)
@@ -353,9 +369,13 @@ let handle_timer t ~now key =
         match logger_at t 0 with
         | Some logger when highest_seen t > 0 || t.last_heard > 0. ->
             t.nacks_sent <- t.nacks_sent + 1;
+            if Trace.is_on t.sink then
+              trace t ~now (Trace.Nack_sent { dest = logger; level = 0; seqs = [] });
             [ Io.send_to logger (Message.Nack { seqs = [] }) ]
         | _ -> []
       in
+      if Trace.is_on t.sink then
+        trace t ~now (Trace.Silence { elapsed = now -. t.last_heard });
       (* Prolonged total silence can also mean the nearest logger died
          with the flow idle: past the deadline, go looking for a live
          one instead of NACKing a corpse forever. *)

@@ -17,9 +17,17 @@ type seq = Lbrm_util.Seqno.t
 
 type t
 
-val create : Config.t -> self:address -> source:address -> loggers:address list -> t
+val create :
+  ?sink:Trace.sink ->
+  Config.t ->
+  self:address ->
+  source:address ->
+  loggers:address list ->
+  t
 (** [loggers] is the recovery hierarchy, nearest first (e.g.
-    [[site_secondary; regional; primary]]); it must be non-empty. *)
+    [[site_secondary; regional; primary]]); it must be non-empty.
+    [sink] receives typed trace events (gaps, NACKs, deliveries,
+    rediscovery steps); disabled by default. *)
 
 val start : t -> now:float -> Io.action list
 (** Arm the MaxIT silence watchdog. *)

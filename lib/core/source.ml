@@ -12,7 +12,8 @@ type failover =
 
 type t = {
   cfg : Config.t;
-  self : address; [@warning "-69"]
+  self : address;
+  sink : Trace.sink;
   mutable primary : address;
   mutable replicas : address list;
   hb : Heartbeat.t;
@@ -33,14 +34,16 @@ type t = {
   mutable data_multicasts : int;
 }
 
-let create cfg ~self ~primary ?(replicas = []) ?initial_estimate () =
+let create cfg ~self ~primary ?(replicas = []) ?initial_estimate
+    ?(sink = Trace.null ()) () =
   {
     cfg;
     self;
+    sink;
     primary;
     replicas;
     hb = Heartbeat.of_config cfg;
-    stat = Stat_ack.create cfg ~self ?initial_estimate ();
+    stat = Stat_ack.create cfg ~self ?initial_estimate ~sink ();
     seq = 0;
     epoch = 0;
     hb_index = 0;
@@ -69,8 +72,10 @@ let failovers t = t.failovers_done
 
 let group t = t.cfg.group
 
+let trace t ~now ev = Trace.emit t.sink ~at:now ~node:t.self ev
+
 (* Translate stat-ack events into source behaviour. *)
-let apply_events t events =
+let apply_events t ~now events =
   List.concat_map
     (fun (ev : Stat_ack.event) ->
       match ev with
@@ -90,6 +95,8 @@ let apply_events t events =
           | None -> [] (* already released: receivers recover via loggers *)
           | Some (payload, _) ->
               t.data_multicasts <- t.data_multicasts + 1;
+              if Trace.is_on t.sink then
+                trace t ~now (Trace.Retrans { seq; mode = Trace.R_stat });
               [
                 Notify (N_remulticast seq);
                 Io.send ~group:(group t)
@@ -127,7 +134,7 @@ let arm_heartbeat t = Set_timer (K_heartbeat, Heartbeat.next_delay t.hb)
 
 let start t ~now =
   let stat_actions, events = Stat_ack.start t.stat ~now in
-  (arm_heartbeat t :: stat_actions) @ apply_events t events
+  (arm_heartbeat t :: stat_actions) @ apply_events t ~now events
 
 let send t ~now payload =
   t.seq <- Seqno.succ t.seq;
@@ -138,6 +145,10 @@ let send t ~now payload =
   Hashtbl.replace t.deposit_retries seq 0;
   Heartbeat.on_data t.hb;
   t.data_multicasts <- t.data_multicasts + 1;
+  if Trace.is_on t.sink then begin
+    trace t ~now (Trace.Send { seq });
+    trace t ~now (Trace.Deposit_sent { seq; attempt = 0 })
+  end;
   let stat_actions = Stat_ack.on_data_sent t.stat ~now seq in
   let rchannel_actions =
     match t.cfg.rchannel_group with
@@ -167,7 +178,7 @@ let heartbeat_payload t =
   then Some (Payload.of_string t.last_payload)
   else None
 
-let on_heartbeat_due t =
+let on_heartbeat_due t ~now =
   t.hb_index <- t.hb_index + 1;
   t.heartbeats_sent <- t.heartbeats_sent + 1;
   let msg =
@@ -180,18 +191,34 @@ let on_heartbeat_due t =
       }
   in
   Heartbeat.on_heartbeat t.hb;
+  (* The heartbeat machine's observable state is its backed-off
+     interval: [interval] is the phase after this beat. *)
+  if Trace.is_on t.sink then
+    trace t ~now
+      (Trace.Heartbeat_phase
+         { hb_index = t.hb_index; interval = Heartbeat.interval t.hb; seq = t.seq });
   [ Io.send ~group:(group t) msg; arm_heartbeat t ]
 
 (* --- primary-logger handoff and fail-over ---------------------------- *)
 
-let begin_failover t =
+let begin_failover t ~now =
   match t.failover with
   | Querying _ -> []
   | Normal ->
+      if Trace.is_on t.sink then
+        trace t ~now (Trace.Failover_step Trace.F_suspected);
       if t.replicas = [] then [ Notify N_primary_suspected ]
       else begin
         t.failovers_done <- t.failovers_done + 1;
         t.failover <- Querying { statuses = []; round = t.failovers_done };
+        if Trace.is_on t.sink then
+          trace t ~now
+            (Trace.Failover_step
+               (Trace.F_query
+                  {
+                    round = t.failovers_done;
+                    replicas = List.length t.replicas;
+                  }));
         Notify N_primary_suspected
         :: Set_timer (K_failover t.failovers_done, 2. *. t.cfg.deposit_timeout)
         :: List.map (fun r -> Io.send_to r Message.Replica_query) t.replicas
@@ -213,7 +240,7 @@ let redeposit_from t ~floor =
       else acc)
     t.retained []
 
-let finish_failover t =
+let finish_failover t ~now =
   match t.failover with
   | Normal -> []
   | Querying { statuses; _ } -> (
@@ -223,6 +250,8 @@ let finish_failover t =
       with
       | [] ->
           (* No replica answered; keep trying the old primary. *)
+          if Trace.is_on t.sink then
+            trace t ~now (Trace.Failover_step (Trace.F_kept t.primary));
           [ Notify (N_new_primary t.primary) ]
       | (best, best_seq) :: _ ->
           let others = List.filter (fun r -> r <> best) t.replicas in
@@ -247,11 +276,23 @@ let finish_failover t =
           in
           t.primary <- best;
           t.replicas <- others;
+          if Trace.is_on t.sink then begin
+            let redeposits =
+              Hashtbl.fold
+                (fun seq _ n -> if Seqno.(seq > best_seq) then n + 1 else n)
+                t.retained 0
+            in
+            trace t ~now
+              (Trace.Failover_step
+                 (Trace.F_promoted { primary = best; redeposits }))
+          end;
           (Io.send_to best (Message.Promote { replicas = others })
           :: Notify (N_new_primary best)
           :: (cancels @ redeposit_from t ~floor:best_seq)))
 
-let on_log_ack t ~primary_seq ~replica_seq =
+let on_log_ack t ~now ~primary_seq ~replica_seq =
+  if Trace.is_on t.sink then
+    trace t ~now (Trace.Deposit_acked { primary_seq; replica_seq });
   (* Deposits at or below the primary's contiguous mark stop retrying. *)
   let stop =
     Hashtbl.fold
@@ -276,11 +317,11 @@ let on_log_ack t ~primary_seq ~replica_seq =
   enforce_retain_bound t;
   List.map (fun seq -> Cancel_timer (K_deposit seq)) stop
 
-let on_deposit_timeout t seq =
+let on_deposit_timeout t ~now seq =
   match Hashtbl.find_opt t.deposit_retries seq with
   | None -> []
   | Some retries ->
-      if retries >= t.cfg.deposit_retry_limit then begin_failover t
+      if retries >= t.cfg.deposit_retry_limit then begin_failover t ~now
       else begin
         Hashtbl.replace t.deposit_retries seq (retries + 1);
         match Hashtbl.find_opt t.retained seq with
@@ -288,6 +329,8 @@ let on_deposit_timeout t seq =
             Hashtbl.remove t.deposit_retries seq;
             []
         | Some (payload, epoch) ->
+            if Trace.is_on t.sink then
+              trace t ~now (Trace.Deposit_sent { seq; attempt = retries + 1 });
             [
               Io.send_to t.primary
                 (Message.Log_deposit
@@ -300,11 +343,11 @@ let on_deposit_timeout t seq =
 
 let handle_message t ~now ~src msg =
   match Stat_ack.on_message t.stat ~now ~src msg with
-  | Some (actions, events) -> actions @ apply_events t events
+  | Some (actions, events) -> actions @ apply_events t ~now events
   | None -> (
       match msg with
       | Message.Log_ack { primary_seq; replica_seq } ->
-          on_log_ack t ~primary_seq ~replica_seq
+          on_log_ack t ~now ~primary_seq ~replica_seq
       | Message.Replica_status { seq } -> (
           match t.failover with
           | Querying q ->
@@ -317,15 +360,17 @@ let handle_message t ~now ~src msg =
 
 let handle_timer t ~now key =
   match Stat_ack.on_timer t.stat ~now key with
-  | Some (actions, events) -> actions @ apply_events t events
+  | Some (actions, events) -> actions @ apply_events t ~now events
   | None -> (
       match key with
-      | K_heartbeat -> on_heartbeat_due t
+      | K_heartbeat -> on_heartbeat_due t ~now
       | K_rchannel (seq, k) -> (
           (* 7: re-multicast the packet on the retransmission channel
              [rchannel_copies] times with exponentially growing gaps. *)
           match (t.cfg.rchannel_group, Hashtbl.find_opt t.rchannel_buf seq) with
           | Some channel, Some payload ->
+              if Trace.is_on t.sink then
+                trace t ~now (Trace.Retrans { seq; mode = Trace.R_rchannel });
               let copy =
                 Io.send ~group:channel
                   (Message.Retrans
@@ -343,9 +388,9 @@ let handle_timer t ~now key =
                       t.cfg.h_min *. (t.cfg.backoff ** float_of_int (k + 1)) );
                 ]
           | _ -> [])
-      | K_deposit seq -> on_deposit_timeout t seq
+      | K_deposit seq -> on_deposit_timeout t ~now seq
       | K_failover round -> (
           match t.failover with
-          | Querying { round = r; _ } when r = round -> finish_failover t
+          | Querying { round = r; _ } when r = round -> finish_failover t ~now
           | Querying _ | Normal -> [])
       | _ -> [])

@@ -27,11 +27,15 @@ val create :
   primary:address ->
   ?replicas:address list ->
   ?initial_estimate:float ->
+  ?sink:Trace.sink ->
   unit ->
   t
 (** [replicas] are the primary log's replicas (used only for fail-over
     bookkeeping at the source).  [initial_estimate] seeds the
-    secondary-logger population and skips the probing phase. *)
+    secondary-logger population and skips the probing phase.  [sink]
+    receives typed trace events ({!Trace.Send}, deposits, heartbeat
+    phases, fail-over steps, stat-ack re-multicasts); it is shared with
+    the embedded {!Stat_ack} machine and disabled by default. *)
 
 val start : t -> now:float -> Io.action list
 (** Arm the heartbeat timer and begin statistical acknowledgement. *)

@@ -16,7 +16,8 @@ type pending = {
 
 type t = {
   cfg : Config.t;
-  self : address; [@warning "-69"]
+  self : address;
+  sink : Trace.sink;
   mutable n_sl : float;
   mutable t_wait : float;
   mutable epoch : int; (* epoch current data packets carry; 0 = none *)
@@ -39,10 +40,12 @@ type event =
   | Tracking_done of seq
   | Feedback of { seq : seq; missing : int; expected : int }
 
-let create (cfg : Config.t) ~self ?initial_estimate () =
+let create (cfg : Config.t) ~self ?initial_estimate ?(sink = Trace.null ())
+    () =
   {
     cfg;
     self;
+    sink;
     n_sl = Option.value ~default:0. initial_estimate;
     t_wait = cfg.t_wait_init;
     epoch = 0;
@@ -74,6 +77,7 @@ let designated t =
       Hashtbl.fold (fun a () acc -> a :: acc) tbl [] |> List.sort Int.compare
 
 let group t = t.cfg.group
+let trace t ~now ev = Trace.emit t.sink ~at:now ~node:t.self ev
 
 (* --- epochs --------------------------------------------------------- *)
 
@@ -100,7 +104,7 @@ let begin_epoch_setup t =
     Set_timer (K_epoch_start, t.cfg.epoch_interval);
   ]
 
-let settle_epoch t e =
+let settle_epoch t ~now e =
   if e <> t.next_epoch then ([], [])
   else begin
     t.epoch <- e;
@@ -110,6 +114,9 @@ let settle_epoch t e =
     t.expected <- Hashtbl.length tbl;
     Group_estimate.Hotlist.decay t.hotlist;
     let p_ack = Option.value ~default:1. (Hashtbl.find_opt t.p_acks e) in
+    if Trace.is_on t.sink then
+      trace t ~now
+        (Trace.Epoch_settled { epoch = e; expected = t.expected; p_ack });
     ([], [ Epoch_started { epoch = e; expected = t.expected; p_ack } ])
   end
 
@@ -200,6 +207,9 @@ let on_stat_ack t ~now ~epoch ~seq ~logger =
           update_t_wait t (now -. p.sent_at);
           refine_estimate t ~p_epoch:p.p_epoch ~k':p.acks;
           Hashtbl.remove t.pending seq;
+          if Trace.is_on t.sink then
+            trace t ~now
+              (Trace.Stat_feedback { seq; missing = 0; expected = p.expected });
           ( [ Cancel_timer (K_twait seq) ],
             [
               Tracking_done seq;
@@ -260,6 +270,9 @@ let on_twait t ~now seq =
       if p.acks > 0 then update_t_wait t (p.last_ack_at -. p.sent_at);
       if missing <= 0 then begin
         Hashtbl.remove t.pending seq;
+        if Trace.is_on t.sink then
+          trace t ~now
+            (Trace.Stat_feedback { seq; missing = 0; expected = p.expected });
         ([], [ Tracking_done seq; Feedback { seq; missing = 0; expected = p.expected } ])
       end
       else begin
@@ -276,6 +289,9 @@ let on_twait t ~now seq =
           p.remulticasts <- p.remulticasts + 1;
           p.acks <- 0;
           p.sent_at <- now;
+          if Trace.is_on t.sink then
+            trace t ~now
+              (Trace.Stat_feedback { seq; missing; expected = p.expected });
           ( [ Set_timer (K_twait seq, t.t_wait) ],
             [ Remulticast seq; Feedback { seq; missing; expected = p.expected } ] )
         end
@@ -283,6 +299,9 @@ let on_twait t ~now seq =
           (* Isolated loss (or retry budget exhausted): unicast NACK
              service will handle it. *)
           Hashtbl.remove t.pending seq;
+          if Trace.is_on t.sink then
+            trace t ~now
+              (Trace.Stat_feedback { seq; missing; expected = p.expected });
           ( [],
             [
               Tracking_done seq;
@@ -297,6 +316,6 @@ let on_timer t ~now key =
     match key with
     | K_probe round -> Some (on_probe_timeout t round)
     | K_epoch_start -> Some (begin_epoch_setup t, [])
-    | K_epoch_settle e -> Some (settle_epoch t e)
+    | K_epoch_settle e -> Some (settle_epoch t ~now e)
     | K_twait seq -> Some (on_twait t ~now seq)
     | _ -> None

@@ -31,10 +31,18 @@ type event =
   | Feedback of { seq : seq; missing : int; expected : int }
       (** per-packet ACK outcome — the §5 congestion signal *)
 
-val create : Config.t -> self:address -> ?initial_estimate:float -> unit -> t
+val create :
+  Config.t ->
+  self:address ->
+  ?initial_estimate:float ->
+  ?sink:Trace.sink ->
+  unit ->
+  t
 (** Without [initial_estimate], {!start} begins with a Bolot-style
     probing phase (§2.3.3); with it, the first epoch starts
-    immediately. *)
+    immediately.  [sink] receives {!Trace.Epoch_settled} and
+    {!Trace.Stat_feedback} events (disabled by default); the embedding
+    {!Source} passes its own sink down. *)
 
 val start : t -> now:float -> Io.action list * event list
 

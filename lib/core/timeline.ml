@@ -1,0 +1,182 @@
+(* Causal recovery timelines, reconstructed from a merged trace.
+
+   A loss's life-cycle in the event stream:
+
+     Gap_detected (receiver)            — the gap opened
+     Nack_sent    (receiver, level k)   — request to the level-k logger
+     Retrans      (logger or source)    — the repair left somewhere
+     Deliver recovered=true (receiver)  — the gap closed
+
+   Repairs are not attributed when they are sent but when the delivery
+   lands: site-scoped multicasts and the retransmission channel reach
+   receivers we cannot identify from the send alone, so each delivery
+   claims the most recent preceding repair of its seq that could have
+   reached it (a unicast only if aimed at this receiver).  A recovered
+   delivery with no candidate repair was healed by a heartbeat payload
+   or a duplicate data packet — [repair = None]. *)
+
+module Seqno = Lbrm_util.Seqno
+
+type address = Trace.address
+type seq = Trace.seq
+
+type repair = { at : float; mode : Trace.retrans_mode; from : address }
+
+type loss = {
+  receiver : address;
+  seq : seq;
+  detected_at : float;
+  first_nack_at : float option;
+  nacks : int;
+  max_level : int;
+  repair : repair option;
+  delivered_at : float option;
+  abandoned_at : float option;
+}
+
+type pending = {
+  p_receiver : address;
+  p_seq : seq;
+  p_detected_at : float;
+  mutable p_first_nack_at : float option;
+  mutable p_nacks : int;
+  mutable p_max_level : int;
+}
+
+let freeze p ~repair ~delivered_at ~abandoned_at =
+  {
+    receiver = p.p_receiver;
+    seq = p.p_seq;
+    detected_at = p.p_detected_at;
+    first_nack_at = p.p_first_nack_at;
+    nacks = p.p_nacks;
+    max_level = p.p_max_level;
+    repair;
+    delivered_at;
+    abandoned_at;
+  }
+
+let build records =
+  let open_losses : (address * seq, pending) Hashtbl.t = Hashtbl.create 256 in
+  (* Most-recent-first repair candidates per seq. *)
+  let repairs : (seq, repair list ref) Hashtbl.t = Hashtbl.create 256 in
+  let closed = ref [] in
+  let note_repair seq r =
+    match Hashtbl.find_opt repairs seq with
+    | Some l -> l := r :: !l
+    | None -> Hashtbl.add repairs seq (ref [ r ])
+  in
+  let claim_repair ~receiver ~seq ~since =
+    match Hashtbl.find_opt repairs seq with
+    | None -> None
+    | Some l ->
+        List.find_opt
+          (fun (r : repair) ->
+            r.at >= since
+            &&
+            match r.mode with
+            | Trace.R_unicast dest -> dest = receiver
+            | Trace.R_site_mcast | Trace.R_rchannel | Trace.R_stat -> true)
+          !l
+  in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.ev with
+      | Trace.Gap_detected { seqs } ->
+          List.iter
+            (fun s ->
+              let key = (r.node, s) in
+              if not (Hashtbl.mem open_losses key) then
+                Hashtbl.add open_losses key
+                  {
+                    p_receiver = r.node;
+                    p_seq = s;
+                    p_detected_at = r.at;
+                    p_first_nack_at = None;
+                    p_nacks = 0;
+                    p_max_level = 0;
+                  })
+            seqs
+      | Trace.Nack_sent { level; seqs; _ } ->
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt open_losses (r.node, s) with
+              | None -> ()
+              | Some p ->
+                  if p.p_first_nack_at = None then p.p_first_nack_at <- Some r.at;
+                  p.p_nacks <- p.p_nacks + 1;
+                  if level > p.p_max_level then p.p_max_level <- level)
+            seqs
+      | Trace.Retrans { seq; mode } ->
+          note_repair seq { at = r.at; mode; from = r.node }
+      | Trace.Deliver { seq; recovered } -> (
+          ignore recovered;
+          let key = (r.node, seq) in
+          match Hashtbl.find_opt open_losses key with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove open_losses key;
+              let repair =
+                claim_repair ~receiver:r.node ~seq ~since:p.p_detected_at
+              in
+              closed :=
+                freeze p ~repair ~delivered_at:(Some r.at) ~abandoned_at:None
+                :: !closed)
+      | Trace.Gave_up { seq } -> (
+          let key = (r.node, seq) in
+          match Hashtbl.find_opt open_losses key with
+          | None -> ()
+          | Some p ->
+              Hashtbl.remove open_losses key;
+              closed :=
+                freeze p ~repair:None ~delivered_at:None
+                  ~abandoned_at:(Some r.at)
+                :: !closed)
+      | _ -> ())
+    records;
+  (* Deterministic order: completed losses in completion order, then
+     any still-open pursuits by (detected_at, receiver, seq). *)
+  let still_open =
+    Hashtbl.fold
+      (fun _ p acc ->
+        freeze p ~repair:None ~delivered_at:None ~abandoned_at:None :: acc)
+      open_losses []
+    |> List.sort (fun a b ->
+           match Float.compare a.detected_at b.detected_at with
+           | 0 -> (
+               match Int.compare a.receiver b.receiver with
+               | 0 -> Seqno.compare a.seq b.seq
+               | c -> c)
+           | c -> c)
+  in
+  List.rev !closed @ still_open
+
+let recovered l = l.delivered_at <> None
+let abandoned l = l.abandoned_at <> None
+
+let latency l =
+  match l.delivered_at with
+  | Some at -> Some (at -. l.detected_at)
+  | None -> None
+
+let latencies losses = List.filter_map latency losses
+
+let pp_loss ppf l =
+  let stage fmt = Format.fprintf ppf fmt in
+  stage "seq %d at node %d: detected %.3f" l.seq l.receiver l.detected_at;
+  (match l.first_nack_at with
+  | Some at -> stage " -> nack(L%d x%d) %.3f" l.max_level l.nacks at
+  | None -> ());
+  (match l.repair with
+  | Some r ->
+      stage " -> retrans %s from %d %.3f" (Trace.mode_label r.mode) r.from r.at
+  | None -> ());
+  match (l.delivered_at, l.abandoned_at) with
+  | Some at, _ ->
+      stage " -> delivered %.3f  (%.1f ms%s)" at
+        (1000. *. (at -. l.detected_at))
+        (match (l.first_nack_at, l.repair) with
+        | None, None -> ", healed by heartbeat/data"
+        | _ -> "")
+  | None, Some at -> stage " -> ABANDONED %.3f" at
+  | None, None -> stage " -> still open"

@@ -1,0 +1,42 @@
+(** Causal recovery timelines: loss → gap detection → NACK → logger
+    retransmission → delivery, reconstructed from a merged
+    {!Lbrm.Trace} stream.
+
+    Repairs are attributed at delivery time, not send time: each
+    recovered delivery claims the most recent preceding {!Trace.Retrans}
+    of its seq that could have reached this receiver (a unicast only if
+    addressed to it; site multicasts, the retransmission channel and
+    stat-ack re-multicasts unconditionally).  A recovered delivery with
+    no candidate was healed by a heartbeat payload or duplicate data. *)
+
+type address = Trace.address
+type seq = Trace.seq
+
+type repair = { at : float; mode : Trace.retrans_mode; from : address }
+
+type loss = {
+  receiver : address;
+  seq : seq;
+  detected_at : float;
+  first_nack_at : float option;
+  nacks : int;  (** NACKs that covered this seq *)
+  max_level : int;  (** deepest hierarchy level escalated to *)
+  repair : repair option;
+  delivered_at : float option;
+  abandoned_at : float option;
+}
+
+val build : Trace.record list -> loss list
+(** One entry per (receiver, seq) gap, completed losses in completion
+    order followed by still-open pursuits sorted by
+    (detected_at, receiver, seq). *)
+
+val recovered : loss -> bool
+val abandoned : loss -> bool
+
+val latency : loss -> float option
+(** [delivered_at - detected_at]. *)
+
+val latencies : loss list -> float list
+
+val pp_loss : Format.formatter -> loss -> unit

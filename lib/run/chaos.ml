@@ -1,10 +1,11 @@
 module Trace = Lbrm_sim.Trace
+module Ev = Lbrm.Trace
 module Fault = Lbrm_sim.Fault
 module Topo = Lbrm_sim.Topo
 module Builders = Lbrm_sim.Builders
 module Rng = Lbrm_util.Rng
 module Sample = Lbrm_util.Stats.Sample
-open Lbrm.Io
+
 
 type outcome = {
   name : string;
@@ -13,6 +14,7 @@ type outcome = {
   rediscoveries : int;
   delivered : int;
   trace : Trace.t;
+  events : Ev.record list;
   digest : string;
 }
 
@@ -95,8 +97,9 @@ let rediscovery_count (d : Scenario.deployment) =
     (fun acc (r, _) -> acc + Lbrm.Receiver.rediscoveries r)
     0 d.receivers
 
-let finish ~name d tk extra =
+let finish ~name d tk collector extra =
   let trace = Scenario.trace d in
+  let events = Ev.Collector.records collector in
   let violations = common_violations d tk @ extra in
   {
     name;
@@ -105,6 +108,7 @@ let finish ~name d tk extra =
     rediscoveries = rediscovery_count d;
     delivered = Trace.get trace "app.delivered";
     trace;
+    events;
     digest = digest_of_trace trace;
   }
 
@@ -135,17 +139,14 @@ let chaos_cfg ?(h_min = 0.25) () =
 let primary_crash ?(seed = 11) ?h_min () =
   let crash_at = 3.0 and restart_at = 10.0 and horizon = 30.0 in
   let tk = tracker () in
-  let failover_at = ref None in
+  let collector = Ev.Collector.create () in
+  let sink = Ev.Collector.sink collector in
   let d =
     Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~replica_count:2
       ~initial_estimate:12.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
-      ~on_source_notice:(fun ~now n ->
-        match n with
-        | N_new_primary _ -> if !failover_at = None then failover_at := Some now
-        | _ -> ())
-      ~sites:4 ~receivers_per_site:3 ()
+      ~sink ~sites:4 ~receivers_per_site:3 ()
   in
   Scenario.drive_periodic d ~interval:0.05 ~count:100 ();
   Scenario.schedule_faults d
@@ -154,19 +155,22 @@ let primary_crash ?(seed = 11) ?h_min () =
        d.Scenario.primary_node);
   Scenario.run d ~until:horizon;
   let trace = Scenario.trace d in
-  (match !failover_at with
-  | Some t -> Trace.observe trace "failover_latency" (t -. crash_at)
-  | None -> ());
+  (* The exactly-one-Promote invariant and the fail-over latency both
+     come straight off the typed trace: one F_promoted record, stamped
+     at the instant the source switched primaries. *)
+  let promotions = Ev.Query.promotions (Ev.Collector.records collector) in
+  (match promotions with
+  | { Ev.at; _ } :: _ -> Trace.observe trace "failover_latency" (at -. crash_at)
+  | [] -> ());
   let extra =
-    (match !failover_at with
-    | None -> [ "no N_new_primary within the horizon" ]
-    | Some _ -> [])
-    @
-    let n = Lbrm.Source.failovers d.Scenario.source in
-    if n <> 1 then [ Printf.sprintf "expected exactly 1 fail-over, saw %d" n ]
-    else []
+    match promotions with
+    | [ _ ] -> []
+    | [] -> [ "no Promote in the trace within the horizon" ]
+    | ps ->
+        [ Printf.sprintf "expected exactly 1 Promote in the trace, saw %d"
+            (List.length ps) ]
   in
-  finish ~name:"primary_crash" d tk extra
+  finish ~name:"primary_crash" d tk collector extra
 
 (* A site's secondary logger dies under ongoing tail loss: that site's
    receivers burn through [retrans_retry_limit] unanswered requests,
@@ -177,7 +181,8 @@ let secondary_crash ?(seed = 12) ?h_min () =
   let crash_at = 3.0 and restart_at = 20.0 and horizon = 40.0 in
   let lossy_site = 1 in
   let tk = tracker () in
-  let rediscovered = ref [] in
+  let collector = Ev.Collector.create () in
+  let sink = Ev.Collector.sink collector in
   let d =
     Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~initial_estimate:9.
       ~tail_loss:(fun site ->
@@ -185,11 +190,7 @@ let secondary_crash ?(seed = 12) ?h_min () =
         else Lbrm_sim.Loss.none)
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
-      ~on_notice:(fun node ~now n ->
-        match n with
-        | N_discovery (Some _) -> rediscovered := (node, now) :: !rediscovered
-        | _ -> ())
-      ~sites:3 ~receivers_per_site:3 ()
+      ~sink ~sites:3 ~receivers_per_site:3 ()
   in
   Scenario.drive_periodic d ~interval:0.05 ~count:100 ();
   let _, victim = d.Scenario.secondaries.(lossy_site) in
@@ -198,24 +199,29 @@ let secondary_crash ?(seed = 12) ?h_min () =
     (Fault.outage ~at:crash_at ~downtime:(restart_at -. crash_at) victim);
   Scenario.run d ~until:horizon;
   let trace = Scenario.trace d in
+  (* Rejoin is asserted as a trace query: each orphaned receiver must
+     have a D_adopted rediscovery record after the crash instant. *)
+  let adoptions =
+    Ev.Query.rediscovery_adoptions (Ev.Collector.records collector)
+    |> List.filter (fun (r : Ev.record) -> r.Ev.at >= crash_at)
+  in
   List.iter
-    (fun (_, t) ->
-      if t >= crash_at then
-        Trace.observe trace "rediscovery_latency" (t -. crash_at))
-    (List.rev !rediscovered);
+    (fun (r : Ev.record) ->
+      Trace.observe trace "rediscovery_latency" (r.Ev.at -. crash_at))
+    adoptions;
   let orphans = Scenario.site_receivers d ~site:lossy_site in
   let extra =
     List.filter_map
       (fun (_, node) ->
-        if List.exists (fun (n, t) -> n = node && t >= crash_at) !rediscovered
-        then None
+        if List.exists (fun (r : Ev.record) -> r.Ev.node = node) adoptions then
+          None
         else
           Some
             (Printf.sprintf "receiver %d never rediscovered a live logger"
                node))
       orphans
   in
-  finish ~name:"secondary_crash" d tk extra
+  finish ~name:"secondary_crash" d tk collector extra
 
 (* A whole site drops off the WAN for four seconds and heals.  Nothing
    is deliverable during the cut, so the test is pure log-based catch-up
@@ -226,11 +232,13 @@ let partition_heal ?(seed = 13) () =
   let t0 = 2.1 and t1 = 6.1 and horizon = 30.0 in
   let cut_site = 3 in
   let tk = tracker () in
+  let collector = Ev.Collector.create () in
+  let sink = Ev.Collector.sink collector in
   let d =
     Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~initial_estimate:12.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
-      ~sites:4 ~receivers_per_site:3 ()
+      ~sink ~sites:4 ~receivers_per_site:3 ()
   in
   Scenario.drive_periodic d ~interval:0.05 ~count:160 ();
   Scenario.schedule_faults d
@@ -244,12 +252,14 @@ let partition_heal ?(seed = 13) () =
   let extra =
     (if cut_drops = 0 then [ "partition dropped no traffic" ] else [])
     @
-    let n = Lbrm.Source.failovers d.Scenario.source in
-    if n <> 0 then
-      [ Printf.sprintf "partition must not trigger fail-over (saw %d)" n ]
+    let promos =
+      Ev.Query.promotions (Ev.Collector.records collector) |> List.length
+    in
+    if promos <> 0 then
+      [ Printf.sprintf "partition must not trigger fail-over (saw %d)" promos ]
     else []
   in
-  finish ~name:"partition_heal" d tk extra
+  finish ~name:"partition_heal" d tk collector extra
 
 (* Seeded random soak: crash/restart cycles over loggers and a sample of
    receivers plus transient site partitions, drawn from a schedule RNG
@@ -259,12 +269,14 @@ let partition_heal ?(seed = 13) () =
 let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) () =
   let horizon = 20.0 and quiesce = 40.0 in
   let tk = tracker () in
+  let collector = Ev.Collector.create () in
+  let sink = Ev.Collector.sink collector in
   let d =
     Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~replica_count:1
       ~initial_estimate:8.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
-      ~sites:4 ~receivers_per_site:2 ()
+      ~sink ~sites:4 ~receivers_per_site:2 ()
   in
   Scenario.drive_periodic d ~interval:0.1 ~count:100 ();
   let hosts =
@@ -284,7 +296,7 @@ let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) () =
     ~on_restart:(fun node -> forget_node tk node)
     events;
   Scenario.run d ~until:quiesce;
-  finish ~name:"random_chaos" d tk []
+  finish ~name:"random_chaos" d tk collector []
 
 let run_scripted ?h_min () =
   [ primary_crash ?h_min (); secondary_crash ?h_min (); partition_heal () ]

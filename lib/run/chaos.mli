@@ -17,7 +17,13 @@
 
     Fail-over and rediscovery latencies are recorded as
     ["failover_latency"] / ["rediscovery_latency"] samples on the
-    deployment's {!Lbrm_sim.Trace}, where benchmarks pick them up. *)
+    deployment's {!Lbrm_sim.Trace}, where benchmarks pick them up.
+
+    Every scenario also runs with a {!Lbrm.Trace.Collector} sink shared
+    by all state machines; the scenario-specific expectations
+    (exactly-one-Promote, every orphan rediscovered, partition never
+    fails over) are asserted as {!Lbrm.Trace.Query} queries over that
+    merged stream rather than bespoke counters. *)
 
 type outcome = {
   name : string;
@@ -27,6 +33,9 @@ type outcome = {
       (** receivers that replaced a dead logger via discovery *)
   delivered : int;  (** total application deliveries *)
   trace : Lbrm_sim.Trace.t;
+  events : Lbrm.Trace.record list;
+      (** the merged typed trace of every node, in emission order —
+          the stream {!Lbrm.Timeline.build} consumes *)
   digest : string;
       (** hex digest of the canonical counter/sample rendering — equal
           seeds must yield equal digests *)

@@ -28,8 +28,8 @@ type deployment = {
 
 let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     ?initial_estimate ?backbone_delay ?tail_loss ?on_deliver ?on_notice
-    ?on_source_notice ?(logging = `Distributed) ~sites ~receivers_per_site ()
-    =
+    ?on_source_notice ?(logging = `Distributed) ?sink ?agent_metrics ~sites
+    ~receivers_per_site () =
   assert (sites > 0 && receivers_per_site >= 0);
   let delivered_table = Hashtbl.create 64 in
   let reserved = 3 + replica_count in
@@ -49,7 +49,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     Net.create ~engine ~topo:wan.topo ~size_of:Message.wire_size ()
   in
   let trace = Trace.create () in
-  let runtime = Sim_runtime.create ~net ~trace in
+  let runtime = Sim_runtime.create ?agent_metrics ~net ~trace () in
   let rng = Rng.split (Engine.rng engine) in
   let source_node = Builders.host wan ~site:0 1 in
   let primary_node = Builders.host wan ~site:0 2 in
@@ -58,17 +58,17 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
   in
   let source =
     Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
-      ~replicas:replica_nodes ?initial_estimate ()
+      ~replicas:replica_nodes ?initial_estimate ?sink ()
   in
   let primary =
     Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
-      ~replicas:replica_nodes ~rng:(Rng.split rng) ()
+      ~replicas:replica_nodes ~rng:(Rng.split rng) ?sink ()
   in
   let replicas =
     List.map
       (fun node ->
         ( Lbrm.Logger.create cfg ~self:node ~source:source_node
-            ~parent:primary_node ~rng:(Rng.split rng) (),
+            ~parent:primary_node ~rng:(Rng.split rng) ?sink (),
           node ))
       replica_nodes
   in
@@ -80,7 +80,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
           (fun site ->
             let node = site.Builders.hosts.(0) in
             ( Lbrm.Logger.create cfg ~self:node ~source:source_node
-                ~parent:primary_node ~rng:(Rng.split rng) (),
+                ~parent:primary_node ~rng:(Rng.split rng) ?sink (),
               node ))
           wan.sites
   in
@@ -98,8 +98,8 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
               List.init receivers_per_site (fun j ->
                   let node = site.Builders.hosts.(reserved + j) in
                   let r =
-                    Lbrm.Receiver.create cfg ~self:node ~source:source_node
-                      ~loggers:hierarchy
+                    Lbrm.Receiver.create ?sink cfg ~self:node
+                      ~source:source_node ~loggers:hierarchy
                   in
                   ignore site_idx;
                   (r, node)))
@@ -194,10 +194,10 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
               List.filter (fun n -> n <> node) (primary_node :: replica_nodes)
             in
             Lbrm.Logger.create cfg ~self:node ~source:source_node
-              ~replicas:others ~rng:(Rng.split fault_rng) ()
+              ~replicas:others ~rng:(Rng.split fault_rng) ?sink ()
           else
             Lbrm.Logger.create cfg ~self:node ~source:source_node
-              ~parent:current ~rng:(Rng.split fault_rng) ()
+              ~parent:current ~rng:(Rng.split fault_rng) ?sink ()
         in
         update l;
         Sim_runtime.replace_agent runtime ~node (Handlers.of_logger l))
@@ -236,7 +236,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
             | Some s -> [ s; current_primary () ]
           in
           let r =
-            Lbrm.Receiver.create cfg ~self:node ~source:source_node
+            Lbrm.Receiver.create ?sink cfg ~self:node ~source:source_node
               ~loggers:hierarchy
           in
           d.receivers.(i) <- (r, node);
@@ -299,7 +299,7 @@ let drive_periodic d ~interval ~count ?(payload_size = 128) () =
   let engine = Sim_runtime.engine d.runtime in
   for i = 1 to count do
     ignore
-      (Engine.schedule engine ~delay:(interval *. float_of_int i) (fun () ->
+      (Engine.schedule_kind engine ~kind:Engine.kind_app ~delay:(interval *. float_of_int i) (fun () ->
            send d (payload_of_size payload_size i)))
   done
 
@@ -310,7 +310,7 @@ let drive_poisson d ~mean_interval ~until ?(payload_size = 128) () =
   let rec arm () =
     let delay = Rng.exponential rng ~mean:mean_interval in
     ignore
-      (Engine.schedule engine ~delay (fun () ->
+      (Engine.schedule_kind engine ~kind:Engine.kind_app ~delay (fun () ->
            if Engine.now engine <= until then begin
              incr counter;
              send d (payload_of_size payload_size !counter);
@@ -341,8 +341,8 @@ let total_missing d =
    primary.  Regions are consecutive runs of [sites_per_region] sites;
    each region's regional logger lives on host 3 of its first site. *)
 let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
-    ?tail_loss ?on_deliver ?on_notice ~regions ~sites_per_region
-    ~receivers_per_site () =
+    ?tail_loss ?on_deliver ?on_notice ?sink ?agent_metrics ~regions
+    ~sites_per_region ~receivers_per_site () =
   assert (regions > 0 && sites_per_region > 0 && receivers_per_site >= 0);
   let sites = regions * sites_per_region in
   let delivered_table = Hashtbl.create 64 in
@@ -359,24 +359,24 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
   let engine = Engine.create ~seed () in
   let net = Net.create ~engine ~topo:wan.topo ~size_of:Message.wire_size () in
   let trace = Trace.create () in
-  let runtime = Sim_runtime.create ~net ~trace in
+  let runtime = Sim_runtime.create ?agent_metrics ~net ~trace () in
   let rng = Rng.split (Engine.rng engine) in
   let source_node = Builders.host wan ~site:0 1 in
   let primary_node = Builders.host wan ~site:0 2 in
   let source =
     Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
-      ?initial_estimate ()
+      ?initial_estimate ?sink ()
   in
   let primary =
     Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
-      ~rng:(Rng.split rng) ()
+      ~rng:(Rng.split rng) ?sink ()
   in
   let region_of site = site / sites_per_region in
   let regional_node r = Builders.host wan ~site:(r * sites_per_region) 3 in
   let regionals =
     List.init regions (fun r ->
         ( Lbrm.Logger.create cfg ~self:(regional_node r) ~source:source_node
-            ~parent:primary_node ~rng:(Rng.split rng) (),
+            ~parent:primary_node ~rng:(Rng.split rng) ?sink (),
           regional_node r ))
   in
   let secondaries =
@@ -385,7 +385,7 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
         let node = site.Builders.hosts.(0) in
         ( Lbrm.Logger.create cfg ~self:node ~source:source_node
             ~parent:(regional_node (region_of i))
-            ~rng:(Rng.split rng) (),
+            ~rng:(Rng.split rng) ?sink (),
           node ))
       wan.sites
   in
@@ -403,8 +403,8 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
               in
               List.init receivers_per_site (fun j ->
                   let node = site.Builders.hosts.(reserved + j) in
-                  ( Lbrm.Receiver.create cfg ~self:node ~source:source_node
-                      ~loggers:hierarchy,
+                  ( Lbrm.Receiver.create ?sink cfg ~self:node
+                      ~source:source_node ~loggers:hierarchy,
                     node )))
             (Array.to_list wan.sites)))
   in

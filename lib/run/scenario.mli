@@ -47,6 +47,8 @@ val standard :
   ?on_notice:(node_id -> now:float -> Lbrm.Io.notice -> unit) ->
   ?on_source_notice:(now:float -> Lbrm.Io.notice -> unit) ->
   ?logging:[ `Distributed | `Centralized ] ->
+  ?sink:Lbrm.Trace.sink ->
+  ?agent_metrics:bool ->
   sites:int ->
   receivers_per_site:int ->
   unit ->
@@ -60,7 +62,11 @@ val standard :
     [logging] selects the paper's Figure 7 variants: [`Distributed]
     (default) deploys a secondary logger per site and two-level receiver
     hierarchies; [`Centralized] deploys no secondaries and every
-    receiver NACKs the primary directly.  All agents are started. *)
+    receiver NACKs the primary directly.  [sink] is shared by every
+    state machine (including rebuilders' fresh instances), so its
+    stream merges all nodes' typed trace events; [agent_metrics]
+    enables per-node {!Lbrm_util.Metrics} registries in the runtime.
+    All agents are started. *)
 
 val hierarchical :
   ?cfg:Lbrm.Config.t ->
@@ -75,6 +81,8 @@ val hierarchical :
     recovered:bool ->
     unit) ->
   ?on_notice:(node_id -> now:float -> Lbrm.Io.notice -> unit) ->
+  ?sink:Lbrm.Trace.sink ->
+  ?agent_metrics:bool ->
   regions:int ->
   sites_per_region:int ->
   receivers_per_site:int ->

@@ -1,6 +1,7 @@
 module Net = Lbrm_sim.Net
 module Engine = Lbrm_sim.Engine
 module Trace = Lbrm_sim.Trace
+module Metrics = Lbrm_util.Metrics
 module Message = Lbrm_wire.Message
 open Lbrm.Io
 
@@ -8,15 +9,41 @@ type agent = {
   node : Lbrm_sim.Topo.node_id;
   handlers : Handlers.t;
   timers : (timer_key, Engine.timer) Hashtbl.t;
+  metrics : Metrics.t option; (* per-agent registry, opt-in *)
 }
 
 type t = {
   net : Message.t Net.t;
   trace : Trace.t;
   agents : (Lbrm_sim.Topo.node_id, agent) Hashtbl.t;
+  with_metrics : bool;
+  (* Per-node registries outlive agent replacement (crash/restart):
+     the restarted process keeps accumulating into the same registry. *)
+  node_metrics : (Lbrm_sim.Topo.node_id, Metrics.t) Hashtbl.t;
 }
 
-let create ~net ~trace = { net; trace; agents = Hashtbl.create 64 }
+let create ?(agent_metrics = false) ~net ~trace () =
+  {
+    net;
+    trace;
+    agents = Hashtbl.create 64;
+    with_metrics = agent_metrics;
+    node_metrics = Hashtbl.create 64;
+  }
+
+let metrics_for t node =
+  if not t.with_metrics then None
+  else
+    match Hashtbl.find_opt t.node_metrics node with
+    | Some m -> Some m
+    | None ->
+        let m = Metrics.create () in
+        Hashtbl.replace t.node_metrics node m;
+        Some m
+
+let agent_metrics t =
+  Hashtbl.fold (fun node m acc -> (node, m) :: acc) t.node_metrics []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 let net t = t.net
 let engine t = Net.engine t.net
 let trace t = t.trace
@@ -49,6 +76,9 @@ and execute t agent action =
   match action with
   | Send (dest, msg) -> (
       Trace.incr t.trace ("sent." ^ Message.kind msg);
+      (match agent.metrics with
+      | Some m -> Metrics.incr (Metrics.counter m ("sent." ^ Message.kind msg))
+      | None -> ());
       match dest with
       | To_addr addr ->
           Net.unicast t.net ~src:agent.node ~dst:addr msg
@@ -59,7 +89,7 @@ and execute t agent action =
       | Some timer -> Engine.cancel (engine t) timer
       | None -> ());
       let timer =
-        Engine.schedule (engine t) ~delay (fun () ->
+        Engine.schedule_kind (engine t) ~kind:Engine.kind_timer ~delay (fun () ->
             Hashtbl.remove agent.timers key;
             let actions =
               agent.handlers.on_timer ~now:(now t) key
@@ -76,6 +106,11 @@ and execute t agent action =
   | Deliver { seq; payload; recovered } -> (
       Trace.incr t.trace "app.delivered";
       if recovered then Trace.incr t.trace "app.recovered";
+      (match agent.metrics with
+      | Some m ->
+          Metrics.incr (Metrics.counter m "app.delivered");
+          if recovered then Metrics.incr (Metrics.counter m "app.recovered")
+      | None -> ());
       match agent.handlers.on_deliver with
       | Some f -> f ~now:(now t) ~seq ~payload ~recovered
       | None -> ())
@@ -89,10 +124,15 @@ and execute t agent action =
 
 let add_agent t ~node handlers =
   assert (not (Hashtbl.mem t.agents node));
-  let agent = { node; handlers; timers = Hashtbl.create 16 } in
+  let agent =
+    { node; handlers; timers = Hashtbl.create 16; metrics = metrics_for t node }
+  in
   Hashtbl.replace t.agents node agent;
   Net.set_handler t.net node (fun ~now:_ ~src msg ->
       Trace.incr t.trace ("recv." ^ Message.kind msg);
+      (match agent.metrics with
+      | Some m -> Metrics.incr (Metrics.counter m ("recv." ^ Message.kind msg))
+      | None -> ());
       let actions = handlers.Handlers.on_message ~now:(now t) ~src msg in
       List.iter (execute t agent) actions)
 

@@ -10,7 +10,19 @@
 
 type t
 
-val create : net:Lbrm_wire.Message.t Lbrm_sim.Net.t -> trace:Lbrm_sim.Trace.t -> t
+val create :
+  ?agent_metrics:bool ->
+  net:Lbrm_wire.Message.t Lbrm_sim.Net.t ->
+  trace:Lbrm_sim.Trace.t ->
+  unit ->
+  t
+(** With [agent_metrics] (default false) the runtime additionally keeps
+    a per-node {!Lbrm_util.Metrics} registry — per-kind send/receive
+    counters and delivery counts — that survives agent replacement
+    across crash/restart cycles. *)
+
+val agent_metrics : t -> (Lbrm_sim.Topo.node_id * Lbrm_util.Metrics.t) list
+(** Per-node registries, ascending by node id; empty unless enabled. *)
 
 val net : t -> Lbrm_wire.Message.t Lbrm_sim.Net.t
 val engine : t -> Lbrm_sim.Engine.t

@@ -1,5 +1,6 @@
 module Codec = Lbrm_wire.Codec
 module Heap = Lbrm_util.Heap
+module Metrics = Lbrm_util.Metrics
 module Rng = Lbrm_util.Rng
 open Lbrm.Io
 
@@ -8,6 +9,7 @@ type agent = {
   socket : Unix.file_descr;
   handlers : Handlers.t;
   timers : (timer_key, (int * timer_key) Heap.handle) Hashtbl.t;
+  metrics : Metrics.t;
 }
 
 type t = {
@@ -60,6 +62,10 @@ let leave t ~group ~port = Hashtbl.remove (group_table t group) port
 let datagrams_sent t = t.sent
 let datagrams_dropped t = t.dropped
 
+let agent_metrics t =
+  Hashtbl.fold (fun port agent acc -> (port, agent.metrics) :: acc) t.agents []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let send_datagram t agent ~dst msg =
   if t.loss > 0. && Rng.bernoulli t.rng ~p:t.loss then
     t.dropped <- t.dropped + 1
@@ -75,6 +81,9 @@ let send_datagram t agent ~dst msg =
         t.dropped <- t.dropped + 1
     | Ok () ->
         t.sent <- t.sent + 1;
+        Metrics.incr
+          (Metrics.counter agent.metrics
+             ("sent." ^ Lbrm_wire.Message.kind msg));
         ignore
           (Unix.sendto agent.socket (Codec.Writer.buffer w) 0
              (Codec.Writer.length w) [] (sockaddr t dst))
@@ -103,6 +112,9 @@ let rec execute t agent action =
           Hashtbl.remove agent.timers key
       | None -> ())
   | Deliver { seq; payload; recovered } -> (
+      Metrics.incr (Metrics.counter agent.metrics "app.delivered");
+      if recovered then
+        Metrics.incr (Metrics.counter agent.metrics "app.recovered");
       match agent.handlers.Handlers.on_deliver with
       | Some f -> f ~now:(now t) ~seq ~payload ~recovered
       | None -> ())
@@ -124,7 +136,15 @@ let add_agent t ~port handlers =
   Unix.setsockopt socket Unix.SO_REUSEADDR true;
   Unix.bind socket (sockaddr t port);
   Unix.set_nonblock socket;
-  let agent = { port; socket; handlers; timers = Hashtbl.create 16 } in
+  let agent =
+    {
+      port;
+      socket;
+      handlers;
+      timers = Hashtbl.create 16;
+      metrics = Metrics.create ();
+    }
+  in
   Hashtbl.replace t.agents port agent;
   Hashtbl.replace t.by_socket socket agent
 
@@ -142,6 +162,9 @@ let drain_socket t agent =
            [recvfrom] refills it. *)
         match Codec.decode_bytes ~len t.buf with
         | Ok msg ->
+            Metrics.incr
+              (Metrics.counter agent.metrics
+                 ("recv." ^ Lbrm_wire.Message.kind msg));
             let actions =
               agent.handlers.Handlers.on_message ~now:(now t) ~src:src_port msg
             in

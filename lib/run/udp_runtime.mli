@@ -39,5 +39,9 @@ val datagrams_sent : t -> int
 val datagrams_dropped : t -> int
 (** By the loss-injection hook. *)
 
+val agent_metrics : t -> (int * Lbrm_util.Metrics.t) list
+(** Per-agent registries (per-kind send/receive counters, delivery
+    counts), ascending by port. *)
+
 val close : t -> unit
 (** Close every socket. *)

@@ -30,6 +30,8 @@ type node = {
   mutable next : node;
   mutable live : bool; (* queued; false once fired or cancelled *)
   recyclable : bool; (* no handle escaped; safe to pool *)
+  mutable kind : int; (* accounting category, [0, max_kinds) *)
+  mutable born : float; (* virtual enqueue time, for sojourn accounting *)
 }
 
 type timer = node
@@ -47,12 +49,23 @@ let new_sentinel () =
       next = s;
       live = false;
       recyclable = false;
+      kind = 0;
+      born = 0.;
     }
   in
   s
 
 let min_buckets = 16
 let pool_max = 32768
+
+(* Per-event-kind accounting categories.  The engine itself is
+   agnostic; these constants are the conventions the LBRM runtimes
+   use. *)
+let max_kinds = 8
+let kind_default = 0
+let kind_packet = 1
+let kind_timer = 2
+let kind_app = 3
 
 type t = {
   clock : float array; (* 1-element flat array: unboxed, barrier-free writes *)
@@ -69,6 +82,8 @@ type t = {
   mutable spares : node array list; (* retired bucket arrays, kept for reuse *)
   rng : Rng.t;
   mutable processed : int;
+  kind_fired : int array; (* events fired, by kind *)
+  kind_wait : float array; (* total virtual seconds queued, by kind *)
 }
 
 let create ?(seed = 42) () =
@@ -88,6 +103,8 @@ let create ?(seed = 42) () =
     spares = [];
     rng = Rng.create ~seed;
     processed = 0;
+    kind_fired = Array.make max_kinds 0;
+    kind_wait = Array.make max_kinds 0.;
   }
 
 let now t = Array.unsafe_get t.clock 0
@@ -250,8 +267,9 @@ let enqueue_node t n =
   insert t n;
   t.size <- t.size + 1
 
-let at t ~time fn =
+let at_kind t ~kind ~time fn =
   assert (time >= now t);
+  assert (kind >= 0 && kind < max_kinds);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let n =
@@ -264,19 +282,26 @@ let at t ~time fn =
       next = t.nil;
       live = true;
       recyclable = false;
+      kind;
+      born = now t;
     }
   in
   enqueue_node t n;
   n
 
-let schedule t ~delay fn =
+let at t ~time fn = at_kind t ~kind:kind_default ~time fn
+
+let schedule_kind t ~kind ~delay fn =
   assert (delay >= 0.);
-  at t ~time:(now t +. delay) fn
+  at_kind t ~kind ~time:(now t +. delay) fn
+
+let schedule t ~delay fn = schedule_kind t ~kind:kind_default ~delay fn
 
 (* Fire-and-forget scheduling: no cancellation handle, node drawn from
    the free pool — the hot path for packet hops and periodic ticks. *)
-let post_at t ~time fn =
+let post_at_kind t ~kind ~time fn =
   assert (time >= now t);
+  assert (kind >= 0 && kind < max_kinds);
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let n =
@@ -288,6 +313,8 @@ let post_at t ~time fn =
       n.seq <- seq;
       n.fn <- fn;
       n.live <- true;
+      n.kind <- kind;
+      n.born <- now t;
       n
     end
     else
@@ -300,13 +327,19 @@ let post_at t ~time fn =
         next = t.nil;
         live = true;
         recyclable = true;
+        kind;
+        born = now t;
       }
   in
   enqueue_node t n
 
-let post t ~delay fn =
+let post_at t ~time fn = post_at_kind t ~kind:kind_default ~time fn
+
+let post_kind t ~kind ~delay fn =
   assert (delay >= 0.);
-  post_at t ~time:(now t +. delay) fn
+  post_at_kind t ~kind ~time:(now t +. delay) fn
+
+let post t ~delay fn = post_at_kind t ~kind:kind_default ~time:(now t +. delay) fn
 
 (* Blank a node that left the queue so it retains nothing, and pool it
    if no handle can ever reference it again.  Pooled nodes reuse [next]
@@ -339,11 +372,18 @@ let is_pending n = n.live
 
 (* Pop the minimum and run it.  The callback is read before the node is
    retired, so re-entrant scheduling from inside [fn] is safe. *)
+let account t n =
+  Array.unsafe_set t.kind_fired n.kind
+    (Array.unsafe_get t.kind_fired n.kind + 1);
+  Array.unsafe_set t.kind_wait n.kind
+    (Array.unsafe_get t.kind_wait n.kind +. (n.time -. n.born))
+
 let exec_min t =
   let n = dequeue t 0 in
   t.size <- t.size - 1;
   set_clock t n.time;
   let fn = n.fn in
+  account t n;
   retire t n;
   maybe_shrink t;
   t.processed <- t.processed + 1;
@@ -386,6 +426,7 @@ let run ?until t =
           t.size <- t.size - 1;
           set_clock t n.time;
           let fn = n.fn in
+          account t n;
           retire t n;
           maybe_shrink t;
           t.processed <- t.processed + 1;
@@ -406,3 +447,13 @@ let run ?until t =
 
 let pending t = t.size
 let events_processed t = t.processed
+let kind_fired t ~kind = t.kind_fired.(kind)
+let kind_wait t ~kind = t.kind_wait.(kind)
+
+let kind_stats t =
+  let acc = ref [] in
+  for k = max_kinds - 1 downto 0 do
+    if t.kind_fired.(k) > 0 then
+      acc := (k, t.kind_fired.(k), t.kind_wait.(k)) :: !acc
+  done;
+  !acc

@@ -19,11 +19,36 @@ val now : t -> float
 val rng : t -> Lbrm_util.Rng.t
 (** The engine's root random stream. *)
 
+(** {2 Event-kind accounting}
+
+    Every queue entry carries a small integer {e kind}; the engine
+    tallies, per kind, how many events fired and their total virtual
+    sojourn (fire time − enqueue time).  Kinds are conventions of the
+    embedding runtime; the engine only reserves [0] as the default.
+    The LBRM runtimes use {!kind_packet} for network hops,
+    {!kind_timer} for protocol timers and {!kind_app} for traffic
+    drivers. *)
+
+val max_kinds : int
+(** Kinds are in [\[0, max_kinds)]. *)
+
+val kind_default : int
+
+val kind_packet : int
+val kind_timer : int
+val kind_app : int
+
 val schedule : t -> delay:float -> (unit -> unit) -> timer
 (** Run a callback [delay] seconds from now ([delay >= 0]). *)
 
+val schedule_kind : t -> kind:int -> delay:float -> (unit -> unit) -> timer
+(** {!schedule} with an explicit accounting kind. *)
+
 val at : t -> time:float -> (unit -> unit) -> timer
 (** Run a callback at an absolute virtual time (>= [now]). *)
+
+val at_kind : t -> kind:int -> time:float -> (unit -> unit) -> timer
+(** {!at} with an explicit accounting kind. *)
 
 val post : t -> delay:float -> (unit -> unit) -> unit
 (** Like {!schedule} but fire-and-forget: no cancellation handle is
@@ -33,6 +58,12 @@ val post : t -> delay:float -> (unit -> unit) -> unit
 
 val post_at : t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant of {!post}. *)
+
+val post_kind : t -> kind:int -> delay:float -> (unit -> unit) -> unit
+(** {!post} with an explicit accounting kind. *)
+
+val post_at_kind : t -> kind:int -> time:float -> (unit -> unit) -> unit
+(** {!post_at} with an explicit accounting kind. *)
 
 val cancel : t -> timer -> unit
 (** Cancel a pending timer; no-op if it already fired or was cancelled. *)
@@ -56,3 +87,13 @@ val pending : t -> int
 
 val events_processed : t -> int
 (** Total callbacks executed so far. *)
+
+val kind_fired : t -> kind:int -> int
+(** Events fired so far with this kind. *)
+
+val kind_wait : t -> kind:int -> float
+(** Total virtual seconds events of this kind spent queued. *)
+
+val kind_stats : t -> (int * int * float) list
+(** [(kind, fired, total_wait)] for every kind with at least one firing,
+    ascending by kind. *)

@@ -139,7 +139,7 @@ type flight = { mutable f_node : Topo.node_id; mutable f_ttl : int }
 let unicast t ?(ttl = 64) ~src ~dst msg =
   ensure_capacity t;
   if src = dst then
-    Engine.post t.engine ~delay:loopback_delay (fun () ->
+    Engine.post_kind t.engine ~kind:Engine.kind_packet ~delay:loopback_delay (fun () ->
         deliver t ~src ~dst msg)
   else begin
     let fl = { f_node = src; f_ttl = ttl } in
@@ -159,7 +159,7 @@ let unicast t ?(ttl = 64) ~src ~dst msg =
             | Topo.Deliver arrival ->
                 fl.f_node <- Topo.link_dst link;
                 fl.f_ttl <- fl.f_ttl - 1;
-                Engine.post_at t.engine ~time:arrival arrive
+                Engine.post_at_kind t.engine ~kind:Engine.kind_packet ~time:arrival arrive
             | Topo.Dropped_loss | Topo.Dropped_queue | Topo.Dropped_down -> ())
     in
     arrive ()
@@ -220,7 +220,7 @@ let multicast t ?(ttl = 64) ~src ~group msg =
     if n > 0 then begin
       let children = Array.sub !run 0 n in
       run_len := 0;
-      Engine.post_at t.engine ~time:!run_time (fun () ->
+      Engine.post_at_kind t.engine ~kind:Engine.kind_packet ~time:!run_time (fun () ->
           Array.iter
             (fun c ->
               if c <> src && member_mask t g c then deliver t ~src ~dst:c msg)
@@ -248,7 +248,7 @@ let multicast t ?(ttl = 64) ~src ~group msg =
     | Topo.Deliver arrival_time ->
         fl.f_node <- Topo.link_dst link;
         fl.f_ttl <- fl.f_ttl - 1;
-        Engine.post_at t.engine ~time:arrival_time arrive
+        Engine.post_at_kind t.engine ~kind:Engine.kind_packet ~time:arrival_time arrive
     | Topo.Dropped_loss | Topo.Dropped_queue | Topo.Dropped_down -> ()
   and fan_out node budget =
     (* Offer the packet on every child link of [node]; budget > 0. *)

@@ -1,0 +1,45 @@
+(** A small per-agent metrics registry: named counters, gauges and
+    samples (full-retention {!Stats.Sample}, so percentile queries come
+    for free).
+
+    Handles are fetched once by name and then updated without further
+    hashing — [counter]/[gauge]/[sample] intern on first use.  A name
+    is bound to one metric shape for the registry's lifetime; asking
+    for it under a different shape raises [Invalid_argument].
+
+    Snapshots are sorted by name so that any serialized output is
+    deterministic regardless of registration order. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+
+(** {2 Handles} *)
+
+type counter
+type gauge
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val sample : t -> string -> Stats.Sample.t
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val read : gauge -> float
+val observe : Stats.Sample.t -> float -> unit
+
+(** {2 Reporting} *)
+
+type snapshot_value =
+  | V_int of int
+  | V_float of float
+  | V_summary of { count : int; mean : float; p50 : float; p99 : float; max : float }
+
+val snapshot : t -> (string * snapshot_value) list
+(** Sorted by metric name. *)
+
+val pp_value : Format.formatter -> snapshot_value -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(* Golden-trace generator: prints one line per scenario — name, the
+   MD5 digest of the canonical JSONL rendering of its merged typed
+   trace, and the record count.
+
+   dune diffs the output against trace_digests.expected (runtest);
+   after an intentional protocol change, regenerate with
+
+     dune promote test/golden/trace_digests.expected
+
+   A digest shift without a deliberate behaviour change means the
+   protocol plane lost determinism — which is exactly what this golden
+   file is here to catch. *)
+
+module C = Lbrm_run.Chaos
+module T = Lbrm.Trace
+
+let line name (events : T.record list) =
+  Printf.printf "%s %s records=%d\n" name (T.digest events)
+    (List.length events)
+
+let lossy_events () =
+  let collector = T.Collector.create () in
+  let d =
+    Lbrm_run.Scenario.standard ~seed:7 ~initial_estimate:50.
+      ~tail_loss:(fun _ -> Lbrm_sim.Loss.bernoulli 0.05)
+      ~sink:(T.Collector.sink collector)
+      ~sites:50 ~receivers_per_site:1 ()
+  in
+  Lbrm_run.Scenario.drive_periodic d ~interval:0.1 ~count:40 ();
+  Lbrm_run.Scenario.run d ~until:30.;
+  T.Collector.records collector
+
+let () =
+  line "primary_crash" (C.primary_crash ()).C.events;
+  line "secondary_crash" (C.secondary_crash ()).C.events;
+  line "partition_heal" (C.partition_heal ()).C.events;
+  line "lossy_50_sites" (lossy_events ())

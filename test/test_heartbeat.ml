@@ -107,6 +107,105 @@ let detection_bounds () =
   checkf 1e-9 "backoff 3 scales" 15.
     (Heartbeat.detection_bound ~h_min ~h_max ~backoff:3. ~t_burst:5.)
 
+let boundary_exact_transitions () =
+  (* A data packet landing exactly on a heartbeat instant still lets
+     the heartbeat out (the paper's counting convention); a hair
+     earlier preempts it.  The variable schedule's cumulative offsets
+     are 0.25, 0.75, 1.75, 3.75, 7.75, 15.75, 31.75, 63.75, ... *)
+  let count ~policy dt =
+    Heartbeat.count_in_gap ~policy ~h_min ~h_max ~backoff ~dt
+  in
+  List.iter
+    (fun (dt, expect) ->
+      checki (Printf.sprintf "variable dt=%.7f" dt) expect
+        (count ~policy:Variable dt))
+    [
+      (0.25, 1); (0.25 -. 1e-6, 0);
+      (3.75, 4); (3.75 -. 1e-6, 3);
+      (7.75, 5); (7.75 -. 1e-6, 4);
+      (63.75, 8); (63.75 -. 1e-6, 7);
+      (95.75, 9);
+    ];
+  List.iter
+    (fun (dt, expect) ->
+      checki (Printf.sprintf "fixed dt=%.7f" dt) expect
+        (count ~policy:Fixed dt))
+    [ (0.5, 2); (0.5 -. 1e-6, 1); (120., 480); (120. -. 1e-6, 479) ]
+
+let boundary_saturation () =
+  (* With h_max = 32 = h_min * 2^7 the interval hits the cap exactly,
+     with no clipping; with h_max = 3 the doubling is clipped (4 -> 3)
+     and every later gap is exactly h_max. *)
+  let t = Heartbeat.create ~policy:Variable ~h_min ~h_max ~backoff in
+  for _ = 1 to 7 do Heartbeat.on_heartbeat t done;
+  checkf 0. "reaches h_max exactly" h_max (Heartbeat.interval t);
+  Heartbeat.on_heartbeat t;
+  checkf 0. "stays saturated" h_max (Heartbeat.interval t);
+  let times =
+    Heartbeat.schedule_in_gap ~policy:Variable ~h_min ~h_max:3. ~backoff
+      ~dt:9.75
+  in
+  Alcotest.check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "clipped offsets" [ 0.25; 0.75; 1.75; 3.75; 6.75; 9.75 ] times
+
+(* Drive the runtime scheduler through the discrete-event engine — data
+   packets every [dt], heartbeat timers re-armed from the machine — and
+   count fired heartbeats.  Must equal gaps * count_in_gap at the
+   Figures 4/5 parameter points. *)
+let engine_heartbeat_count ~policy ~dt ~gaps =
+  let module E = Lbrm_sim.Engine in
+  let e = E.create () in
+  let hb = Heartbeat.create ~policy ~h_min ~h_max ~backoff in
+  let fired = ref 0 in
+  let timer = ref None in
+  let rec arm () =
+    timer :=
+      Some
+        (E.schedule_kind e ~kind:E.kind_timer
+           ~delay:(Heartbeat.next_delay hb) (fun () ->
+             incr fired;
+             Heartbeat.on_heartbeat hb;
+             arm ()))
+  in
+  (* Each gap is a whisker longer than dt so a heartbeat due exactly at
+     the gap boundary fires first — the model's counting convention.
+     The whisker dwarfs float drift but admits no extra heartbeat. *)
+  let tie = 1e-7 in
+  for k = 1 to gaps do
+    E.schedule_kind e ~kind:E.kind_app
+      ~delay:(float_of_int k *. (dt +. tie))
+      (fun () ->
+        (match !timer with Some tm -> E.cancel e tm | None -> ());
+        Heartbeat.on_data hb;
+        if k < gaps then arm ())
+    |> ignore
+  done;
+  arm ();
+  E.run e;
+  checki "engine kind accounting counts the same timers" !fired
+    (E.kind_fired e ~kind:E.kind_timer);
+  !fired
+
+let engine_matches_closed_form () =
+  List.iter
+    (fun dt ->
+      List.iter
+        (fun policy ->
+          let gaps = 5 in
+          let expect =
+            gaps * Heartbeat.count_in_gap ~policy ~h_min ~h_max ~backoff ~dt
+          in
+          checki
+            (Printf.sprintf "dt=%g %s" dt
+               (match policy with
+               | Heartbeat.Fixed -> "fixed"
+               | Heartbeat.Variable -> "variable"))
+            expect
+            (engine_heartbeat_count ~policy ~dt ~gaps))
+        [ Heartbeat.Fixed; Heartbeat.Variable ])
+    [ 0.5; 2.; 120. ]
+
 (* The scheduler, stepped through a gap, reproduces the closed form. *)
 let simulated_schedule_matches ~policy ~dt =
   let t = Heartbeat.create ~policy ~h_min ~h_max ~backoff in
@@ -184,6 +283,11 @@ let () =
           Alcotest.test_case "explicit schedule" `Quick schedule_explicit;
           Alcotest.test_case "scheduler matches closed form" `Quick
             scheduler_vs_closed_form;
+          Alcotest.test_case "exact phase-transition boundaries" `Quick
+            boundary_exact_transitions;
+          Alcotest.test_case "saturation boundary" `Quick boundary_saturation;
+          Alcotest.test_case "engine-simulated counts match model" `Quick
+            engine_matches_closed_form;
         ] );
       ( "paper-model",
         [

@@ -1,0 +1,332 @@
+(* Model-based tests: the optimized data structures behind the
+   protocol plane checked against naive oracles over random command
+   sequences.
+
+   - Log_store's seq-indexed circular buffer (O(1) add/get/evict,
+     incremental lo/hi/contig, hashed-time-wheel expiry) vs a plain
+     Map-backed store.  Drift in lo/hi/contig maintenance or in wheel
+     bookkeeping shows up as a count/get/highest_contiguous mismatch.
+   - Gap_tracker vs a sorted-set oracle computed in absolute (unwrapped)
+     sequence positions, driven across the Seqno wrap boundary so the
+     serial-arithmetic ordering is exercised where it matters. *)
+
+module Log_store = Lbrm.Log_store
+module Gap_tracker = Lbrm_util.Gap_tracker
+module Seqno = Lbrm_util.Seqno
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Log_store vs Map oracle ----------------------------------------- *)
+
+type okv = { o_epoch : int; o_payload : string; o_at : float }
+
+let oracle_contig m =
+  match IntMap.min_binding_opt m with
+  | None -> None
+  | Some (lo, _) ->
+      let c = ref lo in
+      while IntMap.mem (!c + 1) m do
+        incr c
+      done;
+      Some !c
+
+let oracle_newest m =
+  Option.map (fun (s, _) -> s) (IntMap.max_binding_opt m)
+
+(* Full-state comparison; returns an error description on divergence. *)
+let compare_state store ~now m =
+  let probes =
+    (* every oracle seq plus a band around the window's edges *)
+    IntMap.fold (fun s _ acc -> s :: acc) m []
+    @ (match IntMap.min_binding_opt m with
+      | Some (lo, _) -> [ lo - 2; lo - 1 ]
+      | None -> [])
+    @
+    match IntMap.max_binding_opt m with
+    | Some (hi, _) -> [ hi + 1; hi + 2 ]
+    | None -> []
+  in
+  if Log_store.count store <> IntMap.cardinal m then
+    Some
+      (Printf.sprintf "count %d, oracle %d" (Log_store.count store)
+         (IntMap.cardinal m))
+  else if
+    Option.map (fun (e : Log_store.entry) -> e.seq) (Log_store.newest store)
+    <> oracle_newest m
+  then Some "newest diverged"
+  else if Log_store.highest_contiguous store <> oracle_contig m then
+    Some
+      (Printf.sprintf "highest_contiguous %s, oracle %s"
+         (match Log_store.highest_contiguous store with
+         | Some s -> string_of_int s
+         | None -> "-")
+         (match oracle_contig m with
+         | Some s -> string_of_int s
+         | None -> "-"))
+  else
+    List.find_map
+      (fun s ->
+        let want = IntMap.find_opt s m in
+        let got = Log_store.get store ~now s in
+        match (want, got) with
+        | None, None -> None
+        | Some o, Some (e : Log_store.entry) ->
+            if e.epoch = o.o_epoch && e.payload = o.o_payload then None
+            else Some (Printf.sprintf "entry %d fields diverged" s)
+        | Some _, None -> Some (Printf.sprintf "oracle has %d, store lost it" s)
+        | None, Some _ -> Some (Printf.sprintf "store has %d, oracle does not" s))
+      probes
+
+(* Command stream for the bounded store: forward adds with jumps of
+   1..3 plus re-adds within [hi-8, hi].  With [Keep_last 16] and those
+   bounds the live span never exceeds the ring's bounded capacity, so
+   the exact Map + FIFO-evict oracle applies (no drop-on-arrival, no
+   capacity-pressure slide). *)
+let prop_keep_last =
+  QCheck.Test.make ~count:200 ~name:"log_store: Keep_last 16 = Map + FIFO"
+    QCheck.(list_of_size Gen.(5 -- 120) (pair (int_range 0 9) (int_range 0 8)))
+    (fun cmds ->
+      let n = 16 in
+      let store = Log_store.create ~retention:(Log_store.Keep_last n) () in
+      let oracle = ref IntMap.empty in
+      let cur = ref 1000 in
+      let now = ref 0. in
+      let add seq =
+        now := !now +. 0.01;
+        let payload = "p" ^ string_of_int seq in
+        let fresh =
+          Log_store.add store ~now:!now ~seq ~epoch:(seq mod 5) ~payload
+        in
+        let o_fresh = not (IntMap.mem seq !oracle) in
+        if fresh <> o_fresh then
+          QCheck.Test.fail_reportf "add %d freshness %b, oracle %b" seq fresh
+            o_fresh;
+        if fresh then begin
+          oracle :=
+            IntMap.add seq
+              { o_epoch = seq mod 5; o_payload = payload; o_at = !now }
+              !oracle;
+          while IntMap.cardinal !oracle > n do
+            let lo, _ = IntMap.min_binding !oracle in
+            oracle := IntMap.remove lo !oracle
+          done
+        end
+      in
+      List.iter
+        (fun (op, arg) ->
+          if op <= 6 then begin
+            (* forward add, jump 1..3 *)
+            cur := !cur + 1 + (arg mod 3);
+            add !cur
+          end
+          else add (Stdlib.max 1 (!cur - arg));
+          match compare_state store ~now:!now !oracle with
+          | None -> ()
+          | Some msg -> QCheck.Test.fail_reportf "after add: %s" msg)
+        cmds;
+      true)
+
+let prop_keep_all =
+  QCheck.Test.make ~count:200 ~name:"log_store: Keep_all = Map"
+    QCheck.(list_of_size Gen.(5 -- 150) (int_range 1 60))
+    (fun seqs ->
+      let store = Log_store.create ~retention:Log_store.Keep_all () in
+      let oracle = ref IntMap.empty in
+      let now = ref 0. in
+      List.iter
+        (fun seq ->
+          now := !now +. 0.01;
+          let fresh =
+            Log_store.add store ~now:!now ~seq ~epoch:0
+              ~payload:(string_of_int seq)
+          in
+          if fresh then
+            oracle :=
+              IntMap.add seq
+                { o_epoch = 0; o_payload = string_of_int seq; o_at = !now }
+                !oracle
+          else if not (IntMap.mem seq !oracle) then
+            QCheck.Test.fail_reportf "dup verdict on unseen %d" seq;
+          match compare_state store ~now:!now !oracle with
+          | None -> ()
+          | Some msg -> QCheck.Test.fail_reportf "%s" msg)
+        seqs;
+      true)
+
+(* Keep_for with an advancing clock: the oracle expires entries whose
+   lifetime has lapsed whenever the store is asked to.  Comparisons run
+   right after each explicit [expire], when both sides have dropped
+   exactly the same set. *)
+let prop_keep_for =
+  QCheck.Test.make ~count:200
+    ~name:"log_store: Keep_for = Map with timestamps"
+    QCheck.(
+      list_of_size
+        Gen.(5 -- 120)
+        (pair (int_range 0 9) (int_range 1 40)))
+    (fun cmds ->
+      let life = 1.0 in
+      let store = Log_store.create ~retention:(Log_store.Keep_for life) () in
+      let oracle = ref IntMap.empty in
+      let cur = ref 5 in
+      let now = ref 0. in
+      let expire_oracle () =
+        oracle := IntMap.filter (fun _ o -> !now -. o.o_at <= life) !oracle
+      in
+      List.iter
+        (fun (op, arg) ->
+          if op <= 5 then begin
+            (* forward add after a small clock step *)
+            now := !now +. (0.01 *. float_of_int arg);
+            cur := !cur + 1 + (arg mod 3);
+            let fresh =
+              Log_store.add store ~now:!now ~seq:!cur ~epoch:1
+                ~payload:(string_of_int !cur)
+            in
+            assert fresh;
+            oracle :=
+              IntMap.add !cur
+                { o_epoch = 1; o_payload = string_of_int !cur; o_at = !now }
+                !oracle
+          end
+          else if op <= 7 then begin
+            (* lookup mirrors the store's lazy purge on expired hits *)
+            let s = Stdlib.max 1 (!cur - arg) in
+            let got = Log_store.get store ~now:!now s in
+            let want =
+              match IntMap.find_opt s !oracle with
+              | Some o when !now -. o.o_at <= life -> Some o
+              | Some _ ->
+                  oracle := IntMap.remove s !oracle;
+                  None
+              | None -> None
+            in
+            match (got, want) with
+            | None, None -> ()
+            | Some e, Some o when e.Log_store.payload = o.o_payload -> ()
+            | _ -> QCheck.Test.fail_reportf "get %d diverged" s
+          end
+          else begin
+            (* jump the clock and expire both sides *)
+            now := !now +. (0.1 *. float_of_int arg);
+            ignore (Log_store.expire store ~now:!now);
+            expire_oracle ();
+            match compare_state store ~now:!now !oracle with
+            | None -> ()
+            | Some msg -> QCheck.Test.fail_reportf "after expire: %s" msg
+          end)
+        cmds;
+      true)
+
+(* ---- Gap_tracker vs sorted-set oracle across the wrap ----------------- *)
+
+(* Oracle in absolute positions; the tracker sees them reduced through
+   [Seqno.of_int].  The base sits just under [Seqno.space], so streams
+   longer than ~60 positions cross the wrap boundary. *)
+type gap_oracle = { mutable o_hi : int option; mutable o_missing : IntSet.t }
+
+let o_note o pos =
+  match o.o_hi with
+  | None ->
+      o.o_hi <- Some pos;
+      Gap_tracker.First
+  | Some hi ->
+      if pos > hi then begin
+        let gap = List.init (pos - hi - 1) (fun i -> hi + 1 + i) in
+        List.iter (fun p -> o.o_missing <- IntSet.add p o.o_missing) gap;
+        o.o_hi <- Some pos;
+        if gap = [] then Gap_tracker.In_order
+        else Gap_tracker.Gap_opened (List.map Seqno.of_int gap)
+      end
+      else if IntSet.mem pos o.o_missing then begin
+        o.o_missing <- IntSet.remove pos o.o_missing;
+        Gap_tracker.Fills_gap
+      end
+      else Gap_tracker.Duplicate
+
+let o_note_exists o pos =
+  match o.o_hi with
+  | None ->
+      o.o_hi <- Some pos;
+      o.o_missing <- IntSet.add pos o.o_missing;
+      [ Seqno.of_int pos ]
+  | Some hi ->
+      if pos > hi then begin
+        let gap = List.init (pos - hi) (fun i -> hi + 1 + i) in
+        List.iter (fun p -> o.o_missing <- IntSet.add p o.o_missing) gap;
+        o.o_hi <- Some pos;
+        List.map Seqno.of_int gap
+      end
+      else []
+
+let verdict_eq (a : Gap_tracker.verdict) (b : Gap_tracker.verdict) =
+  match (a, b) with
+  | Gap_tracker.First, Gap_tracker.First
+  | Gap_tracker.In_order, Gap_tracker.In_order
+  | Gap_tracker.Fills_gap, Gap_tracker.Fills_gap
+  | Gap_tracker.Duplicate, Gap_tracker.Duplicate ->
+      true
+  | Gap_tracker.Gap_opened xs, Gap_tracker.Gap_opened ys ->
+      List.equal Int.equal xs ys
+  | _ -> false
+
+let o_missing_list o =
+  List.map Seqno.of_int (IntSet.elements o.o_missing)
+
+let prop_gap_tracker =
+  QCheck.Test.make ~count:300
+    ~name:"gap_tracker = sorted-set oracle across seqno wrap"
+    QCheck.(
+      list_of_size
+        Gen.(5 -- 100)
+        (pair (int_range 0 9) (int_range 0 119)))
+    (fun cmds ->
+      let base = Seqno.space - 60 in
+      let t = Gap_tracker.create () in
+      let o = { o_hi = None; o_missing = IntSet.empty } in
+      List.iter
+        (fun (op, off) ->
+          let pos = base + off in
+          let s = Seqno.of_int pos in
+          (if op <= 5 then begin
+             let got = Gap_tracker.note t s in
+             let want = o_note o pos in
+             if not (verdict_eq got want) then
+               QCheck.Test.fail_reportf "note %d verdict diverged" pos
+           end
+           else if op <= 7 then begin
+             let got = Gap_tracker.note_exists t s in
+             let want = o_note_exists o pos in
+             if not (List.equal Int.equal got want) then
+               QCheck.Test.fail_reportf "note_exists %d diverged" pos
+           end
+           else if op = 8 then begin
+             Gap_tracker.abandon t s;
+             o.o_missing <- IntSet.remove pos o.o_missing
+           end
+           else begin
+             let got = Gap_tracker.forget_below t s in
+             let dropped = IntSet.filter (fun p -> p < pos) o.o_missing in
+             o.o_missing <- IntSet.diff o.o_missing dropped;
+             let want = List.map Seqno.of_int (IntSet.elements dropped) in
+             if not (List.equal Int.equal got want) then
+               QCheck.Test.fail_reportf "forget_below %d diverged" pos
+           end);
+          if not (List.equal Int.equal (Gap_tracker.missing t) (o_missing_list o))
+          then QCheck.Test.fail_reportf "missing set diverged after %d" pos;
+          if Gap_tracker.missing_count t <> IntSet.cardinal o.o_missing then
+            QCheck.Test.fail_reportf "missing_count diverged";
+          if Gap_tracker.highest t <> Option.map Seqno.of_int o.o_hi then
+            QCheck.Test.fail_reportf "highest diverged")
+        cmds;
+      true)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "log_store",
+        [ qtest prop_keep_all; qtest prop_keep_last; qtest prop_keep_for ] );
+      ("gap_tracker", [ qtest prop_gap_tracker ]);
+    ]

@@ -21,7 +21,7 @@ let mk_runtime () =
   let engine = Engine.create ~seed:71 () in
   let net = Net.create ~engine ~topo ~size_of:Message.wire_size () in
   let trace = Trace.create () in
-  (Sim_runtime.create ~net ~trace, hosts)
+  (Sim_runtime.create ~net ~trace (), hosts)
 
 let null_handlers ?(on_timer = fun ~now:_ _ -> []) () =
   {

@@ -181,6 +181,22 @@ let chaos_same_seed_same_trace () =
   checkb "different seed, different trace" true
     (a.Chaos.digest <> c.Chaos.digest)
 
+let chaos_same_seed_same_jsonl () =
+  (* The typed trace stream inherits the same determinism guarantee:
+     equal seeds produce byte-identical JSONL exports of the merged
+     per-node event stream, down to float formatting. *)
+  let module Chaos = Lbrm_run.Chaos in
+  let jsonl o = Lbrm.Trace.jsonl_of_records o.Chaos.events in
+  let a = Chaos.primary_crash ~seed:11 () in
+  let b = Chaos.primary_crash ~seed:11 () in
+  Alcotest.(check string) "same seed, byte-identical JSONL" (jsonl a) (jsonl b);
+  checkb "trace is non-trivial" true (List.length a.Chaos.events > 100);
+  (* primary_crash runs loss-free, so its typed stream is seed-invariant;
+     the lossy secondary_crash scenario shows seed sensitivity. *)
+  let c = Chaos.secondary_crash ~seed:11 () in
+  let d = Chaos.secondary_crash ~seed:12 () in
+  checkb "different seed, different JSONL" true (jsonl c <> jsonl d)
+
 let () =
   Alcotest.run "soak"
     [
@@ -199,5 +215,7 @@ let () =
             chaos_random_soak;
           Alcotest.test_case "same seed, same metric trace" `Quick
             chaos_same_seed_same_trace;
+          Alcotest.test_case "same seed, byte-identical trace JSONL" `Quick
+            chaos_same_seed_same_jsonl;
         ] );
     ]
