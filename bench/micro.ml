@@ -22,6 +22,9 @@
    - protocol_recovery: full protocol macro — source -> loggers -> 1k
                         receivers on lossy tails, recovery via
                         NACK/retransmission
+   - population_1m:     1,000,000 modeled receivers (64 sites x 15625
+                        aggregate members) recovering losses behind
+                        lossy tails, tracer-validated
    - chaos_failover:    scripted fault drills (primary-logger crash,
                         secondary crash under loss) reporting fail-over
                         and rediscovery latency *)
@@ -268,14 +271,65 @@ let bench_churn ~ops () =
     (* Drain so in-flight packets don't pile up across iterations. *)
     Engine.run engine
   done;
+  let hits = Net.mcast_cache_hits net in
+  let builds = Net.mcast_tree_builds net in
   let extra =
     [
       ("events", float_of_int (Engine.events_processed engine));
       ("cache_size", float_of_int (Net.mcast_cache_size net));
-      ("tree_builds", float_of_int (Net.mcast_tree_builds net));
+      ("tree_builds", float_of_int builds);
+      ( "cache_hit_rate",
+        float_of_int hits /. float_of_int (Stdlib.max 1 (hits + builds)) );
     ]
   in
   (ops, extra)
+
+(* ---- aggregate populations: 1M+ modeled receivers -------------------- *)
+
+(* The tentpole scale test: [sites] aggregate populations of [members]
+   receivers each (64 x 15625 = 1,000,000 in the full run) behind lossy
+   tail circuits, driven through a full lossy-recovery workload.  Ops =
+   modeled receiver-packet deliveries — the quantity the statistical
+   aggregation makes cheap; per-packet cost is O(sites + distinct gaps),
+   not O(receivers).  [tracer_agreement_z] is the worst per-site
+   z-statistic of the tracer receivers against the aggregate draws
+   (low single digits = the joint sampler is honest), and [heap_mb]
+   pins the bounded-memory claim into the results file. *)
+let bench_population ~sites ~members ~packets () =
+  let module SP = Lbrm_sim.Site_population in
+  let module Population = Lbrm_run.Population in
+  let interval = 0.1 in
+  let d =
+    Scenario.standard ~seed:13
+      ~initial_estimate:(float_of_int (sites * members))
+      ~tail_loss:(fun _site -> Loss.bernoulli 0.01)
+      ~site_population:(Scenario.population_spec ~members ~lan_loss:0.005 ())
+      ~sites ~receivers_per_site:0 ()
+  in
+  Scenario.drive_periodic d ~interval ~count:packets ();
+  Scenario.run d ~until:((float_of_int packets +. 1.) *. interval +. 60.);
+  let fold f init =
+    Array.fold_left
+      (fun acc (p, _) -> f acc (Population.model p))
+      init d.Scenario.populations
+  in
+  let delivered = fold (fun a m -> a + SP.delivered m) 0 in
+  let max_z =
+    fold (fun a m -> Float.max a (Float.abs (SP.agreement_z m))) 0.
+  in
+  let heap_mb =
+    float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * 8) /. 1e6
+  in
+  ( delivered,
+    [
+      ("modeled_receivers", float_of_int (sites * members));
+      ("packets", float_of_int packets);
+      ("recovered", float_of_int (fold (fun a m -> a + SP.recovered m) 0));
+      ("missing", float_of_int (fold (fun a m -> a + SP.missing m) 0));
+      ("gave_up", float_of_int (fold (fun a m -> a + SP.gave_up m) 0));
+      ("tracer_agreement_z", max_z);
+      ("heap_mb", heap_mb);
+    ] )
 
 (* ---- chaos: fail-over and rediscovery under injected faults ---------- *)
 
@@ -360,6 +414,9 @@ let () =
   run_bench ~reps:(if smoke then 1 else 2) ~name:"protocol_recovery_traced"
     (bench_recovery_traced ~sites:50 ~receivers_per_site:20
        ~packets:(scale 200));
+  run_bench ~reps:1 ~name:"population_1m"
+    (bench_population ~sites:64 ~members:(scale 15_625)
+       ~packets:(if smoke then 10 else 60));
   (* Fixed-size drills: the virtual-time schedules are part of the
      scenario, so there is nothing to scale down for smoke. *)
   run_bench ~reps:1 ~name:"chaos_failover" bench_chaos;

@@ -15,16 +15,22 @@ open Cmdliner
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate sites receivers loss packets interval seed stat_ack duration =
+let simulate sites receivers loss packets interval seed stat_ack duration
+    population mcast_cache =
   let cfg =
     { Lbrm.Config.default with stat_ack_enabled = stat_ack }
+  in
+  let site_population =
+    if population > 0 then
+      Some (Lbrm_run.Scenario.population_spec ~members:population ())
+    else None
   in
   let d =
     Lbrm_run.Scenario.standard ~cfg ~seed ~sites ~receivers_per_site:receivers
       ~initial_estimate:(float_of_int sites)
       ~tail_loss:(fun _ ->
         if loss > 0. then Lbrm_sim.Loss.bernoulli loss else Lbrm_sim.Loss.none)
-      ()
+      ?site_population ?mcast_cache ()
   in
   Lbrm_run.Scenario.drive_periodic d ~interval ~count:packets ();
   Lbrm_run.Scenario.run d ~until:duration;
@@ -35,11 +41,38 @@ let simulate sites receivers loss packets interval seed stat_ack duration =
     Array.for_all
       (fun (r, _) -> Lbrm.Receiver.delivered r = packets)
       d.receivers
+    && Array.for_all
+         (fun (p, _) ->
+           Lbrm_sim.Site_population.known (Lbrm_run.Population.model p)
+           = packets)
+         d.populations
   in
   Printf.printf "complete delivery everywhere: %b\n"
     (complete && Lbrm_run.Scenario.total_missing d = 0);
   Printf.printf "still missing               : %d\n"
     (Lbrm_run.Scenario.total_missing d);
+  if Array.length d.populations > 0 then begin
+    let module SP = Lbrm_sim.Site_population in
+    let fold f init =
+      Array.fold_left
+        (fun acc (p, _) -> f acc (Lbrm_run.Population.model p))
+        init d.populations
+    in
+    Printf.printf "modeled receivers           : %d\n"
+      (population * Array.length d.populations);
+    Printf.printf "aggregate deliveries        : %d (%d recovered)\n"
+      (fold (fun a m -> a + SP.delivered m) 0)
+      (fold (fun a m -> a + SP.recovered m) 0);
+    Printf.printf "tracer agreement max |z|    : %.3f\n"
+      (fold (fun a m -> Float.max a (Float.abs (SP.agreement_z m))) 0.)
+  end;
+  let net = Lbrm_run.Sim_runtime.net d.runtime in
+  Printf.printf "mcast tree cache            : %d/%d entries, %d hits, %d \
+                 builds\n"
+    (Lbrm_sim.Net.mcast_cache_size net)
+    (Lbrm_sim.Net.mcast_cache_cap net)
+    (Lbrm_sim.Net.mcast_cache_hits net)
+    (Lbrm_sim.Net.mcast_tree_builds net);
   print_newline ();
   Format.printf "%a@." Lbrm_sim.Trace.pp (Lbrm_run.Scenario.trace d);
   if complete then 0 else 1
@@ -75,11 +108,29 @@ let simulate_cmd =
       value & opt float 120.
       & info [ "duration" ] ~doc:"Virtual seconds to simulate.")
   in
+  let population =
+    Arg.(
+      value & opt int 0
+      & info [ "population" ] ~docv:"N"
+          ~doc:
+            "Additionally model $(docv) aggregate receivers per site (with \
+             tracer cross-checks) — scales a run to millions of receivers \
+             without per-receiver agents.  0 disables.")
+  in
+  let mcast_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mcast-cache" ] ~docv:"ENTRIES"
+          ~doc:
+            "Pruned multicast-tree cache capacity (default 512); trees are \
+             keyed by (source, membership fingerprint) and evicted LRU.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run an LBRM deployment on the simulated WAN")
     Term.(
       const simulate $ sites $ receivers $ loss $ packets $ interval $ seed
-      $ stat_ack $ duration)
+      $ stat_ack $ duration $ population $ mcast_cache)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -150,26 +201,33 @@ let chaos_cmd =
 (* Reconstruct, from the merged typed trace of a scripted scenario, the
    causal chain of every loss: gap detection -> NACK -> logger
    retransmission -> delivery, plus recovery-latency percentiles. *)
-let trace_scenario name seed jsonl_path =
+let trace_scenario name seed jsonl_path ring_size =
   let module C = Lbrm_run.Chaos in
   let module T = Lbrm.Trace in
   let module Tl = Lbrm.Timeline in
-  let events =
+  let run_lossy sink =
+    let d =
+      Lbrm_run.Scenario.standard ~seed ~initial_estimate:50.
+        ~tail_loss:(fun _ -> Lbrm_sim.Loss.bernoulli 0.05)
+        ~sink ~sites:50 ~receivers_per_site:1 ()
+    in
+    Lbrm_run.Scenario.drive_periodic d ~interval:0.1 ~count:40 ();
+    Lbrm_run.Scenario.run d ~until:30.
+  in
+  (* events, plus (dropped, capacity) when a bounded ring recorded them *)
+  let events, ring_drops =
     match name with
-    | "primary-crash" -> (C.primary_crash ~seed ()).C.events
-    | "secondary-crash" -> (C.secondary_crash ~seed ()).C.events
-    | "partition-heal" -> (C.partition_heal ~seed ()).C.events
+    | "primary-crash" -> ((C.primary_crash ~seed ()).C.events, None)
+    | "secondary-crash" -> ((C.secondary_crash ~seed ()).C.events, None)
+    | "partition-heal" -> ((C.partition_heal ~seed ()).C.events, None)
+    | "lossy" when ring_size > 0 ->
+        let ring = T.Ring.create ~capacity:ring_size in
+        run_lossy (T.Ring.sink ring);
+        (T.Ring.records ring, Some (T.Ring.dropped ring, T.Ring.capacity ring))
     | "lossy" ->
         let collector = T.Collector.create () in
-        let d =
-          Lbrm_run.Scenario.standard ~seed ~initial_estimate:50.
-            ~tail_loss:(fun _ -> Lbrm_sim.Loss.bernoulli 0.05)
-            ~sink:(T.Collector.sink collector)
-            ~sites:50 ~receivers_per_site:1 ()
-        in
-        Lbrm_run.Scenario.drive_periodic d ~interval:0.1 ~count:40 ();
-        Lbrm_run.Scenario.run d ~until:30.;
-        T.Collector.records collector
+        run_lossy (T.Collector.sink collector);
+        (T.Collector.records collector, None)
     | other ->
         Printf.eprintf
           "unknown scenario %S (expected primary-crash, secondary-crash, \
@@ -177,6 +235,15 @@ let trace_scenario name seed jsonl_path =
           other;
         exit 2
   in
+  (* A full ring silently truncates history — surface it loudly, since
+     timelines built from a clipped window miss gap/NACK causes. *)
+  (match ring_drops with
+  | Some (dropped, capacity) when dropped > 0 ->
+      Printf.printf
+        "warning: %d trace events dropped (ring capacity %d) — oldest \
+         events lost, timelines may be incomplete; raise --ring-size\n"
+        dropped capacity
+  | _ -> ());
   (match jsonl_path with
   | Some path ->
       let oc = open_out path in
@@ -228,12 +295,22 @@ let trace_cmd =
       & info [ "jsonl" ] ~docv:"FILE"
           ~doc:"Also dump the merged trace as JSON Lines to $(docv).")
   in
+  let ring_size =
+    Arg.(
+      value & opt int 0
+      & info [ "ring-size" ] ~docv:"N"
+          ~doc:
+            "Record the lossy scenario through a bounded flight-recorder \
+             ring of $(docv) events instead of an unbounded collector; a \
+             warning reports any events the ring overwrote.  0 (default) \
+             keeps everything.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a scripted scenario with tracing enabled and print the \
           causal recovery timeline of every loss")
-    Term.(const trace_scenario $ scenario $ seed $ jsonl)
+    Term.(const trace_scenario $ scenario $ seed $ jsonl $ ring_size)
 
 (* ------------------------------------------------------------------ *)
 (* udp                                                                 *)

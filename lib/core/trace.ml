@@ -46,6 +46,8 @@ type event =
   | Epoch_settled of { epoch : int; expected : int; p_ack : float }
   | Stat_feedback of { seq : seq; missing : int; expected : int }
   | Silence of { elapsed : float }
+  | Pop_arrival of { seq : seq; members : int; missed : int }
+  | Pop_repair of { seq : seq; repaired : int; remaining : int }
 
 type record = { at : float; node : address; ev : event }
 
@@ -209,6 +211,16 @@ let event_fields buf ev =
            missing expected)
   | Silence { elapsed } ->
       add (Printf.sprintf {|"ev":"silence","elapsed":%s|} (float_field elapsed))
+  | Pop_arrival { seq; members; missed } ->
+      add
+        (Printf.sprintf
+           {|"ev":"pop_arrival","seq":%d,"members":%d,"missed":%d|} seq
+           members missed)
+  | Pop_repair { seq; repaired; remaining } ->
+      add
+        (Printf.sprintf
+           {|"ev":"pop_repair","seq":%d,"repaired":%d,"remaining":%d|} seq
+           repaired remaining)
 
 let add_jsonl buf r =
   Buffer.add_string buf

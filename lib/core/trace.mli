@@ -64,6 +64,14 @@ type event =
   | Epoch_settled of { epoch : int; expected : int; p_ack : float }
   | Stat_feedback of { seq : seq; missing : int; expected : int }
   | Silence of { elapsed : float }  (** MaxIT passed with nothing heard *)
+  | Pop_arrival of { seq : seq; members : int; missed : int }
+      (** an aggregate site population was offered a fresh payload:
+          [members] receivers modeled, [missed] sampled as losing it —
+          the multiplicity that individual-receiver events carry
+          implicitly *)
+  | Pop_repair of { seq : seq; repaired : int; remaining : int }
+      (** a repair round over a population gap: [repaired] receivers
+          recovered, [remaining] still missing *)
 
 type record = { at : float; node : address; ev : event }
 

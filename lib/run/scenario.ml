@@ -2,10 +2,17 @@ module Builders = Lbrm_sim.Builders
 module Engine = Lbrm_sim.Engine
 module Net = Lbrm_sim.Net
 module Trace = Lbrm_sim.Trace
+module Site_population = Lbrm_sim.Site_population
 module Message = Lbrm_wire.Message
 module Rng = Lbrm_util.Rng
 
 type node_id = Lbrm_sim.Topo.node_id
+
+type population_spec = { members : int; tracers : int; lan_loss : float }
+
+let population_spec ?(tracers = 2) ?(lan_loss = 0.005) ~members () =
+  assert (members >= 1 && tracers >= 0 && tracers <= members);
+  { members; tracers; lan_loss }
 
 type deployment = {
   runtime : Sim_runtime.t;
@@ -18,6 +25,10 @@ type deployment = {
   mutable replicas : (Lbrm.Logger.t * node_id) list;
   secondaries : (Lbrm.Logger.t * node_id) array;
   receivers : (Lbrm.Receiver.t * node_id) array;
+  (* aggregate per-site receiver populations, index = site ([||] unless
+     requested), with their tracer cross-check receivers site-major *)
+  populations : (Population.t * node_id) array;
+  tracer_receivers : (Lbrm.Receiver.t * node_id) array;
   (* regional (mid-tier) loggers, when a hierarchy was requested *)
   regionals : (Lbrm.Logger.t * node_id) list;
   (* per-receiver delivered seqs, for completeness checks *)
@@ -28,14 +39,20 @@ type deployment = {
 
 let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     ?initial_estimate ?backbone_delay ?tail_loss ?on_deliver ?on_notice
-    ?on_source_notice ?(logging = `Distributed) ?sink ?agent_metrics ~sites
-    ~receivers_per_site () =
+    ?on_source_notice ?(logging = `Distributed) ?sink ?agent_metrics
+    ?site_population ?mcast_cache ~sites ~receivers_per_site () =
   assert (sites > 0 && receivers_per_site >= 0);
   let delivered_table = Hashtbl.create 64 in
   let reserved = 3 + replica_count in
+  (* Populated sites append one aggregate-population host plus its
+     tracer hosts after the individual receivers. *)
+  let pop_base = reserved + receivers_per_site in
+  let pop_hosts =
+    match site_population with None -> 0 | Some s -> 1 + s.tracers
+  in
   let wan =
     Builders.dis_wan ?backbone_delay ~sites
-      ~hosts_per_site:(reserved + receivers_per_site) ()
+      ~hosts_per_site:(pop_base + pop_hosts) ()
   in
   (match tail_loss with
   | None -> ()
@@ -46,7 +63,8 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
         wan.sites);
   let engine = Engine.create ~seed () in
   let net =
-    Net.create ~engine ~topo:wan.topo ~size_of:Message.wire_size ()
+    Net.create ?mcast_cache_size:mcast_cache ~engine ~topo:wan.topo
+      ~size_of:Message.wire_size ()
   in
   let trace = Trace.create () in
   let runtime = Sim_runtime.create ?agent_metrics ~net ~trace () in
@@ -105,6 +123,56 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
                   (r, node)))
             (Array.to_list wan.sites)))
   in
+  let site_hierarchy site =
+    match logging with
+    | `Centralized -> [ primary_node ]
+    | `Distributed -> [ site.Builders.hosts.(0); primary_node ]
+  in
+  let tracer_nodes_of site spec =
+    Array.init spec.tracers (fun j -> site.Builders.hosts.(pop_base + 1 + j))
+  in
+  (* Aggregate populations: one protocol agent per site standing in for
+     [members] receivers, plus [tracers] real cross-check receivers fed
+     via Sim_runtime.inject with exactly the loss outcomes the model
+     sampled for them.  All Rng splits here are guarded by the option so
+     population-free deployments stay bit-identical to before. *)
+  let populations, tracer_receivers =
+    match site_population with
+    | None -> ([||], [||])
+    | Some spec ->
+        let rows =
+          List.init sites (fun site_idx ->
+              let site = wan.sites.(site_idx) in
+              let node = site.Builders.hosts.(pop_base) in
+              let tracer_nodes = tracer_nodes_of site spec in
+              let hierarchy = site_hierarchy site in
+              let model =
+                Site_population.create ~tracers:spec.tracers
+                  ~size:spec.members ~lan_loss:spec.lan_loss
+                  ~rng:(Rng.split rng) ()
+              in
+              let p =
+                Population.create ?sink ~cfg ~self:node ~source:source_node
+                  ~loggers:hierarchy ~model
+                  ~on_feed:(fun ~tracer ~now:_ ~src msg ->
+                    Sim_runtime.inject runtime ~node:tracer_nodes.(tracer)
+                      ~src msg)
+                  ()
+              in
+              let ts =
+                Array.to_list
+                  (Array.map
+                     (fun tnode ->
+                       ( Lbrm.Receiver.create ?sink cfg ~self:tnode
+                           ~source:source_node ~loggers:hierarchy,
+                         tnode ))
+                     tracer_nodes)
+              in
+              ((p, node), ts))
+        in
+        ( Array.of_list (List.map fst rows),
+          Array.of_list (List.concat_map snd rows) )
+  in
   (* Install agents. *)
   Sim_runtime.add_agent runtime ~node:source_node
     (Handlers.of_source ?on_notice:on_source_notice source);
@@ -131,8 +199,29 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
       Sim_runtime.add_agent runtime ~node
         (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r))
     receivers;
+  Array.iter
+    (fun (p, node) ->
+      let notice = Option.map (fun f ~now n -> f node ~now n) on_notice in
+      Sim_runtime.add_agent runtime ~node (Population.handlers ?on_notice:notice p))
+    populations;
+  Array.iter
+    (fun (r, node) ->
+      let seen = Hashtbl.create 64 in
+      Hashtbl.replace delivered_table node seen;
+      let deliver ~now ~seq ~payload ~recovered =
+        Hashtbl.replace seen seq ();
+        match on_deliver with
+        | Some f -> f node ~now ~seq ~payload ~recovered
+        | None -> ()
+      in
+      let notice = Option.map (fun f ~now n -> f node ~now n) on_notice in
+      Sim_runtime.add_agent runtime ~node
+        (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r))
+    tracer_receivers;
   (* Group membership: loggers and receivers listen on the data group;
-     loggers answer discovery. *)
+     loggers answer discovery.  Population agents listen on the data
+     group for their whole site; tracer receivers join nothing — they
+     see multicast traffic only through the population's sampled feed. *)
   let join_data node = Sim_runtime.join runtime ~group:cfg.group ~node in
   let join_disc node =
     Sim_runtime.join runtime ~group:cfg.discovery_group ~node
@@ -150,6 +239,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
       join_disc node)
     secondaries;
   Array.iter (fun (_, node) -> join_data node) receivers;
+  Array.iter (fun (_, node) -> join_data node) populations;
   (* Kick everything off. *)
   let now = Engine.now engine in
   Sim_runtime.perform runtime ~node:source_node
@@ -158,6 +248,14 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     (fun (r, node) ->
       Sim_runtime.perform runtime ~node (Lbrm.Receiver.start r ~now))
     receivers;
+  Array.iter
+    (fun (p, node) ->
+      Sim_runtime.perform runtime ~node (Population.start p ~now))
+    populations;
+  Array.iter
+    (fun (r, node) ->
+      Sim_runtime.perform runtime ~node (Lbrm.Receiver.start r ~now))
+    tracer_receivers;
   let d =
     {
       runtime;
@@ -170,6 +268,8 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
       replicas;
       secondaries;
       receivers;
+      populations;
+      tracer_receivers;
       regionals = [];
       delivered = delivered_table;
       rebuilders = Hashtbl.create 16;
@@ -253,6 +353,74 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
           Sim_runtime.perform runtime ~node
             (Lbrm.Receiver.start r ~now:(Sim_runtime.now runtime))))
     receivers;
+  (match site_population with
+  | None -> ()
+  | Some spec ->
+      (* A restarted population rejoins from scratch: fresh model (the
+         crashed process's aggregate state is soft), fresh tracers. *)
+      Array.iteri
+        (fun site_idx (_, node) ->
+          let site = wan.sites.(site_idx) in
+          let tracer_nodes = tracer_nodes_of site spec in
+          Hashtbl.replace d.rebuilders node (fun () ->
+              let hierarchy =
+                match logging with
+                | `Centralized -> [ current_primary () ]
+                | `Distributed ->
+                    [ site.Builders.hosts.(0); current_primary () ]
+              in
+              let model =
+                Site_population.create ~tracers:spec.tracers
+                  ~size:spec.members ~lan_loss:spec.lan_loss
+                  ~rng:(Rng.split fault_rng) ()
+              in
+              let p =
+                Population.create ?sink ~cfg ~self:node ~source:source_node
+                  ~loggers:hierarchy ~model
+                  ~on_feed:(fun ~tracer ~now:_ ~src msg ->
+                    Sim_runtime.inject runtime ~node:tracer_nodes.(tracer)
+                      ~src msg)
+                  ()
+              in
+              d.populations.(site_idx) <- (p, node);
+              let notice =
+                Option.map (fun f ~now n -> f node ~now n) on_notice
+              in
+              Sim_runtime.replace_agent runtime ~node
+                (Population.handlers ?on_notice:notice p);
+              Sim_runtime.perform runtime ~node
+                (Population.start p ~now:(Sim_runtime.now runtime))))
+        populations;
+      Array.iteri
+        (fun i (_, node) ->
+          let site = wan.sites.(i / Stdlib.max 1 spec.tracers) in
+          Hashtbl.replace d.rebuilders node (fun () ->
+              let hierarchy =
+                match logging with
+                | `Centralized -> [ current_primary () ]
+                | `Distributed ->
+                    [ site.Builders.hosts.(0); current_primary () ]
+              in
+              let r =
+                Lbrm.Receiver.create ?sink cfg ~self:node
+                  ~source:source_node ~loggers:hierarchy
+              in
+              d.tracer_receivers.(i) <- (r, node);
+              let seen = Hashtbl.find delivered_table node in
+              let deliver ~now ~seq ~payload ~recovered =
+                Hashtbl.replace seen seq ();
+                match on_deliver with
+                | Some f -> f node ~now ~seq ~payload ~recovered
+                | None -> ()
+              in
+              let notice =
+                Option.map (fun f ~now n -> f node ~now n) on_notice
+              in
+              Sim_runtime.replace_agent runtime ~node
+                (Handlers.of_receiver ~on_deliver:deliver ?on_notice:notice r);
+              Sim_runtime.perform runtime ~node
+                (Lbrm.Receiver.start r ~now:(Sim_runtime.now runtime))))
+        tracer_receivers);
   d
 
 let crash d ~node =
@@ -323,17 +491,35 @@ let run d ~until = Sim_runtime.run ~until d.runtime
 let trace d = Sim_runtime.trace d.runtime
 
 let delivered_everywhere d seq =
-  Array.for_all
-    (fun (_, node) ->
-      match Hashtbl.find_opt d.delivered node with
-      | Some seen -> Hashtbl.mem seen seq
-      | None -> false)
-    d.receivers
+  let seen_at (_, node) =
+    match Hashtbl.find_opt d.delivered node with
+    | Some seen -> Hashtbl.mem seen seq
+    | None -> false
+  in
+  Array.for_all seen_at d.receivers
+  && Array.for_all seen_at d.tracer_receivers
+  && Array.for_all
+       (fun (p, _) ->
+         Site_population.is_fully_delivered (Population.model p) ~seq)
+       d.populations
 
 let total_missing d =
-  Array.fold_left
-    (fun acc (r, _) -> acc + List.length (Lbrm.Receiver.missing r))
-    0 d.receivers
+  let individual =
+    Array.fold_left
+      (fun acc (r, _) -> acc + List.length (Lbrm.Receiver.missing r))
+      0 d.receivers
+  in
+  let tracer =
+    Array.fold_left
+      (fun acc (r, _) -> acc + List.length (Lbrm.Receiver.missing r))
+      0 d.tracer_receivers
+  in
+  let aggregate =
+    Array.fold_left
+      (fun acc (p, _) -> acc + Population.missing p)
+      0 d.populations
+  in
+  individual + tracer + aggregate
 
 (* A three-level logger hierarchy (the paper's Â§7 "multi-level hierarchy
    of logging servers" future-work item): receivers NACK their site
@@ -464,6 +650,8 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
     replicas = [];
     secondaries;
     receivers;
+    populations = [||];
+    tracer_receivers = [||];
     regionals;
     delivered = delivered_table;
     (* no restart support in the hierarchical builder (yet): restarted

@@ -8,6 +8,16 @@
 
 type node_id = Lbrm_sim.Topo.node_id
 
+type population_spec = { members : int; tracers : int; lan_loss : float }
+(** Aggregate per-site receiver population (see
+    {!Lbrm_sim.Site_population}): [members] modeled receivers per site,
+    [tracers] of them cross-checked by real {!Lbrm.Receiver} machines,
+    [lan_loss] independent per-receiver LAN loss probability. *)
+
+val population_spec :
+  ?tracers:int -> ?lan_loss:float -> members:int -> unit -> population_spec
+(** Defaults: 2 tracers, 0.5% LAN loss. *)
+
 type deployment = {
   runtime : Sim_runtime.t;
   wan : Lbrm_sim.Builders.wan;
@@ -22,6 +32,12 @@ type deployment = {
   mutable replicas : (Lbrm.Logger.t * node_id) list;
   secondaries : (Lbrm.Logger.t * node_id) array;  (** index = site *)
   receivers : (Lbrm.Receiver.t * node_id) array;
+  populations : (Population.t * node_id) array;
+      (** aggregate site populations, index = site ([||] unless
+          [site_population] was given) *)
+  tracer_receivers : (Lbrm.Receiver.t * node_id) array;
+      (** the populations' tracer cross-check receivers, site-major
+          ([tracers] per site) *)
   regionals : (Lbrm.Logger.t * node_id) list;
       (** mid-tier loggers (only from {!hierarchical}) *)
   delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
@@ -49,6 +65,8 @@ val standard :
   ?logging:[ `Distributed | `Centralized ] ->
   ?sink:Lbrm.Trace.sink ->
   ?agent_metrics:bool ->
+  ?site_population:population_spec ->
+  ?mcast_cache:int ->
   sites:int ->
   receivers_per_site:int ->
   unit ->
@@ -66,7 +84,16 @@ val standard :
     state machine (including rebuilders' fresh instances), so its
     stream merges all nodes' typed trace events; [agent_metrics]
     enables per-node {!Lbrm_util.Metrics} registries in the runtime.
-    All agents are started. *)
+
+    [site_population] additionally deploys, at {e every} site, one
+    {!Population} agent modeling [members] receivers in aggregate plus
+    its tracer receivers (hosts appended after the individual
+    receivers); populations join the data group, coexist with full
+    per-receiver agents, and survive crash/restart via rebuilders
+    (restart = fresh model, true rejoin).  Population-free deployments
+    are bit-identical to before the option existed.  [mcast_cache] caps
+    the network's pruned multicast-tree cache
+    ({!Lbrm_sim.Net.create}).  All agents are started. *)
 
 val hierarchical :
   ?cfg:Lbrm.Config.t ->
@@ -148,7 +175,10 @@ val trace : deployment -> Lbrm_sim.Trace.t
 
 val delivered_everywhere : deployment -> Lbrm_util.Seqno.t -> bool
 (** Every receiver has the payload with that sequence number (checked
-    via per-receiver delivery bookkeeping). *)
+    via per-receiver delivery bookkeeping), every tracer receiver too,
+    and every aggregate population reports it fully delivered. *)
 
 val total_missing : deployment -> int
-(** Sum of currently missing packets across receivers. *)
+(** Sum of currently missing packets across receivers — individual,
+    tracer, and aggregate (population gaps are multiplicity-weighted:
+    a packet missed by [m] modeled receivers counts [m]). *)

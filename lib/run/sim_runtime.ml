@@ -136,6 +136,17 @@ let add_agent t ~node handlers =
       let actions = handlers.Handlers.on_message ~now:(now t) ~src msg in
       List.iter (execute t agent) actions)
 
+let inject t ~node ~src msg =
+  match Hashtbl.find_opt t.agents node with
+  | None -> ()
+  | Some agent ->
+      Trace.incr t.trace ("recv." ^ Message.kind msg);
+      (match agent.metrics with
+      | Some m -> Metrics.incr (Metrics.counter m ("recv." ^ Message.kind msg))
+      | None -> ());
+      let actions = agent.handlers.Handlers.on_message ~now:(now t) ~src msg in
+      List.iter (execute t agent) actions
+
 let cancel_timers t agent =
   Hashtbl.iter (fun _ timer -> Engine.cancel (engine t) timer) agent.timers;
   Hashtbl.reset agent.timers

@@ -46,6 +46,13 @@ val perform : t -> node:Lbrm_sim.Topo.node_id -> Lbrm.Io.action list -> unit
 (** Execute actions on behalf of an agent — used to kick off machines
     ([Source.start], [Receiver.start]) or to inject application sends. *)
 
+val inject : t -> node:Lbrm_sim.Topo.node_id -> src:Lbrm_wire.Message.address ->
+  Lbrm_wire.Message.t -> unit
+(** Hand a message to the node's agent as if it had arrived off the
+    network from [src] (receive counters included), bypassing link
+    transmission.  Population agents use this to feed their tracer
+    receivers the loss outcomes the aggregate model sampled for them. *)
+
 val join : t -> group:int -> node:Lbrm_sim.Topo.node_id -> unit
 (** Subscribe a node to a multicast group. *)
 

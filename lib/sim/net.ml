@@ -4,11 +4,15 @@ type 'msg handler = now:float -> src:Topo.node_id -> 'msg -> unit
 
    - [g_epoch] counts *actual* membership changes of this group, so a
      join/leave in one group never invalidates another group's cached
-     trees (the old implementation used one global epoch).
-   - [trees] caches the pruned source-rooted tree per source, stamped
-     with the epoch it was built at; a stale entry is rebuilt in place
-     ([Hashtbl.replace]), so the cache holds at most one live tree per
-     (source, group) instead of leaking one per epoch.
+     trees or bitmap.
+   - [g_fp] is an incrementally maintained fingerprint of the current
+     membership (XOR of per-node integer mixes, so join/leave are O(1)
+     updates).  Cached pruned trees are keyed by (source, fingerprint)
+     and verified against a membership-mask snapshot, so a membership
+     state that *recurs* — the common case under churn, where the same
+     few members flap — finds its old tree instead of rebuilding
+     (previously every epoch bump invalidated the single cached tree,
+     making tree_builds track the churn rate one-for-one).
    - [mask] is a byte-per-node membership bitmap rebuilt lazily when
      [mask_epoch] falls behind, making the per-delivery "is the
      arriving node a member?" check an array load instead of a hash
@@ -16,12 +20,19 @@ type 'msg handler = now:float -> src:Topo.node_id -> 'msg -> unit
 type group = {
   members : (Topo.node_id, unit) Hashtbl.t;
   mutable g_epoch : int;
-  trees : (Topo.node_id, cached_tree) Hashtbl.t; (* keyed by source *)
+  mutable g_fp : int; (* XOR of mixed member ids *)
+  (* source -> fingerprint -> cached tree *)
+  trees : (Topo.node_id, (int, cached_tree) Hashtbl.t) Hashtbl.t;
   mutable mask : Bytes.t;
   mutable mask_epoch : int; (* epoch [mask] was built at; -1 = never *)
 }
 
-and cached_tree = { c_epoch : int; c_state : int; tree : Topo.link list array }
+and cached_tree = {
+  c_state : int; (* topology state epoch at build *)
+  c_members : Bytes.t; (* membership mask snapshot (collision guard) *)
+  tree : Topo.link list array;
+  mutable c_used : int; (* LRU stamp *)
+}
 
 type 'msg t = {
   engine : Engine.t;
@@ -32,14 +43,28 @@ type 'msg t = {
   groups : (int, group) Hashtbl.t;
   mutable observers : (Topo.link -> 'msg -> unit) list;
   mutable tree_builds : int;
+  mutable cache_hits : int;
+  mutable cache_entries : int;
+  cache_cap : int;
+  mutable cache_tick : int;
   rng : Lbrm_util.Rng.t;
 }
 
 let loopback_delay = 50e-6
 
+let default_cache_size = 512
+
 let noop_handler ~now:_ ~src:_ _ = ()
 
-let create ~engine ~topo ~size_of () =
+(* Avalanching integer mix (splitmix-style finalizer) so that XORing
+   member ids never cancels structurally related node numbers. *)
+let mix_node x =
+  let x = x * 0x9E3779B9 in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x85EBCA6B in
+  (x lxor (x lsr 13)) land max_int
+
+let create ?(mcast_cache_size = default_cache_size) ~engine ~topo ~size_of () =
   {
     engine;
     topo;
@@ -49,6 +74,10 @@ let create ~engine ~topo ~size_of () =
     groups = Hashtbl.create 8;
     observers = [];
     tree_builds = 0;
+    cache_hits = 0;
+    cache_entries = 0;
+    cache_cap = Stdlib.max 1 mcast_cache_size;
+    cache_tick = 0;
     rng = Lbrm_util.Rng.split (Engine.rng engine);
   }
 
@@ -76,6 +105,7 @@ let group_rec t group =
         {
           members = Hashtbl.create 16;
           g_epoch = 0;
+          g_fp = 0;
           trees = Hashtbl.create 4;
           mask = Bytes.empty;
           mask_epoch = -1;
@@ -90,14 +120,16 @@ let join t ~group node =
   let g = group_rec t group in
   if not (Hashtbl.mem g.members node) then begin
     Hashtbl.add g.members node ();
-    g.g_epoch <- g.g_epoch + 1
+    g.g_epoch <- g.g_epoch + 1;
+    g.g_fp <- g.g_fp lxor mix_node node
   end
 
 let leave t ~group node =
   let g = group_rec t group in
   if Hashtbl.mem g.members node then begin
     Hashtbl.remove g.members node;
-    g.g_epoch <- g.g_epoch + 1
+    g.g_epoch <- g.g_epoch + 1;
+    g.g_fp <- g.g_fp lxor mix_node node
   end
 
 let members t ~group =
@@ -119,6 +151,11 @@ let member_mask t g node =
   if g.mask_epoch <> g.g_epoch || Bytes.length g.mask < Topo.node_count t.topo
   then refresh_mask t g;
   Bytes.unsafe_get g.mask node <> '\000'
+
+let current_mask t g =
+  if g.mask_epoch <> g.g_epoch || Bytes.length g.mask < Topo.node_count t.topo
+  then refresh_mask t g;
+  g.mask
 
 let deliver t ~src ~dst msg =
   (* A crashed host's handler goes quiet: packets addressed to it are
@@ -165,19 +202,74 @@ let unicast t ?(ttl = 64) ~src ~dst msg =
     arrive ()
   end
 
+(* Does the first-[n]-bytes membership snapshot match the live mask?
+   The snapshot is the collision guard behind the fingerprint key: two
+   member sets XOR-hashing alike never share a tree. *)
+let mask_matches snapshot mask n =
+  Bytes.length snapshot = n
+  && Bytes.length mask >= n
+  &&
+  let rec go i =
+    i >= n
+    || (Bytes.unsafe_get snapshot i = Bytes.unsafe_get mask i && go (i + 1))
+  in
+  go 0
+
+(* Drop the least-recently-used cached tree across all groups.  The
+   scan is O(cached entries), entries are capped, and eviction only
+   runs when an insertion crosses the cap — churny workloads that fit
+   the cap never pay it. *)
+let evict_lru t =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ g ->
+      Hashtbl.iter
+        (fun src per ->
+          Hashtbl.iter
+            (fun fp ct ->
+              match !best with
+              | Some (u, _, _, _) when u <= ct.c_used -> ()
+              | _ -> best := Some (ct.c_used, g, src, fp))
+            per)
+        g.trees)
+    t.groups;
+  match !best with
+  | None -> ()
+  | Some (_, g, src, fp) -> (
+      match Hashtbl.find_opt g.trees src with
+      | Some per ->
+          Hashtbl.remove per fp;
+          t.cache_entries <- t.cache_entries - 1;
+          if Hashtbl.length per = 0 then Hashtbl.remove g.trees src
+      | None -> ())
+
 (* Pruned multicast tree: for each node, the SPT child links that lead
-   to at least one group member.  Cached per (group, source) and
-   rebuilt in place when the group's epoch moves on, so superseded
-   trees are evicted rather than accumulated. *)
+   to at least one group member.  Cached per (group, source) keyed by
+   the membership fingerprint and verified against a mask snapshot, so
+   recurring membership states (flapping joins/leaves) hit instead of
+   rebuilding; a bounded LRU keeps total entries under the per-net
+   cap. *)
 let pruned_tree t g ~src =
   let n = Topo.node_count t.topo in
   let state = Topo.state_epoch t.topo in
-  match Hashtbl.find_opt g.trees src with
+  let mask = current_mask t g in
+  let per =
+    match Hashtbl.find_opt g.trees src with
+    | Some per -> per
+    | None ->
+        let per = Hashtbl.create 4 in
+        Hashtbl.add g.trees src per;
+        per
+  in
+  t.cache_tick <- t.cache_tick + 1;
+  match Hashtbl.find_opt per g.g_fp with
   | Some ct
-    when ct.c_epoch = g.g_epoch && ct.c_state = state
-         && Array.length ct.tree >= n ->
+    when ct.c_state = state && Array.length ct.tree >= n
+         && mask_matches ct.c_members mask n ->
+      ct.c_used <- t.cache_tick;
+      t.cache_hits <- t.cache_hits + 1;
       ct.tree
-  | _ ->
+  | stale ->
       let pruned = Array.make n [] in
       (* Post-order: does the subtree rooted at [node] contain a member?
          The SPT already excludes down links and down nodes, so a tree
@@ -194,7 +286,20 @@ let pruned_tree t g ~src =
         here || (match keep with [] -> false | _ :: _ -> true)
       in
       ignore (mark src);
-      Hashtbl.replace g.trees src { c_epoch = g.g_epoch; c_state = state; tree = pruned };
+      Hashtbl.replace per g.g_fp
+        {
+          c_state = state;
+          c_members = Bytes.sub mask 0 n;
+          tree = pruned;
+          c_used = t.cache_tick;
+        };
+      (match stale with
+      | Some _ -> () (* replaced in place: entry count unchanged *)
+      | None ->
+          t.cache_entries <- t.cache_entries + 1;
+          while t.cache_entries > t.cache_cap do
+            evict_lru t
+          done);
       t.tree_builds <- t.tree_builds + 1;
       pruned
 
@@ -300,7 +405,7 @@ let rtt t a b = one_way_delay t a b +. one_way_delay t b a
 
 (* ---- cache observability (for tests and benchmarks) ------------------ *)
 
-let mcast_cache_size t =
-  Hashtbl.fold (fun _ g acc -> acc + Hashtbl.length g.trees) t.groups 0
-
+let mcast_cache_size t = t.cache_entries
+let mcast_cache_cap t = t.cache_cap
 let mcast_tree_builds t = t.tree_builds
+let mcast_cache_hits t = t.cache_hits

@@ -17,8 +17,19 @@ type 'msg handler = now:float -> src:Topo.node_id -> 'msg -> unit
 (** Receive callback installed on a host. *)
 
 val create :
-  engine:Engine.t -> topo:Topo.t -> size_of:('msg -> int) -> unit -> 'msg t
-(** [size_of] gives the on-wire size in bytes, for bandwidth modeling. *)
+  ?mcast_cache_size:int ->
+  engine:Engine.t ->
+  topo:Topo.t ->
+  size_of:('msg -> int) ->
+  unit ->
+  'msg t
+(** [size_of] gives the on-wire size in bytes, for bandwidth modeling.
+    [mcast_cache_size] caps the total number of cached pruned multicast
+    trees across all groups (default {!default_cache_size}); least
+    recently used entries are evicted past the cap. *)
+
+val default_cache_size : int
+(** Default pruned-tree cache capacity (512 entries). *)
 
 val engine : 'msg t -> Engine.t
 val topo : 'msg t -> Topo.t
@@ -54,10 +65,21 @@ val on_link_transit : 'msg t -> (Topo.link -> 'msg -> unit) -> unit
     traffic crossing particular links (e.g. NACKs on a tail circuit). *)
 
 val mcast_cache_size : 'msg t -> int
-(** Number of cached pruned multicast trees, summed over all groups.
-    Bounded by one tree per (source, group): recomputing a stale tree
-    replaces the superseded entry instead of accumulating epochs. *)
+(** Number of cached pruned multicast trees, summed over all groups —
+    at most the configured capacity.  Trees are keyed by (source,
+    membership fingerprint) and verified against a mask snapshot, so a
+    recurring membership state reuses its old tree. *)
+
+val mcast_cache_cap : 'msg t -> int
+(** The configured capacity. *)
 
 val mcast_tree_builds : 'msg t -> int
 (** Total pruned-tree constructions since {!create}.  A membership
-    change in one group must only force rebuilds for that group. *)
+    change in one group must only force rebuilds for that group, and a
+    membership state seen before (within cache capacity) must not force
+    one at all. *)
+
+val mcast_cache_hits : 'msg t -> int
+(** Multicasts served from the tree cache.  One lookup happens per
+    multicast, so [hits + builds = multicasts] (up to rebuilds forced
+    by topology state changes). *)

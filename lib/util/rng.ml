@@ -34,6 +34,53 @@ let poisson t ~mean =
     let x = gaussian t ~mu:mean ~sigma:(sqrt mean) in
     Stdlib.max 0 (int_of_float (Float.round x))
 
+let binomial t ~n ~p =
+  if n <= 0 || p <= 0. then 0
+  else if p >= 1. then n
+  else if n <= 16 then begin
+    (* Exact Bernoulli sum: n is small enough that the loop is cheaper
+       than any transform, and it is exact for the qcheck sweep's small
+       parameters. *)
+    let c = ref 0 in
+    for _ = 1 to n do
+      if Random.State.float t 1. < p then incr c
+    done;
+    !c
+  end
+  else
+    let fn = float_of_int n in
+    let np = fn *. p in
+    let v = np *. (1. -. p) in
+    if v >= 100. then begin
+      (* Normal approximation: at np(1-p) >= 100 the skew is negligible
+         next to the binomial's own sampling noise, and a site of a
+         million receivers costs one Gaussian draw instead of O(np)
+         geometric skips. *)
+      let u1 = 1. -. Random.State.float t 1. in
+      let u2 = Random.State.float t 1. in
+      let g = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+      let x = Float.round (np +. (sqrt v *. g)) in
+      if x <= 0. then 0 else if x >= fn then n else int_of_float x
+    end
+    else begin
+      (* Second waiting-time method (Devroye): jump between successes
+         with geometric skips, expected O(np) log draws — the right
+         regime for large n with small p (a mostly-quiet lossy LAN). *)
+      let log_q = log (1. -. p) in
+      let c = ref 0 in
+      let pos = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let u = 1. -. Random.State.float t 1. in
+        let skip = int_of_float (log u /. log_q) + 1 in
+        (* log u / log q >= 0; guard against float edge cases anyway *)
+        let skip = if skip < 1 then 1 else skip in
+        pos := !pos + skip;
+        if !pos > n then continue := false else incr c
+      done;
+      !c
+    end
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = Random.State.int t (i + 1) in

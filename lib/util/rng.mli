@@ -37,6 +37,14 @@ val poisson : t -> mean:float -> int
 val gaussian : t -> mu:float -> sigma:float -> float
 (** Normal draw (Box–Muller). *)
 
+val binomial : t -> n:int -> p:float -> int
+(** Number of successes in [n] independent trials of probability [p]
+    (clamped to [\[0,1\]]).  Exact for small [n] (Bernoulli sum) and for
+    small [np] (geometric-skip inversion, expected O(np) draws); switches
+    to a rounded normal approximation once [np(1-p) >= 100], where the
+    approximation error is far below the distribution's own spread.
+    Deterministic per stream state, like every other draw. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

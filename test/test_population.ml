@@ -1,0 +1,244 @@
+(* Aggregate receiver populations: binomial sampler statistics, model
+   conservation invariants, and end-to-end scenarios where 10^3..10^6
+   modeled receivers recover losses behind real tail circuits with
+   tracer receivers cross-validating the aggregate. *)
+
+module Rng = Lbrm_util.Rng
+module Site_population = Lbrm_sim.Site_population
+module Loss = Lbrm_sim.Loss
+module Fault = Lbrm_sim.Fault
+module Scenario = Lbrm_run.Scenario
+module Population = Lbrm_run.Population
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Rng.binomial ------------------------------------------------------ *)
+
+(* Sample mean and variance must match n*p and n*p*(1-p) across the
+   sampler's three regimes (exact sum, geometric skip, normal approx). *)
+let binomial_moments () =
+  let cases =
+    [
+      (* n, p — chosen to hit every internal regime *)
+      (10, 0.3); (16, 0.5); (100, 0.05); (1000, 0.01); (200, 0.9);
+      (10000, 0.002); (50000, 0.1); (1000000, 0.005);
+    ]
+  in
+  List.iter
+    (fun (n, p) ->
+      let rng = Rng.create ~seed:(n + int_of_float (p *. 1000.)) in
+      let k = 3000 in
+      let sum = ref 0. and sumsq = ref 0. in
+      for _ = 1 to k do
+        let x = Rng.binomial rng ~n ~p in
+        Alcotest.(check bool)
+          (Printf.sprintf "0 <= x <= n for n=%d p=%g" n p)
+          true
+          (x >= 0 && x <= n);
+        let fx = float_of_int x in
+        sum := !sum +. fx;
+        sumsq := !sumsq +. (fx *. fx)
+      done;
+      let fk = float_of_int k in
+      let mean = !sum /. fk in
+      let var = (!sumsq /. fk) -. (mean *. mean) in
+      let np = float_of_int n *. p in
+      let v = np *. (1. -. p) in
+      (* Sample mean is within 6 standard errors of n*p. *)
+      let se = sqrt (v /. fk) in
+      checkb
+        (Printf.sprintf "mean of Binomial(%d,%g): |%g - %g| <= %g" n p mean
+           np (6. *. se))
+        true
+        (Float.abs (mean -. np) <= (6. *. se) +. 1e-9);
+      (* Sample variance within 20% of n*p*(1-p) (plus slack for tiny v). *)
+      checkb
+        (Printf.sprintf "variance of Binomial(%d,%g): %g vs %g" n p var v)
+        true
+        (Float.abs (var -. v) <= (0.2 *. v) +. 0.1))
+    cases;
+  (* Degenerate corners are exact. *)
+  let rng = Rng.create ~seed:7 in
+  checki "p=0 gives 0" 0 (Rng.binomial rng ~n:1000 ~p:0.);
+  checki "p=1 gives n" 1000 (Rng.binomial rng ~n:1000 ~p:1.);
+  checki "n=0 gives 0" 0 (Rng.binomial rng ~n:0 ~p:0.5)
+
+let binomial_deterministic () =
+  let draw seed =
+    let rng = Rng.create ~seed in
+    List.init 500 (fun i ->
+        let n = 1 + (i * 37 mod 5000) in
+        let p = float_of_int (1 + (i mod 97)) /. 100. in
+        Rng.binomial rng ~n ~p)
+  in
+  checkb "same seed, same draws" true (draw 123 = draw 123);
+  checkb "different seed differs" true (draw 123 <> draw 124)
+
+let binomial_range =
+  QCheck.Test.make ~count:500 ~name:"binomial stays within [0,n]"
+    QCheck.(triple (int_bound 100000) (float_range 0.0 1.0) small_nat)
+    (fun (n, p, seed) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.binomial rng ~n ~p in
+      x >= 0 && x <= n)
+
+(* --- Site_population model invariants ---------------------------------- *)
+
+let conserved m =
+  Site_population.delivered m + Site_population.missing m
+  + Site_population.gave_up m
+  = Site_population.known m * Site_population.size m
+
+(* Drive the model with an adversarial mix of out-of-order packets,
+   repair rounds, heartbeats and abandons; the delivery ledger must
+   balance after every step and tracer state must stay in range. *)
+let model_conservation () =
+  let rng = Rng.create ~seed:99 in
+  let m =
+    Site_population.create ~tracers:3 ~size:400 ~lan_loss:0.1
+      ~rng:(Rng.split rng) ()
+  in
+  let ops = 2000 in
+  for i = 1 to ops do
+    (match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        (* fresh-ish packet, sometimes ahead of the stream *)
+        ignore (Site_population.on_packet m ~seq:(1 + Rng.int rng 80))
+    | 4 | 5 | 6 ->
+        (* repair round over whatever is currently missing *)
+        (match Site_population.missing_seqs m with
+        | [] -> ()
+        | gaps ->
+            let s, _ = List.nth gaps (Rng.int rng (List.length gaps)) in
+            ignore (Site_population.on_packet m ~seq:s))
+    | 7 | 8 ->
+        ignore (Site_population.on_heartbeat m ~seq:(1 + Rng.int rng 90))
+    | _ -> (
+        match Site_population.missing_seqs m with
+        | [] -> ()
+        | (s, _) :: _ -> ignore (Site_population.abandon m ~seq:s)));
+    checkb
+      (Printf.sprintf "ledger balances after op %d" i)
+      true (conserved m)
+  done;
+  checkb "distinct gaps bounded by known seqs" true
+    (Site_population.distinct_gaps m <= Site_population.known m);
+  let z = Site_population.agreement_z m in
+  checkb "agreement z is finite" true (Float.is_finite z);
+  checkb "tracer agreement within bounds over adversarial drive" true
+    (Float.abs z <= 5.);
+  Array.iter
+    (fun fed -> checkb "tracer fed at most known seqs (plus repairs)" true
+        (fed >= 0))
+    (Site_population.tracer_fed m)
+
+(* --- end-to-end scenarios ---------------------------------------------- *)
+
+let last_seq = 30
+
+let drive d =
+  Scenario.drive_periodic d ~interval:0.1 ~count:last_seq ();
+  Scenario.run d ~until:90.
+
+(* The runtest-enforced cross-validation: tracer receivers, fed exactly
+   the sampled outcomes, must agree with the aggregate within binomial
+   confidence bounds, and the whole deployment must converge. *)
+let population_scenario_recovers () =
+  let d =
+    Scenario.standard ~seed:11 ~initial_estimate:2000. ~sites:4
+      ~receivers_per_site:2
+      ~site_population:(Scenario.population_spec ~members:500 ~lan_loss:0.01 ())
+      ~tail_loss:(fun _ -> Loss.bernoulli 0.02)
+      ()
+  in
+  drive d;
+  checki "four populations deployed" 4 (Array.length d.populations);
+  checki "two tracers per site" 8 (Array.length d.tracer_receivers);
+  checki "nothing missing anywhere (multiplicity-weighted)" 0
+    (Scenario.total_missing d);
+  for seq = 1 to last_seq do
+    checkb
+      (Printf.sprintf "seq %d delivered everywhere incl. populations" seq)
+      true
+      (Scenario.delivered_everywhere d seq)
+  done;
+  Array.iter
+    (fun (p, _) ->
+      let m = Population.model p in
+      checkb "population ledger balances" true (conserved m);
+      checki "population saw the whole stream" last_seq
+        (Site_population.known m);
+      let z = Site_population.agreement_z m in
+      checkb
+        (Printf.sprintf "tracer/aggregate agreement |z|=%g <= 4.5" z)
+        true
+        (Float.abs z <= 4.5);
+      (* Populations actually exercised the recovery path. *)
+      checkb "population recovered losses" true
+        (Site_population.recovered m >= 0
+        && Site_population.gave_up m = 0))
+    d.populations;
+  (* Tracer machines ran the real protocol to completion. *)
+  Array.iter
+    (fun (r, _) ->
+      checki "tracer receiver has no gaps" 0
+        (List.length (Lbrm.Receiver.missing r));
+      checkb "tracer receiver delivered the stream" true
+        (Lbrm.Receiver.delivered r >= last_seq))
+    d.tracer_receivers
+
+(* Populations under fault injection: a site partition makes a whole
+   population miss packets (recovered after heal), and crash/restart of
+   a population node rebuilds it for a true rejoin. *)
+let population_faults () =
+  let d =
+    Scenario.standard ~seed:23 ~initial_estimate:1000. ~sites:3
+      ~receivers_per_site:1
+      ~site_population:(Scenario.population_spec ~members:200 ~lan_loss:0.005 ())
+      ~tail_loss:(fun _ -> Loss.bernoulli 0.01)
+      ()
+  in
+  let pop_node = snd d.populations.(1) in
+  Scenario.schedule_faults d
+    (Fault.partition_site d.wan ~site:2 ~t0:0.45 ~t1:1.4
+    @ Fault.outage ~at:0.9 ~downtime:0.8 pop_node);
+  drive d;
+  let p1, _ = d.populations.(1) in
+  let m1 = Population.model p1 in
+  checkb "restarted population is a fresh machine (rejoined from scratch)"
+    true
+    (Site_population.known m1 = last_seq);
+  checki "nothing missing after partition heals and node rejoins" 0
+    (Scenario.total_missing d);
+  checkb "last packet delivered everywhere" true
+    (Scenario.delivered_everywhere d last_seq);
+  Array.iter
+    (fun (p, _) ->
+      let m = Population.model p in
+      checkb "ledger balances after faults" true (conserved m);
+      checkb "agreement holds after faults" true
+        (Float.abs (Site_population.agreement_z m) <= 4.5))
+    d.populations
+
+let () =
+  Alcotest.run "population"
+    [
+      ( "binomial",
+        [
+          Alcotest.test_case "moments match analytic" `Quick binomial_moments;
+          Alcotest.test_case "byte-deterministic per seed" `Quick
+            binomial_deterministic;
+          QCheck_alcotest.to_alcotest binomial_range;
+        ] );
+      ( "model",
+        [ Alcotest.test_case "delivery ledger conserved" `Quick
+            model_conservation ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "1k-receiver deployment recovers, tracers agree"
+            `Quick population_scenario_recovers;
+          Alcotest.test_case "partition and crash/restart of populations"
+            `Quick population_faults;
+        ] );
+    ]
