@@ -43,40 +43,10 @@ module Loss = Lbrm_sim.Loss
 let post = Engine.post
 let post_at = Engine.post_at
 
-type result = {
-  name : string;
-  ops : int;
-  elapsed : float; (* seconds *)
-  minor_words : float; (* minor-heap words allocated during the run *)
-  extra : (string * float) list;
-}
+let suite = Bench_common.suite "lbrm-sim-hotpath"
 
-let results : result list ref = ref []
-
-(* Fastest of [reps] runs: wall-clock on a shared machine is noisy and
-   the minimum is the best estimate of intrinsic cost.  Allocation is
-   reported from the same (fastest) run. *)
-let run_bench ?(reps = 3) ~name f =
-  let best = ref None in
-  for _ = 1 to reps do
-    Gc.compact ();
-    let w0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
-    let ops, extra = f () in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    let minor_words = Gc.minor_words () -. w0 in
-    match !best with
-    | Some b when b.elapsed <= elapsed -> ()
-    | _ -> best := Some { name; ops; elapsed; minor_words; extra }
-  done;
-  let r = match !best with Some r -> r | None -> assert false in
-  results := r :: !results;
-  let fops = float_of_int (max 1 r.ops) in
-  Printf.printf "%-20s %10d ops  %8.3f s  %12.0f ops/s  %8.1f words/op\n%!"
-    name r.ops r.elapsed
-    (fops /. r.elapsed)
-    (r.minor_words /. fops);
-  List.iter (fun (k, v) -> Printf.printf "%22s= %.6g\n" k v) r.extra
+let run_bench ?reps ~name f =
+  ignore (Bench_common.run ?reps suite ~name f : Bench_common.result)
 
 (* ---- engine: the schedule-fire pattern ------------------------------- *)
 
@@ -359,30 +329,6 @@ let bench_chaos () =
       ("rediscoveries", float_of_int s.Chaos.rediscoveries);
     ] )
 
-(* ---- JSON output ----------------------------------------------------- *)
-
-let emit_json path rs =
-  let oc = open_out path in
-  let field k v = Printf.sprintf "\"%s\": %.6g" k v in
-  let one r =
-    let fops = float_of_int (max 1 r.ops) in
-    let fields =
-      [
-        Printf.sprintf "\"name\": \"%s\"" r.name;
-        Printf.sprintf "\"ops\": %d" r.ops;
-        field "elapsed_s" r.elapsed;
-        field "ops_per_sec" (fops /. r.elapsed);
-        field "minor_words_per_op" (r.minor_words /. fops);
-      ]
-      @ List.map (fun (k, v) -> field k v) r.extra
-    in
-    "    { " ^ String.concat ", " fields ^ " }"
-  in
-  Printf.fprintf oc
-    "{\n  \"suite\": \"lbrm-sim-hotpath\",\n  \"benchmarks\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map one (List.rev rs)));
-  close_out oc
-
 (* ---------------------------------------------------------------------- *)
 
 let () =
@@ -422,6 +368,6 @@ let () =
   run_bench ~reps:1 ~name:"chaos_failover" bench_chaos;
   match json with
   | Some path ->
-      emit_json path !results;
+      Bench_common.emit_json suite path;
       Printf.printf "wrote %s\n%!" path
   | None -> ()

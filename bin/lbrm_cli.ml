@@ -316,7 +316,8 @@ let trace_cmd =
 (* udp                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let udp base_port packets loss seconds =
+let udp base_port packets loss seconds batch pool_slots slot_size no_mmsg
+    no_gso =
   let module U = Lbrm_run.Udp_runtime in
   let module H = Lbrm_run.Handlers in
   let cfg =
@@ -333,7 +334,10 @@ let udp base_port packets loss seconds =
   let primary_port = base_port + 1 in
   let secondary_port = base_port + 2 in
   let recv_ports = [ base_port + 3; base_port + 4; base_port + 5 ] in
-  let rt = U.create ~loss ~seed:7 () in
+  let rt =
+    U.create ~loss ~seed:7 ~batch ~pool_slots ~slot_size
+      ~use_mmsg:(not no_mmsg) ~use_gso:(not no_gso) ()
+  in
   let source =
     Lbrm.Source.create cfg ~self:src_port ~primary:primary_port ()
   in
@@ -384,6 +388,10 @@ let udp base_port packets loss seconds =
   Printf.printf
     "live UDP session on 127.0.0.1:%d-%d, %.0f%% injected datagram loss\n"
     base_port (base_port + 5) (100. *. loss);
+  Printf.printf "transport: mmsg %s, gso %s, batch %d, pool %d x %dB\n"
+    (if U.mmsg_active rt then "on" else "off")
+    (if U.gso_active rt then "on" else "off")
+    batch pool_slots slot_size;
   (* Send packets spaced over the first half of the run. *)
   let gap = seconds /. 2. /. float_of_int packets in
   for i = 1 to packets do
@@ -403,6 +411,20 @@ let udp base_port packets loss seconds =
     receivers;
   Printf.printf "datagrams sent %d, artificially dropped %d\n"
     (U.datagrams_sent rt) (U.datagrams_dropped rt);
+  let st = U.stats rt in
+  Printf.printf
+    "transport: tx %d datagrams in %d batches, rx %d in %d batches\n"
+    st.U.tx_datagrams st.U.tx_batches st.U.rx_datagrams st.U.rx_batches;
+  let gso_d, mmsg_d, single_d = Lbrm_run.Sockmsg.tx_tiers () in
+  Printf.printf
+    "transport: tx tiers gso %d / sendmmsg %d / per-datagram %d; pool \
+     leases %d (fallbacks %d, peak %d); encode failures %d, oversize %d\n"
+    gso_d mmsg_d single_d st.U.pool_leases st.U.pool_fallbacks
+    st.U.pool_max_outstanding st.U.encode_failures st.U.oversize;
+  let conn, act, susp, dead = Lbrm_run.Peer_manager.counts (U.peers rt) in
+  Printf.printf
+    "peers: %d connecting, %d active, %d suspect, %d dead\n"
+    conn act susp dead;
   U.close rt;
   if !ok then begin
     print_endline "OK: receiver-reliable delivery over real sockets.";
@@ -430,9 +452,38 @@ let udp_cmd =
       value & opt float 4.
       & info [ "seconds" ] ~doc:"Wall-clock duration of the session.")
   in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~doc:"Datagrams staged per batched syscall (1-64).")
+  in
+  let pool_slots =
+    Arg.(
+      value & opt int 256
+      & info [ "pool-slots" ] ~doc:"Preallocated transport buffers.")
+  in
+  let slot_size =
+    Arg.(
+      value & opt int 2048
+      & info [ "slot-size" ] ~doc:"Bytes per transport buffer slot.")
+  in
+  let no_mmsg =
+    Arg.(
+      value & flag
+      & info [ "no-mmsg" ]
+          ~doc:"Force the portable per-datagram sendto/recvfrom fallback.")
+  in
+  let no_gso =
+    Arg.(
+      value & flag
+      & info [ "no-gso" ]
+          ~doc:"Disable the UDP GSO transmit tier (keep sendmmsg batching).")
+  in
   Cmd.v
     (Cmd.info "udp" ~doc:"Run a live LBRM session over loopback UDP")
-    Term.(const udp $ base_port $ packets $ loss $ seconds)
+    Term.(
+      const udp $ base_port $ packets $ loss $ seconds $ batch $ pool_slots
+      $ slot_size $ no_mmsg $ no_gso)
 
 (* ------------------------------------------------------------------ *)
 (* traffic                                                             *)

@@ -48,6 +48,8 @@ type event =
   | Silence of { elapsed : float }
   | Pop_arrival of { seq : seq; members : int; missed : int }
   | Pop_repair of { seq : seq; repaired : int; remaining : int }
+  | Encode_failed of { kind : string; size : int }
+  | Peer_state of { peer : address; before : string; after : string }
 
 type record = { at : float; node : address; ev : event }
 
@@ -221,6 +223,15 @@ let event_fields buf ev =
         (Printf.sprintf
            {|"ev":"pop_repair","seq":%d,"repaired":%d,"remaining":%d|} seq
            repaired remaining)
+  | Encode_failed { kind; size } ->
+      add
+        (Printf.sprintf {|"ev":"encode_failed","kind":"%s","size":%d|} kind
+           size)
+  | Peer_state { peer; before; after } ->
+      add
+        (Printf.sprintf
+           {|"ev":"peer_state","peer":%d,"before":"%s","after":"%s"|} peer
+           before after)
 
 let add_jsonl buf r =
   Buffer.add_string buf

@@ -72,6 +72,14 @@ type event =
   | Pop_repair of { seq : seq; repaired : int; remaining : int }
       (** a repair round over a population gap: [repaired] receivers
           recovered, [remaining] still missing *)
+  | Encode_failed of { kind : string; size : int }
+      (** a runtime refused to ship a message that would not fit its
+          transmit slot ([size] is the oversized body); distinct from
+          injected loss *)
+  | Peer_state of { peer : address; before : string; after : string }
+      (** a runtime peer-liveness transition (labels from
+          [Peer_manager.state_label]); string-typed so the trace
+          vocabulary does not depend on the runtime layer *)
 
 type record = { at : float; node : address; ev : event }
 

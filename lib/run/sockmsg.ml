@@ -1,0 +1,207 @@
+(* The single kernel-facing choke point of the transport: tiered
+   transmit (UDP GSO super-datagrams, then sendmmsg, then per-datagram
+   sendto) and batched recvmmsg receive via the C stubs, with a portable
+   per-datagram fallback.  See sockmsg.mli; the lint [raw-socket] rule
+   keeps Unix.sendto/recvfrom out of every other module. *)
+
+external has_mmsg : unit -> bool = "lbrm_has_mmsg"
+external probe_gso : unit -> bool = "lbrm_probe_gso"
+
+external monotonic_time : unit -> (float[@unboxed])
+  = "lbrm_monotonic_time_byte" "lbrm_monotonic_time"
+[@@noalloc]
+
+external recvmmsg_stub :
+  Unix.file_descr ->
+  Bytes.t ->
+  int array ->
+  int ->
+  int ->
+  int array ->
+  int array ->
+  int = "lbrm_recvmmsg_byte" "lbrm_recvmmsg"
+
+external sendmmsg_stub :
+  Unix.file_descr ->
+  Bytes.t ->
+  int array ->
+  int array ->
+  int array ->
+  int ->
+  int ->
+  int ->
+  int = "lbrm_sendmmsg_byte" "lbrm_sendmmsg"
+
+external send_gso_stub :
+  Unix.file_descr ->
+  Bytes.t ->
+  int array ->
+  int array ->
+  int ->
+  int ->
+  int ->
+  int ->
+  int ->
+  int = "lbrm_send_gso_byte" "lbrm_send_gso"
+
+let batch_max = 64
+let mmsg_available = has_mmsg ()
+
+(* GSO support is probed against the running kernel once at startup and
+   can also switch itself off if a send is ever rejected (paranoia
+   against kernels that accept the setsockopt probe but fail the
+   cmsg-driven send). *)
+let gso_enabled = ref (mmsg_available && probe_gso ())
+let gso_available () = !gso_enabled
+let monotonic_now () = monotonic_time ()
+
+(* Transmit-tier accounting (process-wide): how many datagrams left
+   through each path.  Read-only observability for benches and the CLI;
+   plain increments keep the hot path allocation-free. *)
+let gso_datagrams = ref 0
+let mmsg_datagrams = ref 0
+let single_datagrams = ref 0
+let tx_tiers () = (!gso_datagrams, !mmsg_datagrams, !single_datagrams)
+
+let ipv4_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c,
+         int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a < 256 && b >= 0 && b < 256 && c >= 0 && c < 256
+             && d >= 0 && d < 256 ->
+          Some ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+      | _ -> None)
+  | _ -> None
+
+(* --- receive ---------------------------------------------------------- *)
+
+let rec recv_fallback fd region offs slot count lens ports i =
+  if i >= count then i
+  else
+    match Unix.recvfrom fd region offs.(i) slot [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        i
+    | len, Unix.ADDR_INET (_, port) ->
+        (* recvfrom silently truncates to the slot; an exactly-slot-sized
+           read is indistinguishable from a truncated one, so flag it
+           conservatively (the runtime drops and counts it). *)
+        lens.(i) <- (if len >= slot then -1 else len);
+        ports.(i) <- port;
+        recv_fallback fd region offs slot count lens ports (i + 1)
+    | _, Unix.ADDR_UNIX _ ->
+        recv_fallback fd region offs slot count lens ports i
+
+let recv_batch ~use_mmsg fd region ~offs ~slot ~count ~lens ~ports =
+  if count <= 0 then 0
+  else if use_mmsg && mmsg_available then
+    let n = recvmmsg_stub fd region offs slot (min count batch_max) lens ports in
+    if n < 0 then 0 else n
+  else recv_fallback fd region offs slot (min count batch_max) lens ports 0
+
+(* --- send ------------------------------------------------------------- *)
+
+(* A full loopback socket buffer shows up as EAGAIN (or a short mmsg
+   batch); waiting for writability and retrying keeps the transport
+   lossless — injected loss is the only drop source. *)
+let wait_writable fd = ignore (Unix.select [] [ fd ] [] 0.01)
+
+let rec send_one fd region ~off ~len addr =
+  match Unix.sendto fd region off len [] addr with
+  | _ -> incr single_datagrams
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      wait_writable fd;
+      send_one fd region ~off ~len addr
+
+(* --- GSO tier --------------------------------------------------------- *)
+
+(* A GSO super-datagram only pays off when it replaces several skbs, and
+   the kernel caps one GSO payload at 64 segments / 64KB. *)
+let gso_min_run = 4
+let gso_max_bytes = 65000
+
+(* Length of the maximal GSO-eligible run at [start]: consecutive
+   datagrams to one destination port, each exactly as long as the first
+   (one shorter FINAL segment is allowed — the kernel's trailing-segment
+   rule), staying under the super-datagram byte ceiling. *)
+let uniform_run lens ports ~start ~count =
+  let seg = lens.(start) and port = ports.(start) in
+  let stop = start + count in
+  let i = ref (start + 1) in
+  let bytes = ref seg in
+  let closed = ref false in
+  while
+    (not !closed)
+    && !i < stop
+    && ports.(!i) = port
+    && lens.(!i) <= seg
+    && !bytes + lens.(!i) <= gso_max_bytes
+  do
+    if lens.(!i) < seg then closed := true;
+    bytes := !bytes + lens.(!i);
+    incr i
+  done;
+  !i - start
+
+(* One GSO send, retried across full socket buffers.  [false] means the
+   kernel rejected it outright: the tier turns itself off and the caller
+   re-dispatches the same range through sendmmsg. *)
+let rec send_gso_run fd region offs lens ports ~start ~run ~ip =
+  match
+    send_gso_stub fd region offs lens start run lens.(start) ip ports.(start)
+  with
+  | 0 -> true
+  | -1 ->
+      wait_writable fd;
+      send_gso_run fd region offs lens ports ~start ~run ~ip
+  | _ ->
+      gso_enabled := false;
+      false
+
+let mmsg_range fd region offs lens ports ~start ~stop ~ip =
+  let sent = ref start in
+  while !sent < stop do
+    let n = sendmmsg_stub fd region offs lens ports !sent (stop - !sent) ip in
+    if n <= 0 then wait_writable fd else sent := !sent + n
+  done;
+  mmsg_datagrams := !mmsg_datagrams + (stop - start)
+
+let send_batch ~use_mmsg ~use_gso fd region ~offs ~lens ~ports ~count ~ip
+    ~sockaddr =
+  if count > 0 then
+    if use_mmsg && mmsg_available then begin
+      let run_at i =
+        if use_gso && !gso_enabled then
+          uniform_run lens ports ~start:i ~count:(count - i)
+        else 0
+      in
+      let i = ref 0 in
+      while !i < count do
+        let run = run_at !i in
+        if run >= gso_min_run then begin
+          if send_gso_run fd region offs lens ports ~start:!i ~run ~ip then begin
+            gso_datagrams := !gso_datagrams + run;
+            i := !i + run
+          end
+          (* else: the GSO tier just disabled itself; this same range
+             re-dispatches through sendmmsg on the next loop pass. *)
+        end
+        else begin
+          (* Mixed stretch: everything up to the next long uniform run
+             goes out as one sendmmsg range. *)
+          let j = ref (!i + 1) in
+          while !j < count && run_at !j < gso_min_run do incr j done;
+          mmsg_range fd region offs lens ports ~start:!i ~stop:!j ~ip;
+          i := !j
+        end
+      done
+    end
+    else
+      for i = 0 to count - 1 do
+        send_one fd region ~off:offs.(i) ~len:lens.(i) (sockaddr ports.(i))
+      done

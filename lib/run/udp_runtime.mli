@@ -1,26 +1,91 @@
-(** Runs LBRM agents over real UDP sockets (loopback or LAN).
+(** Runs LBRM agents over real UDP sockets (loopback or LAN) — the
+    production transport.
 
     Protocol addresses are UDP port numbers; every agent binds
     [127.0.0.1:port] (or a given interface).  A single-threaded
-    select(2) loop drives socket reads and a wall-clock timer heap.
+    select(2) loop drives socket reads and a monotonic-clock timer heap
+    ([clock_gettime(CLOCK_MONOTONIC)] via {!Sockmsg} — immune to NTP
+    steps, unlike the wall clock).
+
+    {b Batched syscalls}: receive scatters up to [batch] datagrams per
+    [recvmmsg] into a ring of {!Buf_pool} slots and decodes each in
+    place ({!Lbrm_wire.Codec.decode_bytes}); transmit encodes into
+    leased slots ({!Lbrm_wire.Codec.encode_at}) and flushes up to
+    [batch] per staged batch, where {!Sockmsg} tiers each flush: runs
+    of equal-size datagrams to one peer (retransmission bursts) leave
+    as single UDP GSO super-datagrams, mixed stretches via [sendmmsg].
+    Where the stubs are unavailable (or [~use_mmsg:false]), the same
+    paths fall back to portable per-datagram [sendto]/[recvfrom] inside
+    {!Sockmsg}.  The steady-state hot path performs no per-datagram
+    allocation: slots, length/port arrays and metric counter handles
+    are all preallocated.
+
+    {b Peers}: a {!Peer_manager} tracks every remote endpoint's
+    liveness (Connecting/Active/Suspect/Dead) from received traffic;
+    transitions surface as {!Lbrm.Trace.Peer_state} events and runtime
+    metrics.  Group membership lives in the same registry.
 
     {b Multicast emulation}: the sealed environment offers no
     multicast-capable network, so group sends fan out as unicast
-    datagrams over a membership registry (one copy per member).  This
-    preserves LBRM's delivery semantics; TTL scoping is a no-op (scope
-    control is exercised in the simulator).  See DESIGN.md.
+    datagrams over the membership index (one copy per non-[Dead]
+    member).  This preserves LBRM's delivery semantics; TTL scoping is
+    a no-op (scope control is exercised in the simulator).  See
+    DESIGN.md "Real transport".
 
     {b Loss injection}: [loss] drops outgoing datagrams with the given
     probability — real loopback never loses packets, and exercising
-    recovery is the point of the demo. *)
+    recovery is the point of the demo.  Injected loss is counted apart
+    from {!encode_failures} (unencodable messages, which also raise
+    {!Lbrm.Trace.Encode_failed}). *)
 
 type t
 
-val create : ?bind_ip:string -> ?loss:float -> ?seed:int -> unit -> t
-(** Defaults: 127.0.0.1, no loss. *)
+type stats = {
+  sent : int;  (** datagrams handed to the kernel *)
+  dropped : int;  (** by the loss-injection hook only *)
+  encode_failures : int;  (** refused by {!Lbrm_wire.Codec.validate} *)
+  oversize : int;  (** sent via the growable-writer slow path *)
+  tx_batches : int;
+  tx_datagrams : int;  (** datagrams through staged batches *)
+  rx_batches : int;
+  rx_datagrams : int;
+  rx_truncated : int;  (** datagrams bigger than a receive slot *)
+  pool_leases : int;
+  pool_fallbacks : int;  (** pool-exhaustion heap allocations *)
+  pool_max_outstanding : int;
+}
+
+val create :
+  ?bind_ip:string ->
+  ?loss:float ->
+  ?seed:int ->
+  ?batch:int ->
+  ?pool_slots:int ->
+  ?slot_size:int ->
+  ?use_mmsg:bool ->
+  ?use_gso:bool ->
+  ?sink:Lbrm.Trace.sink ->
+  ?suspect_after:float ->
+  ?dead_after:float ->
+  unit ->
+  t
+(** Defaults: 127.0.0.1, no loss, batch 64 (clamped to
+    {!Sockmsg.batch_max}), 256 pool slots of 2048 bytes (raised if
+    needed to cover the rx ring and tx stage), mmsg and GSO on where
+    available, no trace sink, peer liveness thresholds from
+    {!Peer_manager}.  [~use_mmsg:false] forces the portable
+    per-datagram fallback (the benchmark baseline); [~use_gso:false]
+    keeps batching but disables the GSO transmit tier. *)
 
 val now : t -> float
-(** Seconds since {!create} (wall clock). *)
+(** Seconds since {!create} (monotonic clock). *)
+
+val mmsg_active : t -> bool
+(** Whether this runtime is actually using recvmmsg/sendmmsg. *)
+
+val gso_active : t -> bool
+(** Whether flushes may take the UDP GSO transmit tier (batching on,
+    not disabled, kernel support probed). *)
 
 val add_agent : t -> port:int -> Handlers.t -> unit
 (** Bind a socket and install the agent.  Raises [Unix.Unix_error] if
@@ -30,7 +95,8 @@ val join : t -> group:int -> port:int -> unit
 val leave : t -> group:int -> port:int -> unit
 
 val perform : t -> port:int -> Lbrm.Io.action list -> unit
-(** Execute actions for an agent (kick-off, application sends). *)
+(** Execute actions for an agent (kick-off, application sends).  Any
+    staged datagrams are flushed before returning. *)
 
 val run_for : t -> seconds:float -> unit
 (** Drive the event loop for a wall-clock duration. *)
@@ -39,9 +105,23 @@ val datagrams_sent : t -> int
 val datagrams_dropped : t -> int
 (** By the loss-injection hook. *)
 
+val encode_failures : t -> int
+(** Messages refused by validation before reaching the wire — a bug in
+    a peer stack, never injected loss. *)
+
+val stats : t -> stats
+(** Full transport counters (batching, pool, truncation). *)
+
+val peers : t -> Peer_manager.t
+(** The live peer registry (liveness states, group index). *)
+
+val runtime_metrics : t -> Lbrm_util.Metrics.t
+(** Runtime-level counters: peer transitions, [tx.encode_failed],
+    [rx.truncated], [rx.malformed]. *)
+
 val agent_metrics : t -> (int * Lbrm_util.Metrics.t) list
 (** Per-agent registries (per-kind send/receive counters, delivery
     counts), ascending by port. *)
 
 val close : t -> unit
-(** Close every socket. *)
+(** Flush the transmit stage and close every socket. *)

@@ -273,6 +273,25 @@ let encode (m : Message.t) =
            Bytes.unsafe_to_string buf
          else Writer.contents w)
 
+(* Batch-encode entry point: serialize straight into a caller-owned
+   slot of a shared backing region (the UDP runtime's buffer pool fills
+   sendmmsg batches this way).  [body_size] is exact, so the slot bound
+   is checked once up front and the writer can never grow — on [Error]
+   the region is untouched. *)
+let encode_at buf ~pos ~limit (m : Message.t) =
+  match validate m with
+  | Error _ as e -> e
+  | Ok () ->
+      let size = Message.body_size m in
+      if pos < 0 || limit > Bytes.length buf || size > limit - pos then
+        Error (Bad_value "message exceeds slot")
+      else begin
+        let w = { Writer.buf; pos } in
+        write_body w m;
+        assert (w.Writer.pos - pos = size && w.Writer.buf == buf);
+        Ok size
+      end
+
 let decode_seq_array r ~max ~what =
   let n = Reader.u32_exn r in
   if n > max then fail (Bad_value (what ^ " list too long"));

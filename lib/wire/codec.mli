@@ -114,6 +114,16 @@ val encode_into : Writer.t -> Message.t -> (unit, error) result
     writer, [Writer.reset] between packets).  Validates before writing:
     on [Error] the writer is untouched. *)
 
+val encode_at :
+  Bytes.t -> pos:int -> limit:int -> Message.t -> (int, error) result
+(** Batch-encode entry point: serialize one message directly into
+    [buf.[pos .. limit)], never growing or reallocating the buffer, and
+    return the encoded length.  Because {!Message.body_size} is exact,
+    the slot bound is checked once before any byte is written — on
+    [Error] (validation failure, or the message does not fit the slot)
+    the buffer is untouched.  This is how the batched UDP runtime fills
+    [sendmmsg] slots of a pooled backing region with zero copies. *)
+
 val decode : ?pos:int -> ?len:int -> string -> (Message.t, error) result
 (** Parse exactly one message from the given window (default: the whole
     string); leftover bytes within the window are an error.  Payloads

@@ -1,0 +1,5 @@
+(* Deliberate [raw-socket] violations, one per line (lines asserted by
+   test_lint.ml): datagram syscalls outside Lbrm_run.Sockmsg. *)
+
+let fling fd buf addr = Unix.sendto fd buf 0 (Bytes.length buf) [] addr
+let slurp fd buf = Unix.recvfrom fd buf 0 (Bytes.length buf) []

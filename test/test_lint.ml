@@ -37,6 +37,8 @@ let expected =
     ("sans-io", fx "bad_rng.ml", 6);
     ("sans-io", fx "bad_rng.ml", 7);
     ("sans-io", fx "bad_rng.ml", 8);
+    ("raw-socket", fx "bad_socket.ml", 4);
+    ("raw-socket", fx "bad_socket.ml", 5);
   ]
 
 (* Findings sort by (file, line, rule): mirror that for the oracle. *)

@@ -1,0 +1,350 @@
+(* Unit tests for the production transport's parts: the Peer_manager
+   liveness state machine, the Buf_pool free-list (qcheck churn), and
+   Sockmsg batch roundtrips over real loopback sockets (skipped where
+   the environment provides none). *)
+
+module P = Lbrm_run.Peer_manager
+module Buf_pool = Lbrm_run.Buf_pool
+module Sockmsg = Lbrm_run.Sockmsg
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+let state_t =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (P.state_label s))
+    (fun a b -> a == b)
+
+let check_state = Alcotest.check (Alcotest.option state_t)
+
+(* --- Peer_manager ------------------------------------------------------ *)
+
+let pm_lifecycle () =
+  let pm = P.create ~suspect_after:3.0 ~dead_after:30.0 () in
+  P.ensure pm ~port:9001 ~now:0.0;
+  check_state "registered" (Some P.Connecting) (P.state pm ~port:9001);
+  P.note_recv pm ~port:9001 ~now:0.5;
+  check_state "rx activates" (Some P.Active) (P.state pm ~port:9001);
+  P.tick pm ~now:1.0;
+  check_state "short silence stays active" (Some P.Active)
+    (P.state pm ~port:9001);
+  P.tick pm ~now:4.0;
+  check_state "silence > suspect_after" (Some P.Suspect)
+    (P.state pm ~port:9001);
+  P.tick pm ~now:31.0;
+  check_state "silence > dead_after" (Some P.Dead) (P.state pm ~port:9001);
+  P.note_recv pm ~port:9001 ~now:32.0;
+  check_state "dead peer revives on rx" (Some P.Active)
+    (P.state pm ~port:9001)
+
+let pm_connecting_ages () =
+  (* A peer that never spoke still decays: Connecting -> Suspect -> Dead
+     on the same silence clock. *)
+  let pm = P.create ~suspect_after:3.0 ~dead_after:30.0 () in
+  P.ensure pm ~port:9002 ~now:0.0;
+  P.tick pm ~now:4.0;
+  check_state "silent connecting peer" (Some P.Suspect)
+    (P.state pm ~port:9002);
+  P.tick pm ~now:31.0;
+  check_state "then dead" (Some P.Dead) (P.state pm ~port:9002)
+
+let pm_transitions_observed () =
+  let log = ref [] in
+  let pm =
+    P.create ~suspect_after:3.0 ~dead_after:30.0
+      ~on_transition:(fun ~port ~before ~after ->
+        log := (port, P.state_label before, P.state_label after) :: !log)
+      ()
+  in
+  P.ensure pm ~port:7 ~now:0.0;
+  P.note_recv pm ~port:7 ~now:0.0;
+  P.tick pm ~now:4.0;
+  P.tick pm ~now:31.0;
+  P.note_recv pm ~port:7 ~now:32.0;
+  Alcotest.(check (list (triple int string string)))
+    "full causal chain"
+    [
+      (7, "connecting", "active");
+      (7, "active", "suspect");
+      (7, "suspect", "dead");
+      (7, "dead", "active");
+    ]
+    (List.rev !log)
+
+let pm_sends_never_gate () =
+  (* Receiver-reliable stance: outgoing traffic is bookkeeping only and
+     never refreshes liveness. *)
+  let pm = P.create ~suspect_after:3.0 ~dead_after:30.0 () in
+  P.note_recv pm ~port:5 ~now:0.0;
+  P.note_sent pm ~port:5 ~now:2.9;
+  P.note_sent pm ~port:5 ~now:3.5;
+  P.tick pm ~now:4.0;
+  check_state "sends do not keep a peer alive" (Some P.Suspect)
+    (P.state pm ~port:5);
+  Alcotest.(check (option (pair int int)))
+    "traffic counted" (Some (2, 1))
+    (P.traffic pm ~port:5)
+
+let pm_fanout_skips_dead_only () =
+  let pm = P.create ~suspect_after:1.0 ~dead_after:5.0 () in
+  List.iter (fun p -> P.join pm ~group:1 ~port:p ~now:0.0) [ 13; 11; 12 ];
+  P.note_recv pm ~port:11 ~now:4.8 (* stays active *);
+  P.note_recv pm ~port:12 ~now:3.0 (* suspect at sweep *);
+  (* 13 never speaks: silent since 0.0 -> dead at 6.0 *)
+  P.tick pm ~now:6.0;
+  check_state "suspect keeps receiving" (Some P.Suspect) (P.state pm ~port:12);
+  check_state "silent member died" (Some P.Dead) (P.state pm ~port:13);
+  let walked = ref [] in
+  P.iter_live_members pm ~group:1 ~except:0 (fun p -> walked := p :: !walked);
+  Alcotest.(check (list int))
+    "dead skipped, ascending order" [ 11; 12 ] (List.rev !walked);
+  let walked = ref [] in
+  P.iter_live_members pm ~group:1 ~except:12 (fun p -> walked := p :: !walked);
+  Alcotest.(check (list int)) "except honored" [ 11 ] (List.rev !walked);
+  checki "group_size counts every state" 3 (P.group_size pm ~group:1);
+  checkb "dead member still a member" true (P.member pm ~group:1 ~port:13);
+  P.leave pm ~group:1 ~port:11;
+  checkb "leave removes" false (P.member pm ~group:1 ~port:11);
+  checki "group shrinks" 2 (P.group_size pm ~group:1)
+
+let pm_counts () =
+  let pm = P.create ~suspect_after:1.0 ~dead_after:5.0 () in
+  P.ensure pm ~port:1 ~now:10.0;
+  P.note_recv pm ~port:2 ~now:9.9;
+  P.note_recv pm ~port:3 ~now:8.0;
+  P.note_recv pm ~port:4 ~now:1.0;
+  P.tick pm ~now:10.0;
+  let connecting, active, suspect, dead = P.counts pm in
+  checki "connecting" 1 connecting;
+  checki "active" 1 active;
+  checki "suspect" 1 suspect;
+  checki "dead" 1 dead;
+  checki "known" 4 (P.known pm)
+
+(* --- Buf_pool ----------------------------------------------------------- *)
+
+let pool_slots_distinct () =
+  let pool = Buf_pool.create ~slots:8 ~slot_size:128 () in
+  let bufs = List.init 8 (fun _ -> Buf_pool.lease pool) in
+  checki "pool drained" 0 (Buf_pool.free_count pool);
+  List.iter
+    (fun b ->
+      checkb "pooled" true (Buf_pool.pooled b);
+      checkb "in region" true (b.Buf_pool.bytes == Buf_pool.region pool);
+      checki "slot-aligned offset" 0 (b.Buf_pool.off mod 128))
+    bufs;
+  let offs = List.map (fun b -> b.Buf_pool.off) bufs in
+  checki "distinct offsets" 8 (List.length (List.sort_uniq Int.compare offs));
+  List.iter (Buf_pool.release pool) bufs;
+  checki "all returned" 8 (Buf_pool.free_count pool);
+  checki "outstanding zero" 0 (Buf_pool.outstanding pool);
+  checki "max outstanding" 8 (Buf_pool.max_outstanding pool)
+
+let pool_exhaustion_fallback () =
+  let pool = Buf_pool.create ~slots:2 ~slot_size:64 () in
+  let a = Buf_pool.lease pool and b = Buf_pool.lease pool in
+  let c = Buf_pool.lease pool in
+  checkb "fallback is not pooled" false (Buf_pool.pooled c);
+  checki "fallback marked" (-1) c.Buf_pool.slot;
+  checki "fallback counted" 1 (Buf_pool.fallback_allocs pool);
+  checki "fallback capacity matches slots" 64 c.Buf_pool.cap;
+  Buf_pool.release pool c;
+  checki "fallback release is a no-op" 0 (Buf_pool.free_count pool);
+  Buf_pool.release pool a;
+  Buf_pool.release pool b;
+  checki "pool intact after fallback churn" 2 (Buf_pool.free_count pool)
+
+let pool_double_release_refused () =
+  let pool = Buf_pool.create ~slots:4 ~slot_size:64 () in
+  let a = Buf_pool.lease pool in
+  Buf_pool.release pool a;
+  Buf_pool.release pool a;
+  checki "double release counted" 1 (Buf_pool.double_releases pool);
+  checki "free list not corrupted" 4 (Buf_pool.free_count pool);
+  (* The same slot can still cycle normally afterwards. *)
+  let b = Buf_pool.lease pool in
+  checkb "slot reusable" true (Buf_pool.pooled b);
+  Buf_pool.release pool b;
+  checki "still intact" 4 (Buf_pool.free_count pool)
+
+(* Random lease/release churn: whatever the interleaving, no slot is
+   ever leased twice concurrently, and returning everything restores the
+   full free list with zero double-release complaints. *)
+let pool_churn_qcheck =
+  QCheck.Test.make ~count:200 ~name:"buf_pool: churn preserves invariants"
+    QCheck.(list (int_range 0 5))
+    (fun ops ->
+      let slots = 6 in
+      let pool = Buf_pool.create ~slots ~slot_size:32 () in
+      let held = ref [] in
+      let live_offsets () =
+        List.filter_map
+          (fun b ->
+            if Buf_pool.pooled b then Some b.Buf_pool.off else None)
+          !held
+      in
+      List.iter
+        (fun op ->
+          if op mod 2 = 0 then held := Buf_pool.lease pool :: !held
+          else
+            match !held with
+            | [] -> ()
+            | b :: rest ->
+                Buf_pool.release pool b;
+                held := rest;
+          let offs = live_offsets () in
+          if
+            List.length offs
+            <> List.length (List.sort_uniq Int.compare offs)
+          then QCheck.Test.fail_report "slot leased twice concurrently";
+          if Buf_pool.outstanding pool > slots then
+            QCheck.Test.fail_report "outstanding exceeds pool size")
+        ops;
+      List.iter (Buf_pool.release pool) !held;
+      Buf_pool.free_count pool = slots
+      && Buf_pool.outstanding pool = 0
+      && Buf_pool.double_releases pool = 0)
+
+(* --- Sockmsg over real sockets ------------------------------------------ *)
+
+let make_socket () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.set_nonblock s;
+  s
+
+let port_of s =
+  match Unix.getsockname s with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> assert false
+
+let sockets_available =
+  lazy
+    (match make_socket () with
+    | s ->
+        Unix.close s;
+        true
+    | exception Unix.Unix_error _ -> false)
+
+let require_sockets () =
+  if not (Lazy.force sockets_available) then
+    Alcotest.skip () (* no loopback sockets in this sandbox *)
+
+let loopback_ip =
+  match Sockmsg.ipv4_of_string "127.0.0.1" with
+  | Some ip -> ip
+  | None -> assert false
+
+(* Stage [count] datagrams of the given lengths in a region, ship them
+   through [send_batch], read everything back with [recv_batch] and
+   check length, source port and byte-for-byte payload of each. *)
+let roundtrip ~use_mmsg ~use_gso lens_in =
+  let slot = 256 in
+  let count = Array.length lens_in in
+  let tx = make_socket () and rx = make_socket () in
+  let dst = port_of rx and src = port_of tx in
+  let region = Bytes.create (2 * count * slot) in
+  let tx_offs = Array.init count (fun i -> i * slot) in
+  let rx_offs = Array.init count (fun i -> (count + i) * slot) in
+  let tx_ports = Array.make count dst in
+  let rx_lens = Array.make count 0 and rx_ports = Array.make count 0 in
+  Array.iteri
+    (fun i len ->
+      Bytes.fill region tx_offs.(i) len (Char.chr (0x41 + (i mod 26))))
+    lens_in;
+  Sockmsg.send_batch ~use_mmsg ~use_gso tx region ~offs:tx_offs ~lens:lens_in
+    ~ports:tx_ports ~count ~ip:loopback_ip ~sockaddr:(fun p ->
+      Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+  let got = ref 0 and spins = ref 0 in
+  while !got < count && !spins < 100 do
+    (match Unix.select [ rx ] [] [] 0.2 with
+    | [], _, _ -> incr spins
+    | _ -> ());
+    let scratch_offs = Array.init (count - !got) (fun i -> rx_offs.(!got + i)) in
+    let scratch_lens = Array.make (count - !got) 0 in
+    let scratch_ports = Array.make (count - !got) 0 in
+    let n =
+      Sockmsg.recv_batch ~use_mmsg rx region ~offs:scratch_offs ~slot
+        ~count:(count - !got) ~lens:scratch_lens ~ports:scratch_ports
+    in
+    for i = 0 to n - 1 do
+      rx_lens.(!got + i) <- scratch_lens.(i);
+      rx_ports.(!got + i) <- scratch_ports.(i)
+    done;
+    got := !got + n
+  done;
+  Unix.close tx;
+  Unix.close rx;
+  checki "all datagrams arrived" count !got;
+  for i = 0 to count - 1 do
+    checki "length preserved" lens_in.(i) rx_lens.(i);
+    checki "source port" src rx_ports.(i);
+    Alcotest.(check string)
+      "payload intact"
+      (Bytes.sub_string region tx_offs.(i) lens_in.(i))
+      (Bytes.sub_string region rx_offs.(i) rx_lens.(i))
+  done
+
+let sockmsg_mmsg_roundtrip () =
+  require_sockets ();
+  (* Mixed lengths force the sendmmsg tier even with GSO enabled. *)
+  roundtrip ~use_mmsg:Sockmsg.mmsg_available ~use_gso:true
+    [| 17; 141; 99; 1; 255; 64; 200; 33 |]
+
+let sockmsg_fallback_roundtrip () =
+  require_sockets ();
+  roundtrip ~use_mmsg:false ~use_gso:false [| 10; 20; 30; 40 |]
+
+let sockmsg_gso_roundtrip () =
+  require_sockets ();
+  if not (Sockmsg.mmsg_available && Sockmsg.gso_available ()) then
+    Alcotest.skip ();
+  let gso0, _, _ = Sockmsg.tx_tiers () in
+  (* Uniform run with a shorter final segment: one GSO super-datagram
+     must come back out of the kernel as 8 distinct datagrams. *)
+  roundtrip ~use_mmsg:true ~use_gso:true [| 120; 120; 120; 120; 120; 120; 120; 48 |];
+  let gso1, _, _ = Sockmsg.tx_tiers () in
+  checki "run took the GSO tier" 8 (gso1 - gso0)
+
+let sockmsg_monotonic_clock () =
+  let prev = ref (Sockmsg.monotonic_now ()) in
+  for _ = 1 to 1000 do
+    let t = Sockmsg.monotonic_now () in
+    checkb "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "peer_manager",
+        [
+          Alcotest.test_case "lifecycle" `Quick pm_lifecycle;
+          Alcotest.test_case "connecting ages out" `Quick pm_connecting_ages;
+          Alcotest.test_case "transitions observed" `Quick
+            pm_transitions_observed;
+          Alcotest.test_case "sends never gate liveness" `Quick
+            pm_sends_never_gate;
+          Alcotest.test_case "fan-out skips dead only" `Quick
+            pm_fanout_skips_dead_only;
+          Alcotest.test_case "counts" `Quick pm_counts;
+        ] );
+      ( "buf_pool",
+        [
+          Alcotest.test_case "slots distinct" `Quick pool_slots_distinct;
+          Alcotest.test_case "exhaustion falls back" `Quick
+            pool_exhaustion_fallback;
+          Alcotest.test_case "double release refused" `Quick
+            pool_double_release_refused;
+          qtest pool_churn_qcheck;
+        ] );
+      ( "sockmsg",
+        [
+          Alcotest.test_case "mmsg roundtrip" `Quick sockmsg_mmsg_roundtrip;
+          Alcotest.test_case "fallback roundtrip" `Quick
+            sockmsg_fallback_roundtrip;
+          Alcotest.test_case "gso roundtrip" `Quick sockmsg_gso_roundtrip;
+          Alcotest.test_case "monotonic clock" `Quick sockmsg_monotonic_clock;
+        ] );
+    ]

@@ -299,6 +299,44 @@ let prop_mutation_fuzz =
             | Error _ -> false)
       end)
 
+let encode_at_slots () =
+  (* [encode_at] is the batched runtime's entry point: it must place the
+     message exactly at [pos], never touch bytes outside [pos, pos+size),
+     and leave the buffer untouched on any error. *)
+  let m = Message.Data { seq = 17; epoch = 3; payload = p "slotted" } in
+  let size = Message.body_size m in
+  let buf = Bytes.make (size + 16) '\xAA' in
+  (match Codec.encode_at buf ~pos:8 ~limit:(8 + size) m with
+  | Error e -> Alcotest.failf "encode_at: %s" (Codec.error_to_string e)
+  | Ok n ->
+      checki "returned length is body_size" size n;
+      (match Codec.decode_bytes ~pos:8 ~len:n buf with
+      | Ok m' -> Alcotest.check msg_testable "roundtrips at offset" m m'
+      | Error e -> Alcotest.failf "decode_bytes: %s" (Codec.error_to_string e));
+      for i = 0 to 7 do
+        checkb "prefix guard untouched" true (Bytes.get buf i = '\xAA')
+      done;
+      for i = 8 + size to Bytes.length buf - 1 do
+        checkb "suffix guard untouched" true (Bytes.get buf i = '\xAA')
+      done);
+  (* Slot too small: refused up front, nothing written. *)
+  let tight = Bytes.make (size + 8) '\xBB' in
+  (match Codec.encode_at tight ~pos:8 ~limit:(8 + size - 1) m with
+  | Ok _ -> Alcotest.fail "encode_at accepted an undersized slot"
+  | Error (Codec.Bad_value _) ->
+      checkb "undersized slot leaves buffer untouched" true
+        (Bytes.for_all (fun c -> c = '\xBB') tight)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Codec.error_to_string e));
+  (* Validation failures are caught before the bound check writes. *)
+  let over = Message.Nack { seqs = List.init (Codec.nack_max + 1) Fun.id } in
+  let room = Bytes.make (8 * (Codec.nack_max + 2)) '\xCC' in
+  match Codec.encode_at room ~pos:0 ~limit:(Bytes.length room) over with
+  | Ok _ -> Alcotest.fail "encode_at accepted an over-bound NACK"
+  | Error (Codec.Bad_value _) ->
+      checkb "invalid message leaves buffer untouched" true
+        (Bytes.for_all (fun c -> c = '\xCC') room)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Codec.error_to_string e)
+
 let prop_promote_bound =
   (* Encoding succeeds exactly within the decoder's Promote bound, and
      every encodable Promote round-trips. *)
@@ -347,6 +385,8 @@ let () =
             nack_at_bound_roundtrips;
           Alcotest.test_case "promote at the 1024 bound" `Quick
             promote_at_bound;
+          Alcotest.test_case "encode_at fills slots in place" `Quick
+            encode_at_slots;
         ] );
       ( "properties",
         [

@@ -19,6 +19,10 @@
                         matched on both Ok and Error (or handed whole
                         to a handler); never get_ok'd, ignored or
                         asserted away.
+     [raw-socket]       no direct Unix.sendto/recvfrom anywhere except
+                        lib/run/sockmsg.ml, the transport's single
+                        kernel-facing choke point (batching, fallback
+                        and retry live there).
 
    Findings print as `file:line: [rule] message`.  A checked-in
    allowlist (lint.allow) grandfathers documented exceptions; stale
@@ -341,12 +345,30 @@ let from_stdlib p =
   let head = Ident.name (Path.head p) in
   String.equal head "Stdlib" || has_prefix ~prefix:"Stdlib__" head
 
+(* [raw-socket] — datagram syscalls outside the transport choke point.
+   Sockmsg owns batching, the portable fallback and the full-buffer
+   retry; a stray sendto/recvfrom silently skips all three. *)
+let raw_socket_banned n =
+  match n with
+  | "Unix.sendto" | "Unix.recvfrom" | "UnixLabels.sendto"
+  | "UnixLabels.recvfrom" ->
+      true
+  | _ -> false
+
+let raw_socket_exempt src = String.equal src "lib/run/sockmsg.ml"
+
 let inspect_ident ctx e p =
   let n = norm_path p in
   (* [obj-magic] — everywhere *)
   if String.equal n "Obj.magic" then
     emit ctx ~loc:e.exp_loc ~rule:"obj-magic"
       "Obj.magic defeats the type system; use a typed alternative"
+  else if raw_socket_banned n && not (raw_socket_exempt ctx.src) then
+    emit ctx ~loc:e.exp_loc ~rule:"raw-socket"
+      (Printf.sprintf
+         "%s bypasses the batched transport; all datagram IO goes through \
+          Lbrm_run.Sockmsg"
+         n)
   else if ctx.protocol then begin
     (* [sans-io] *)
     (match sans_io_violation p e.exp_type with
