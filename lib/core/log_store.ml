@@ -267,13 +267,15 @@ let place t ~now ~seq ~epoch ~payload =
   t.payloads.(i) <- payload;
   t.stamps.(i) <- now
 
-let add t ~now ~seq ~epoch ~payload =
+let[@lint.hot] add t ~now ~seq ~epoch ~payload =
   if mem t seq then false
   else if not (make_room t ~now ~seq) then begin
     (* Bounded window, seq too old to keep: logically added and
        immediately FIFO-evicted. *)
     t.evictions <- t.evictions + 1;
-    t.on_evict { seq; epoch; payload; logged_at = now };
+    t.on_evict
+      ({ seq; epoch; payload; logged_at = now }
+      [@lint.alloc "drop-on-arrival path: the eviction callback needs an entry"]);
     true
   end
   else begin
@@ -306,7 +308,7 @@ let add t ~now ~seq ~epoch ~payload =
     true
   end
 
-let get t ~now seq =
+let[@lint.hot] get t ~now seq =
   if not (mem t seq) then None
   else
     let e = entry_at t seq in
@@ -314,7 +316,7 @@ let get t ~now seq =
       evict_seq t seq;
       None
     end
-    else Some e
+    else (Some e [@lint.alloc "recovery path: option-boxed result"])
 
 let newest t = if t.count = 0 then None else Some (entry_at t t.hi)
 let highest_contiguous t = if t.count = 0 then None else Some t.contig

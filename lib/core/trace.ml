@@ -15,19 +15,24 @@ module Seqno = Lbrm_util.Seqno
 type address = Lbrm_wire.Message.address
 type seq = Seqno.t
 
+(* [@@lint.telemetry]: the [dead-telemetry] lint pass checks that every
+   constructor below is emitted by some machine in the linted tree. *)
 type retrans_mode =
   | R_unicast of address
   | R_site_mcast
   | R_rchannel
   | R_stat
+[@@lint.telemetry]
 
 type failover_step =
   | F_suspected
   | F_query of { round : int; replicas : int }
   | F_promoted of { primary : address; redeposits : int }
   | F_kept of address
+[@@lint.telemetry]
 
 type rediscovery_step = D_started | D_adopted of address | D_exhausted
+[@@lint.telemetry]
 
 type event =
   | Send of { seq : seq }
@@ -50,6 +55,7 @@ type event =
   | Pop_repair of { seq : seq; repaired : int; remaining : int }
   | Encode_failed of { kind : string; size : int }
   | Peer_state of { peer : address; before : string; after : string }
+[@@lint.telemetry]
 
 type record = { at : float; node : address; ev : event }
 

@@ -45,7 +45,7 @@ let slot_size t = t.slot_size
 let slots t = t.nslots
 let pooled b = b.slot >= 0
 
-let lease t =
+let[@lint.hot] lease t =
   if t.free_top > 0 then begin
     t.free_top <- t.free_top - 1;
     let slot = t.free.(t.free_top) in
@@ -57,10 +57,11 @@ let lease t =
   end
   else begin
     t.fallback_allocs <- t.fallback_allocs + 1;
-    { bytes = Bytes.create t.slot_size; off = 0; cap = t.slot_size; slot = -1 }
+    ({ bytes = Bytes.create t.slot_size; off = 0; cap = t.slot_size; slot = -1 }
+    [@lint.alloc "pool exhausted: fallback buffer, counted by fallback_allocs"])
   end
 
-let release t b =
+let[@lint.hot] release t b =
   if b.slot >= 0 then
     if t.in_use.(b.slot) then begin
       t.in_use.(b.slot) <- false;

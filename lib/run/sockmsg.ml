@@ -79,7 +79,7 @@ let ipv4_of_string s =
 
 (* --- receive ---------------------------------------------------------- *)
 
-let rec recv_fallback fd region offs slot count lens ports i =
+let[@lint.hot] rec recv_fallback fd region offs slot count lens ports i =
   if i >= count then i
   else
     match Unix.recvfrom fd region offs.(i) slot [] with
@@ -96,7 +96,7 @@ let rec recv_fallback fd region offs slot count lens ports i =
     | _, Unix.ADDR_UNIX _ ->
         recv_fallback fd region offs slot count lens ports i
 
-let recv_batch ~use_mmsg fd region ~offs ~slot ~count ~lens ~ports =
+let[@lint.hot] recv_batch ~use_mmsg fd region ~offs ~slot ~count ~lens ~ports =
   if count <= 0 then 0
   else if use_mmsg && mmsg_available then
     let n = recvmmsg_stub fd region offs slot (min count batch_max) lens ports in
@@ -110,7 +110,7 @@ let recv_batch ~use_mmsg fd region ~offs ~slot ~count ~lens ~ports =
    lossless — injected loss is the only drop source. *)
 let wait_writable fd = ignore (Unix.select [] [ fd ] [] 0.01)
 
-let rec send_one fd region ~off ~len addr =
+let[@lint.hot] rec send_one fd region ~off ~len addr =
   match Unix.sendto fd region off len [] addr with
   | _ -> incr single_datagrams
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -129,12 +129,12 @@ let gso_max_bytes = 65000
    datagrams to one destination port, each exactly as long as the first
    (one shorter FINAL segment is allowed — the kernel's trailing-segment
    rule), staying under the super-datagram byte ceiling. *)
-let uniform_run lens ports ~start ~count =
+let[@lint.hot] uniform_run lens ports ~start ~count =
   let seg = lens.(start) and port = ports.(start) in
   let stop = start + count in
-  let i = ref (start + 1) in
-  let bytes = ref seg in
-  let closed = ref false in
+  let i = (ref (start + 1) [@lint.alloc "scan register, one word per GSO run scan"]) in
+  let bytes = (ref seg [@lint.alloc "scan register, one word per GSO run scan"]) in
+  let closed = (ref false [@lint.alloc "scan register, one word per GSO run scan"]) in
   while
     (not !closed)
     && !i < stop
@@ -151,7 +151,7 @@ let uniform_run lens ports ~start ~count =
 (* One GSO send, retried across full socket buffers.  [false] means the
    kernel rejected it outright: the tier turns itself off and the caller
    re-dispatches the same range through sendmmsg. *)
-let rec send_gso_run fd region offs lens ports ~start ~run ~ip =
+let[@lint.hot] rec send_gso_run fd region offs lens ports ~start ~run ~ip =
   match
     send_gso_stub fd region offs lens start run lens.(start) ip ports.(start)
   with
@@ -163,24 +163,24 @@ let rec send_gso_run fd region offs lens ports ~start ~run ~ip =
       gso_enabled := false;
       false
 
-let mmsg_range fd region offs lens ports ~start ~stop ~ip =
-  let sent = ref start in
+let[@lint.hot] mmsg_range fd region offs lens ports ~start ~stop ~ip =
+  let sent = (ref start [@lint.alloc "retry cursor, one word per sendmmsg range"]) in
   while !sent < stop do
     let n = sendmmsg_stub fd region offs lens ports !sent (stop - !sent) ip in
     if n <= 0 then wait_writable fd else sent := !sent + n
   done;
   mmsg_datagrams := !mmsg_datagrams + (stop - start)
 
-let send_batch ~use_mmsg ~use_gso fd region ~offs ~lens ~ports ~count ~ip
+let[@lint.hot] send_batch ~use_mmsg ~use_gso fd region ~offs ~lens ~ports ~count ~ip
     ~sockaddr =
   if count > 0 then
     if use_mmsg && mmsg_available then begin
-      let run_at i =
+      let[@lint.alloc "one dispatch closure per batch flush"] run_at i =
         if use_gso && !gso_enabled then
           uniform_run lens ports ~start:i ~count:(count - i)
         else 0
       in
-      let i = ref 0 in
+      let i = (ref 0 [@lint.alloc "batch cursor, one word per flush"]) in
       while !i < count do
         let run = run_at !i in
         if run >= gso_min_run then begin
@@ -194,7 +194,7 @@ let send_batch ~use_mmsg ~use_gso fd region ~offs ~lens ~ports ~count ~ip
         else begin
           (* Mixed stretch: everything up to the next long uniform run
              goes out as one sendmmsg range. *)
-          let j = ref (!i + 1) in
+          let j = (ref (!i + 1) [@lint.alloc "range cursor, one word per mixed stretch"]) in
           while !j < count && run_at !j < gso_min_run do incr j done;
           mmsg_range fd region offs lens ports ~start:!i ~stop:!j ~ip;
           i := !j

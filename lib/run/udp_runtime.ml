@@ -120,10 +120,16 @@ let create ?(bind_ip = "127.0.0.1") ?(loss = 0.) ?(seed = 1) ?(batch = 64)
       Hashtbl.add addr_cache port a;
       a
   in
-  let rx_bufs = Array.init batch (fun _ -> Buf_pool.lease pool) in
+  let rx_bufs =
+    Array.init batch (fun _ ->
+        (Buf_pool.lease pool
+        [@lint.owns "rx ring slot, held for the runtime's lifetime"]))
+  in
   assert (Array.for_all Buf_pool.pooled rx_bufs);
   (* Seed value for the stage arrays; only indices < tx_count are live. *)
-  let b0 = Buf_pool.lease pool in
+  let[@lint.owns "seed value for the tx stage arrays; released right here"] b0 =
+    Buf_pool.lease pool
+  in
   let tx_bufs = Array.make batch b0 in
   Buf_pool.release pool b0;
   {
@@ -141,7 +147,7 @@ let create ?(bind_ip = "127.0.0.1") ?(loss = 0.) ?(seed = 1) ?(batch = 64)
     runtime_metrics;
     agents = Hashtbl.create 16;
     by_socket = Hashtbl.create 16;
-    timer_heap = Heap.create ();
+    timer_heap = Heap.create ~dummy:(0, K_heartbeat);
     sockaddr_of;
     tx_fd = Unix.stdin;
     tx_bufs;
@@ -267,7 +273,8 @@ let send_datagram t agent ~dst msg =
       | Ok size ->
           t.tx_fd <- agent.socket;
           let i = t.tx_count in
-          t.tx_bufs.(i) <- b;
+          t.tx_bufs.(i) <-
+            (b [@lint.owns "staged for flush_tx, which releases after sendmmsg"]);
           t.tx_offs.(i) <- b.Buf_pool.off;
           t.tx_lens.(i) <- size;
           t.tx_ports.(i) <- dst;
@@ -281,7 +288,9 @@ let send_datagram t agent ~dst msg =
     else begin
       (* Pool exhausted: encode into the fallback buffer and send it
          one-shot (it is not region-backed, so it cannot join a batch). *)
-      match Codec.encode_at b.Buf_pool.bytes ~pos:0 ~limit:b.Buf_pool.cap msg with
+      (match
+         Codec.encode_at b.Buf_pool.bytes ~pos:0 ~limit:b.Buf_pool.cap msg
+       with
       | Error _ -> encode_failure t agent msg
       | Ok size ->
           t.sent <- t.sent + 1;
@@ -289,7 +298,10 @@ let send_datagram t agent ~dst msg =
             (kind_counter agent.sent_kind agent.metrics "sent."
                (Message.kind msg));
           Sockmsg.send_one agent.socket b.Buf_pool.bytes ~off:0 ~len:size
-            (t.sockaddr_of dst)
+            (t.sockaddr_of dst));
+      (* Fallback buffers are not pooled, so this is a contractual no-op,
+         but it closes the lease/release bracket on this path too. *)
+      Buf_pool.release t.pool b
     end
   end
 

@@ -299,7 +299,7 @@ let schedule t ~delay fn = schedule_kind t ~kind:kind_default ~delay fn
 
 (* Fire-and-forget scheduling: no cancellation handle, node drawn from
    the free pool — the hot path for packet hops and periodic ticks. *)
-let post_at_kind t ~kind ~time fn =
+let[@lint.hot] post_at_kind t ~kind ~time fn =
   assert (time >= now t);
   assert (kind >= 0 && kind < max_kinds);
   let seq = t.next_seq in
@@ -318,28 +318,30 @@ let post_at_kind t ~kind ~time fn =
       n
     end
     else
-      {
-        time;
-        seq;
-        bucket = 0;
-        fn;
-        prev = t.nil;
-        next = t.nil;
-        live = true;
-        recyclable = true;
-        kind;
-        born = now t;
-      }
+      ({
+         time;
+         seq;
+         bucket = 0;
+         fn;
+         prev = t.nil;
+         next = t.nil;
+         live = true;
+         recyclable = true;
+         kind;
+         born = now t;
+       }
+      [@lint.alloc "node pool empty: fresh node, recycled when it fires"])
   in
   enqueue_node t n
 
-let post_at t ~time fn = post_at_kind t ~kind:kind_default ~time fn
+let[@lint.hot] post_at t ~time fn = post_at_kind t ~kind:kind_default ~time fn
 
-let post_kind t ~kind ~delay fn =
+let[@lint.hot] post_kind t ~kind ~delay fn =
   assert (delay >= 0.);
   post_at_kind t ~kind ~time:(now t +. delay) fn
 
-let post t ~delay fn = post_at_kind t ~kind:kind_default ~time:(now t +. delay) fn
+let[@lint.hot] post t ~delay fn =
+  post_at_kind t ~kind:kind_default ~time:(now t +. delay) fn
 
 (* Blank a node that left the queue so it retains nothing, and pool it
    if no handle can ever reference it again.  Pooled nodes reuse [next]

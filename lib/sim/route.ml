@@ -27,7 +27,7 @@ let compute t src =
   let first = Array.make n None in
   let parent_link : Topo.link option array = Array.make n None in
   let visited = Array.make n false in
-  let pq = Heap.create () in
+  let pq = Heap.create ~dummy:(-1) in
   dist.(src) <- 0.;
   hops.(src) <- 0;
   ignore (Heap.add pq ~prio:0. src);

@@ -23,29 +23,22 @@ type 'a node = {
 
 type 'a handle = 'a node
 
-(* A unique physical value used to blank the [v] field of pooled nodes
-   and the payload of the sentinel.  It is never read back at type ['a]:
-   pooled nodes have no outstanding handles and every array read is
-   guarded by [len]/[index].  This is the standard trick (cf. Core's
-   [Option_array]/[Uniform_array]) for emptying a polymorphic slot
-   without retaining the old value. *)
-let junk_block = Sys.opaque_identity (ref ())
-let junk : unit -> 'a = fun () -> Obj.magic junk_block
-
 let max_pool = 256
 
 type 'a t = {
   mutable arr : 'a node array;
   mutable len : int;
   mutable next_seq : int;
-  sentinel : 'a node; (* fills slots >= len and empty pool slots *)
+  sentinel : 'a node; (* fills slots >= len and empty pool slots; its
+                         [v] is the caller's dummy, also used to blank
+                         the payload of pooled nodes *)
   mutable pool : 'a node array; (* free [put] nodes, [0, pool_len) *)
   mutable pool_len : int;
 }
 
-let create () =
+let create ~dummy =
   let sentinel =
-    { prio = nan; seq = -1; v = junk (); index = -1; recyclable = false }
+    { prio = nan; seq = -1; v = dummy; index = -1; recyclable = false }
   in
   { arr = [||]; len = 0; next_seq = 0; sentinel; pool = [||]; pool_len = 0 }
 
@@ -119,7 +112,7 @@ let add t ~prio v =
   push t node;
   node
 
-let put t ~prio v =
+let[@lint.hot] put t ~prio v =
   let node =
     if t.pool_len > 0 then begin
       let n = t.pool_len - 1 in
@@ -131,7 +124,9 @@ let put t ~prio v =
       node.v <- v;
       node
     end
-    else { prio; seq = t.next_seq; v; index = -1; recyclable = true }
+    else
+      ({ prio; seq = t.next_seq; v; index = -1; recyclable = true }
+      [@lint.alloc "node pool empty: fresh node, recycled on pop"])
   in
   t.next_seq <- t.next_seq + 1;
   push t node
@@ -141,7 +136,7 @@ let put t ~prio v =
    nothing. *)
 let recycle t node =
   if node.recyclable then begin
-    node.v <- junk ();
+    node.v <- t.sentinel.v;
     if t.pool_len < max_pool then begin
       if Array.length t.pool = 0 then t.pool <- Array.make max_pool t.sentinel;
       t.pool.(t.pool_len) <- node;

@@ -20,8 +20,11 @@ type 'a t
 type 'a handle
 (** Handle onto an entry, for cancellation. *)
 
-val create : unit -> 'a t
-(** A fresh empty heap. *)
+val create : dummy:'a -> 'a t
+(** A fresh empty heap.  [dummy] is an arbitrary value of the element
+    type used to blank freed slots and pooled nodes, so the heap's
+    backing storage never retains a value that has left the heap.  It
+    is never returned by any query. *)
 
 val size : 'a t -> int
 (** Number of live entries. *)

@@ -37,8 +37,8 @@ let sample t name =
       Hashtbl.replace t.tbl name (Sample s);
       s
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
+let[@lint.hot] incr c = c.c <- c.c + 1
+let[@lint.hot] add c n = c.c <- c.c + n
 let value c = c.c
 let set g v = g.g <- v
 let read g = g.g

@@ -176,7 +176,7 @@ let promote_max = 1024
 
 (* Same limits the decoder enforces, checked before a single byte is
    written so a rejected message never dirties the caller's writer. *)
-let validate (m : Message.t) =
+let[@lint.hot] validate (m : Message.t) =
   match m with
   | Nack { seqs } when List.compare_length_with seqs nack_max > 0 ->
       Error (Bad_value "nack list too long")
@@ -187,13 +187,14 @@ let validate (m : Message.t) =
 
 (* One reservation, then tight unchecked-growth writes: the worst-case
    burst NACK (65536 seqs) costs a single [ensure]. *)
-let seq_list w seqs =
+let[@lint.hot] seq_list w seqs =
   let n = List.length seqs in
   Writer.u32 w n;
   Writer.ensure w (4 * n);
-  List.iter (Writer.u32 w) seqs
+  (List.iter (Writer.u32 w) seqs
+  [@lint.alloc "one closure per seq-list encode; NACK bursts, not data"])
 
-let write_body w (m : Message.t) =
+let[@lint.hot] write_body w (m : Message.t) =
   Writer.u8 w (tag_of m);
   match m with
   | Data { seq; epoch; payload } ->
@@ -278,7 +279,7 @@ let encode (m : Message.t) =
    sendmmsg batches this way).  [body_size] is exact, so the slot bound
    is checked once up front and the writer can never grow — on [Error]
    the region is untouched. *)
-let encode_at buf ~pos ~limit (m : Message.t) =
+let[@lint.hot] encode_at buf ~pos ~limit (m : Message.t) =
   match validate m with
   | Error _ as e -> e
   | Ok () ->
@@ -286,10 +287,13 @@ let encode_at buf ~pos ~limit (m : Message.t) =
       if pos < 0 || limit > Bytes.length buf || size > limit - pos then
         Error (Bad_value "message exceeds slot")
       else begin
-        let w = { Writer.buf; pos } in
+        let w =
+          ({ Writer.buf; pos }
+          [@lint.alloc "one short-lived two-word writer per datagram"])
+        in
         write_body w m;
         assert (w.Writer.pos - pos = size && w.Writer.buf == buf);
-        Ok size
+        (Ok size [@lint.alloc "result boxing of the written size"])
       end
 
 let decode_seq_array r ~max ~what =
@@ -374,18 +378,24 @@ let decode_body tag r : Message.t =
         }
   | t -> fail (Bad_tag t)
 
-let decode ?pos ?len s =
+let[@lint.hot] decode ?pos ?len s =
   match
     let r = Reader.create ?pos ?len s in
     let msg = decode_body (Reader.u8_exn r) r in
-    (match Reader.remaining r with 0 -> () | n -> fail (Trailing n));
+    (match Reader.remaining r with
+    | 0 -> ()
+    | n ->
+        (fail (Trailing n)
+        [@lint.alloc "malformed datagram: error construction on the drop path"]));
     msg
   with
-  | msg -> Ok msg
-  | exception Fail e -> Error e
+  | msg -> (Ok msg [@lint.alloc "result boxing of the decoded message"])
+  | exception Fail e ->
+      (Error e
+      [@lint.alloc "malformed datagram: error construction on the drop path"])
   | exception Invalid_argument _ -> Error Truncated
 
-let decode_bytes ?pos ?len b =
+let[@lint.hot] decode_bytes ?pos ?len b =
   (* The string view is an unsafe cast: sound because decode only reads,
      but any payload views escape with the buffer's lifetime — owners
      must [Payload.to_owned] before the buffer is refilled. *)

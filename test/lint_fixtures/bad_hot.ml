@@ -1,0 +1,28 @@
+(* [hot-alloc] fixture: the fixture manifest (lint.hotpaths.fixture)
+   lists hot_path, missing_hot and a ghost function; test_lint.ml pins
+   the exact (rule, file, line) of every finding below. *)
+
+let[@lint.hot] hot_path xs =
+  let pair = (xs, xs) in
+  let boxed = Some pair in
+  let cells = List.map (fun x -> x) xs in
+  let both = (boxed, cells) in
+  ignore both;
+  String.concat "," xs
+
+(* Listed in the fixture manifest but not annotated. *)
+let missing_hot n = n + 1
+
+(* Annotated but absent from the fixture manifest. *)
+let[@lint.hot] not_listed n = n * 2
+
+(* Justification that blesses no allocation. *)
+let[@lint.hot] stale_just n = (n + 1 [@lint.alloc "covers nothing"])
+
+(* Justification without a reason string. *)
+let[@lint.hot] no_reason n = (Some (n + 1) [@lint.alloc])
+
+(* Allocation-free fast path with a justified slow path stays silent. *)
+let[@lint.hot] quiet acc n =
+  if n > acc then n
+  else List.length ((n :: []) [@lint.alloc "slow path: singleton diagnostic"])

@@ -1,0 +1,52 @@
+(* [pool-leak] fixture: every lease below misuses the Buf_pool
+   lease/release discipline in a distinct way; ok_* show the blessed
+   patterns and must stay silent.  test_lint.ml pins the lines. *)
+
+module Buf_pool = Lbrm_run.Buf_pool
+
+let pool = Buf_pool.create ~slots:4 ~slot_size:64 ()
+
+let leak () =
+  let b = Buf_pool.lease pool in
+  ignore b.Buf_pool.cap
+
+let leak_on_some_paths cond =
+  let b = Buf_pool.lease pool in
+  if cond then Buf_pool.release pool b
+
+let double_release () =
+  let b = Buf_pool.lease pool in
+  Buf_pool.release pool b;
+  Buf_pool.release pool b
+
+let unbound () = ignore (Buf_pool.lease pool)
+
+let escapes tbl =
+  let b = Buf_pool.lease pool in
+  Hashtbl.add tbl 0 b
+
+let captured () =
+  let b = Buf_pool.lease pool in
+  fun () -> b.Buf_pool.off
+
+let leaks_on_raise n =
+  let b = Buf_pool.lease pool in
+  if n < 0 then failwith "bad size"
+  else Buf_pool.release pool b
+
+(* Lease/release bracket on every path: silent. *)
+let ok_roundtrip () =
+  let b = Buf_pool.lease pool in
+  let cap = b.Buf_pool.cap in
+  Buf_pool.release pool b;
+  cap
+
+(* Documented ownership transfer: silent. *)
+let ok_transfer q =
+  Queue.add (Buf_pool.lease pool [@lint.owns "drained by the consumer"]) q
+
+(* Raise after the release is fine. *)
+let ok_release_then_raise () =
+  let b = Buf_pool.lease pool in
+  Buf_pool.release pool b;
+  failwith "done"

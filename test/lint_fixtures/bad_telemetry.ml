@@ -1,0 +1,20 @@
+(* [dead-telemetry] fixture: a vocabulary constructor nobody emits, a
+   telemetry attribute on a non-variant, and interned metric handles
+   that are never written.  test_lint.ml pins the lines. *)
+
+module Metrics = Lbrm_util.Metrics
+
+type probe = P_used of int | P_dead of int [@@lint.telemetry]
+type wrong = { w_field : int } [@@lint.telemetry]
+
+let emit n = P_used n
+let render = function P_used n -> n | P_dead n -> n
+let use_wrong w = w.w_field
+
+let m = Metrics.create ()
+let live = Metrics.counter m "fixture.live"
+let dead = Metrics.counter m "fixture.dead"
+let read_only = Metrics.gauge m "fixture.read_only"
+
+let tick () = Metrics.incr live
+let peek () = Metrics.read read_only

@@ -315,6 +315,120 @@ let sockmsg_monotonic_clock () =
     prev := t
   done
 
+(* --- Gc cross-check for the hot-path manifest --------------------------- *)
+
+(* The `zero` tag in ../lint.hotpaths claims a function's steady-state
+   path allocates nothing; the [hot-alloc] pass proves the absence of
+   allocation *sites* statically, and this test measures the claim
+   dynamically with Gc.allocated_bytes.  The measurement table below is
+   keyed by manifest function name and every zero-tagged entry must
+   have a row, so tagging a new function in the manifest forces writing
+   its measurement here. *)
+
+let manifest_zero_entries () =
+  let ic = open_in "../lint.hotpaths" in
+  let rec go acc =
+    match input_line ic with
+    | ln ->
+        let ln =
+          match String.index_opt ln '#' with
+          | Some i -> String.sub ln 0 i
+          | None -> ln
+        in
+        let acc =
+          match
+            String.split_on_char ' ' ln
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ fn; _file; "zero" ] -> fn :: acc
+          | _ -> acc
+        in
+        go acc
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+module Heap = Lbrm_util.Heap
+module Metrics = Lbrm_util.Metrics
+
+let iters = 10_000
+
+(* Each measurement runs the op [iters] times in steady state (pools
+   warmed by the setup) and returns the words allocated over the run.
+   One measurement may vouch for several manifest entries when the ops
+   only make sense as a cycle (lease/release, put/pop). *)
+let measurements : (string list * (unit -> float)) list =
+  [
+    ( [ "Buf_pool.lease"; "Buf_pool.release" ],
+      fun () ->
+        let pool = Buf_pool.create ~slots:4 ~slot_size:2048 () in
+        for _ = 1 to 100 do
+          Buf_pool.release pool (Buf_pool.lease pool)
+        done;
+        let before = Gc.allocated_bytes () in
+        for _ = 1 to iters do
+          Buf_pool.release pool (Buf_pool.lease pool)
+        done;
+        (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
+    ( [ "Heap.put" ],
+      fun () ->
+        (* Constant priority: float_of_int in the loop would box a
+           float per iteration and charge the harness's allocation to
+           the heap.  Ties break FIFO, so the cycle still exercises the
+           full put/pop path. *)
+        let h = Heap.create ~dummy:(-1) in
+        for i = 1 to 100 do
+          Heap.put h ~prio:1.0 i;
+          ignore (Heap.pop_exn h)
+        done;
+        let before = Gc.allocated_bytes () in
+        for i = 1 to iters do
+          Heap.put h ~prio:1.0 i;
+          ignore (Heap.pop_exn h)
+        done;
+        (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
+    ( [ "Metrics.incr"; "Metrics.add" ],
+      fun () ->
+        let m = Metrics.create () in
+        let c = Metrics.counter m "transport.test.hot" in
+        for _ = 1 to 100 do
+          Metrics.incr c;
+          Metrics.add c 2
+        done;
+        let before = Gc.allocated_bytes () in
+        for _ = 1 to iters do
+          Metrics.incr c;
+          Metrics.add c 2
+        done;
+        (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
+  ]
+
+let manifest_zero_allocs () =
+  let entries = manifest_zero_entries () in
+  checkb "manifest has zero-tagged entries" true (entries <> []);
+  List.iter
+    (fun fn ->
+      match List.find_opt (fun (fns, _) -> List.mem fn fns) measurements with
+      | None ->
+          Alcotest.fail
+            (Printf.sprintf
+               "zero-tagged manifest entry %s has no Gc measurement; add one \
+                to test_transport.ml"
+               fn)
+      | Some (_, measure) ->
+          let words = measure () in
+          let per_op = words /. float_of_int iters in
+          if per_op >= 0.02 then
+            Alcotest.fail
+              (Printf.sprintf
+                 "%s allocates %.4f words/op in steady state; the manifest \
+                  tags it zero"
+                 fn per_op))
+    entries
+
 let () =
   Alcotest.run "transport"
     [
@@ -346,5 +460,10 @@ let () =
             sockmsg_fallback_roundtrip;
           Alcotest.test_case "gso roundtrip" `Quick sockmsg_gso_roundtrip;
           Alcotest.test_case "monotonic clock" `Quick sockmsg_monotonic_clock;
+        ] );
+      ( "hot_paths",
+        [
+          Alcotest.test_case "zero-tagged manifest entries allocate nothing"
+            `Quick manifest_zero_allocs;
         ] );
     ]

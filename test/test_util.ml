@@ -46,7 +46,7 @@ let seqno_prop_antisym =
 (* ---- Heap ---- *)
 
 let heap_ordering () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:0. in
   List.iter (fun p -> ignore (Heap.add h ~prio:p p)) [ 5.; 1.; 3.; 2.; 4. ];
   let out = ref [] in
   let rec drain () =
@@ -62,7 +62,7 @@ let heap_ordering () =
     "sorted" [ 1.; 2.; 3.; 4.; 5. ] (List.rev !out)
 
 let heap_fifo_ties () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" in
   ignore (Heap.add h ~prio:1. "a");
   ignore (Heap.add h ~prio:1. "b");
   ignore (Heap.add h ~prio:1. "c");
@@ -72,7 +72,7 @@ let heap_fifo_ties () =
   Alcotest.check Alcotest.string "fifo c" "c" (next ())
 
 let heap_remove () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" in
   let _a = Heap.add h ~prio:1. "a" in
   let b = Heap.add h ~prio:2. "b" in
   let _c = Heap.add h ~prio:3. "c" in
@@ -87,7 +87,7 @@ let heap_prop_sorted =
   QCheck.Test.make ~name:"heap: pops are sorted"
     QCheck.(list (float_bound_inclusive 1000.))
     (fun prios ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0. in
       List.iter (fun p -> ignore (Heap.add h ~prio:p p)) prios;
       let rec drain acc =
         match Heap.pop h with
@@ -101,7 +101,7 @@ let heap_prop_remove_consistent =
   QCheck.Test.make ~name:"heap: removal keeps remaining pops sorted"
     QCheck.(list (pair (float_bound_inclusive 100.) bool))
     (fun entries ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:0. in
       let handles =
         List.map (fun (p, kill) -> (Heap.add h ~prio:p p, p, kill)) entries
       in
@@ -139,7 +139,7 @@ let heap_prop_model =
     ~name:"heap: random add/put/remove/pop matches sorted-list model"
     QCheck.(list (pair (int_bound 3) (float_bound_inclusive 50.)))
     (fun ops ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) in
       let model = ref [] in
       let handles = ref [] in
       let next_id = ref 0 in
@@ -195,7 +195,7 @@ let heap_prop_model =
    backing array and node pool must not keep its value alive.  Weak
    pointers observe collection while the heap itself stays live. *)
 let heap_no_retention () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(ref (-1)) in
   let n = 64 in
   let w = Weak.create n in
   let fill () =

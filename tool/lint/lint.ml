@@ -1,20 +1,38 @@
-(* CLI for lbrm-lint.  See lint_core.ml for the rules.
+(* CLI for lbrm-lint.  See lint_core.ml for the rules and passes.
 
-   usage: lint.exe [--allow FILE] [--all-rules] [--root DIR] <cmt...>
+   usage: lint.exe [--allow FILE] [--manifest FILE] [--sarif FILE]
+                   [--all-rules] [--root DIR] <cmt...>
 
    Arguments are .cmt files or directories containing them (each
-   library's .objs/byte directory).  Exit 0: clean; 1: findings;
-   2: usage error. *)
+   library's .objs/byte directory).  --manifest enables the [hot-alloc]
+   pass over the given lint.hotpaths file; --sarif additionally writes
+   the findings as a SARIF 2.1.0 report (written even when clean, so CI
+   always has an artifact).  Exit 0: clean; 1: findings; 2: usage
+   error. *)
 
 let () =
   let allow_file = ref None in
+  let manifest = ref None in
+  let sarif = ref None in
   let all_rules = ref false in
   let root = ref "." in
   let paths = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: lint.exe [--allow FILE] [--manifest FILE] [--sarif FILE] \
+       [--all-rules] [--root DIR] <cmt...>";
+    exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--allow" :: f :: rest ->
         allow_file := Some f;
+        parse rest
+    | "--manifest" :: f :: rest ->
+        manifest := Some f;
+        parse rest
+    | "--sarif" :: f :: rest ->
+        sarif := Some f;
         parse rest
     | "--all-rules" :: rest ->
         all_rules := true;
@@ -22,10 +40,10 @@ let () =
     | "--root" :: d :: rest ->
         root := d;
         parse rest
-    | ("--allow" | "--root") :: [] | "-h" :: _ | "--help" :: _ ->
-        prerr_endline
-          "usage: lint.exe [--allow FILE] [--all-rules] [--root DIR] <cmt...>";
-        exit 2
+    | ("--allow" | "--manifest" | "--sarif" | "--root") :: []
+    | "-h" :: _
+    | "--help" :: _ ->
+        usage ()
     | p :: rest ->
         paths := p :: !paths;
         parse rest
@@ -39,12 +57,26 @@ let () =
     match !allow_file with Some f -> Lint_core.load_allow f | None -> []
   in
   let findings =
-    Lint_core.run ~all_rules:!all_rules ~root:!root ~allow (List.rev !paths)
+    Lint_core.run ~all_rules:!all_rules ~root:!root ~allow ?manifest:!manifest
+      (List.rev !paths)
   in
-  List.iter
-    (fun f -> print_endline (Lint_core.finding_to_string f))
-    findings;
+  List.iter (fun f -> print_endline (Lint_core.finding_to_string f)) findings;
+  Option.iter (fun path -> Lint_sarif.write path findings) !sarif;
   if findings <> [] then begin
-    Printf.eprintf "lbrm-lint: %d finding(s)\n" (List.length findings);
+    let by_rule = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let r = f.Lint_core.rule in
+        Hashtbl.replace by_rule r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_rule r)))
+      findings;
+    let counts =
+      Hashtbl.fold (fun r n acc -> (r, n) :: acc) by_rule []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (r, n) -> Printf.sprintf "%s %d" r n)
+      |> String.concat ", "
+    in
+    Printf.eprintf "lbrm-lint: %d finding(s) (%s)\n" (List.length findings)
+      counts;
     exit 1
   end

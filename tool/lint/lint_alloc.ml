@@ -1,0 +1,360 @@
+(* [hot-alloc]: allocation-effect analysis over the hot-path manifest.
+
+   lint.hotpaths lists the functions on the steady-state datagram path,
+   one per line:
+
+     Module.fn path/to/file.ml [zero]
+
+   Each listed function must carry [@lint.hot] on its binding (manifest
+   and annotations are cross-checked both ways, so neither can drift),
+   and its body must be free of heap allocation except where a subtree
+   is blessed with [@lint.alloc "reason"] — the justification for a
+   counted slow path.  A justification that covers no allocation is
+   itself a finding, so annotations cannot outlive the code they
+   excuse.  The `zero` tag does not change this pass: it marks entries
+   whose fast path must measure zero minor words at runtime, which the
+   Gc cross-check in test_transport.ml enforces.
+
+   What counts as an allocation is the set a reader of the generated
+   cmm would recognise: block construction (tuples, records,
+   non-constant constructors, arrays, closures, lazy), calls into
+   allocating stdlib entry points (Bytes.create, List.map, sprintf,
+   ...), Int32/Int64/Nativeint operations returning a boxed result,
+   and partial applications.  Compiler-inserted float boxing at call
+   boundaries is deliberately out of scope — it depends on inlining —
+   and is covered by the dynamic cross-check instead. *)
+
+open Typedtree
+module C = Lint_common
+
+let rule = "hot-alloc"
+
+(* --- manifest ---------------------------------------------------------- *)
+
+type entry = {
+  e_fun : string; (* "Codec.encode_at" *)
+  e_file : string; (* "lib/wire/codec.ml" *)
+  e_zero : bool;
+  e_line : int; (* line in the manifest, for diagnostics *)
+  mutable e_seen : bool;
+}
+
+let parse_line lnum ln =
+  let ln =
+    match String.index_opt ln '#' with
+    | Some i -> String.sub ln 0 i
+    | None -> ln
+  in
+  match
+    String.split_on_char ' ' ln
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ e_fun; e_file ] ->
+      Ok (Some { e_fun; e_file; e_zero = false; e_line = lnum; e_seen = false })
+  | [ e_fun; e_file; "zero" ] ->
+      Ok (Some { e_fun; e_file; e_zero = true; e_line = lnum; e_seen = false })
+  | _ -> Error "expected `Module.fn path/to/file.ml [zero]`"
+
+let load_manifest path =
+  if not (Sys.file_exists path) then
+    ([], [ { C.file = path; line = 0; rule; msg = "hot-path manifest not found" } ])
+  else begin
+    let ic = open_in path in
+    let entries = ref [] and errs = ref [] and lnum = ref 0 in
+    (try
+       while true do
+         let ln = input_line ic in
+         incr lnum;
+         match parse_line !lnum ln with
+         | Ok None -> ()
+         | Ok (Some e) -> entries := e :: !entries
+         | Error msg ->
+             errs :=
+               {
+                 C.file = path;
+                 line = !lnum;
+                 rule;
+                 msg = "bad manifest line: " ^ msg;
+               }
+               :: !errs
+       done
+     with End_of_file -> close_in ic);
+    (List.rev !entries, List.rev !errs)
+  end
+
+let module_of_src src =
+  Filename.basename src |> Filename.remove_extension |> String.capitalize_ascii
+
+(* --- allocation classification ----------------------------------------- *)
+
+let alloc_call n =
+  match n with
+  | "ref" -> Some "ref builds a mutable cell"
+  | "^" -> Some "(^) builds a fresh string"
+  | "@" | "List.append" | "List.rev_append" | "List.rev" | "List.concat"
+  | "List.flatten" | "List.cons" | "List.init" | "List.map" | "List.mapi"
+  | "List.rev_map" | "List.concat_map" | "List.filter" | "List.filter_map"
+  | "List.sort" | "List.stable_sort" | "List.fast_sort" | "List.sort_uniq"
+  | "List.merge" | "List.split" | "List.combine" | "List.of_seq" | "List.to_seq"
+    ->
+      Some (n ^ " builds list cells")
+  | "Bytes.create" | "Bytes.make" | "Bytes.init" | "Bytes.sub" | "Bytes.copy"
+  | "Bytes.extend" | "Bytes.cat" | "Bytes.concat" | "Bytes.of_string"
+  | "Bytes.to_string" | "Bytes.sub_string" ->
+      Some (n ^ " allocates a fresh block")
+  | "String.make" | "String.init" | "String.sub" | "String.concat"
+  | "String.cat" | "String.map" | "String.mapi" | "String.to_bytes"
+  | "String.of_bytes" | "String.split_on_char" | "String.trim"
+  | "String.escaped" | "String.uppercase_ascii" | "String.lowercase_ascii"
+  | "String.capitalize_ascii" ->
+      Some (n ^ " allocates a fresh string")
+  | "Array.make" | "Array.create_float" | "Array.init" | "Array.append"
+  | "Array.concat" | "Array.sub" | "Array.copy" | "Array.of_list"
+  | "Array.to_list" | "Array.of_seq" | "Array.to_seq" | "Array.map"
+  | "Array.mapi" ->
+      Some (n ^ " allocates its result")
+  | "Hashtbl.create" | "Hashtbl.copy" | "Hashtbl.add" | "Hashtbl.replace"
+  | "Hashtbl.of_seq" ->
+      Some (n ^ " allocates hash-table storage")
+  | "Buffer.create" | "Buffer.contents" | "Buffer.to_bytes"
+  | "Buffer.add_string" | "Buffer.add_bytes" | "Buffer.add_char"
+  | "Buffer.add_substring" ->
+      Some (n ^ " allocates buffer storage")
+  | "Queue.create" | "Queue.add" | "Queue.push" ->
+      Some (n ^ " allocates queue cells")
+  | "Printf.sprintf" | "Format.sprintf" | "Format.asprintf" ->
+      Some (n ^ " formats into a fresh string")
+  | "string_of_int" | "string_of_float" | "string_of_bool" | "float_of_string"
+  | "Int.to_string" | "Float.to_string" | "Float.of_string" ->
+      Some (n ^ " allocates its result")
+  | _ -> None
+
+let boxed_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match Path.last p with
+      | "int64" | "int32" | "nativeint" -> true
+      | _ -> false)
+  | _ -> false
+
+let is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let head_ident e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+(* Structured constants — a constructor or tuple whose arguments are
+   all literals or further structured constants — are lifted to static
+   data by the compiler, so [Error (Bad_value "too long")] costs
+   nothing at runtime. *)
+let rec static_const e =
+  match e.exp_desc with
+  | Texp_constant _ -> true
+  | Texp_construct (_, _, args) -> List.for_all static_const args
+  | Texp_tuple es -> List.for_all static_const es
+  | Texp_variant (_, None) -> true
+  | Texp_variant (_, Some a) -> static_const a
+  | _ -> false
+
+let classify e =
+  match e.exp_desc with
+  | Texp_function _ -> Some "closure construction"
+  | Texp_tuple es when not (List.for_all static_const es) ->
+      Some "tuple construction"
+  | Texp_construct (_, cd, (_ :: _ as args))
+    when not (List.for_all static_const args) ->
+      Some (Printf.sprintf "`%s` constructor block" cd.Types.cstr_name)
+  | Texp_variant (_, Some a) when not (static_const a) ->
+      Some "polymorphic-variant block"
+  | Texp_record _ -> Some "record construction"
+  | Texp_array (_ :: _) -> Some "array literal"
+  | Texp_lazy _ -> Some "lazy block"
+  | Texp_object _ | Texp_new _ -> Some "object construction"
+  | Texp_pack _ -> Some "first-class-module block"
+  | Texp_letop _ -> Some "binding-operator closures"
+  | Texp_apply (f, args) -> (
+      match Option.map C.norm_path (head_ident f) with
+      | Some n when alloc_call n <> None -> alloc_call n
+      | Some n
+        when (C.has_prefix ~prefix:"Int64." n
+             || C.has_prefix ~prefix:"Int32." n
+             || C.has_prefix ~prefix:"Nativeint." n)
+             && boxed_ty e.exp_type ->
+          Some (n ^ " boxes its result")
+      | _ ->
+          if
+            List.exists (fun (_, a) -> Option.is_none a) args
+            || is_arrow e.exp_type
+          then Some "partial application builds a closure"
+          else None)
+  | _ -> None
+
+(* --- the walk ----------------------------------------------------------- *)
+
+module State = struct
+  type t = {
+    src : string;
+    out : C.finding list ref;
+    justs : (Location.t, bool ref) Hashtbl.t; (* [@lint.alloc] -> used? *)
+  }
+
+  let join a _ = a
+  let bind _ _ _ _ post = post
+  let scope_end t _ = t
+  let may_raise _ t _ = t
+  let enter_function t = t
+
+  let expr (env : Lint_cfg.env) t e =
+    (* Register every in-scope justification so a cover-nothing
+       [@lint.alloc] can be reported after the walk. *)
+    List.iter
+      (fun (a : Parsetree.attribute) ->
+        if C.attr_named C.attr_alloc a && not (Hashtbl.mem t.justs a.attr_loc)
+        then begin
+          Hashtbl.add t.justs a.attr_loc (ref false);
+          match C.attr_string [ a ] C.attr_alloc with
+          | Some (Some _) -> ()
+          | _ ->
+              t.out :=
+                {
+                  C.file = t.src;
+                  line = C.line_of a.attr_loc;
+                  rule;
+                  msg =
+                    "[@lint.alloc] needs a reason string: [@lint.alloc \"why \
+                     this slow path allocates\"]";
+                }
+                :: !(t.out)
+        end)
+      env.attrs;
+    (match classify e with
+    | None -> ()
+    | Some reason -> (
+        match List.find_opt (C.attr_named C.attr_alloc) env.attrs with
+        | Some a ->
+            (* Blessed by the nearest enclosing justification. *)
+            Option.iter
+              (fun used -> used := true)
+              (Hashtbl.find_opt t.justs a.Parsetree.attr_loc)
+        | None ->
+            t.out :=
+              {
+                C.file = t.src;
+                line = C.line_of e.exp_loc;
+                rule;
+                msg =
+                  Printf.sprintf
+                    "heap allocation on a hot path: %s; hoist it out or \
+                     justify the slow path with [@lint.alloc \"reason\"]"
+                    reason;
+              }
+              :: !(t.out)));
+    t
+end
+
+module Eval = Lint_cfg.Make (State)
+
+(* The outermost fun/function chain of a binding is the function's own
+   (static) closure, not a per-call allocation: analysis starts at the
+   bodies behind it. *)
+let rec bodies e =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_rhs; c_guard = None; _ } ]; _ } ->
+      bodies c_rhs
+  | Texp_function { cases; _ } -> List.map (fun c -> c.c_rhs) cases
+  | _ -> [ e ]
+
+let check_binding ~src out vb =
+  let t = { State.src; out; justs = Hashtbl.create 8 } in
+  List.iter (fun b -> ignore (Eval.run t b)) (bodies vb.vb_expr);
+  Hashtbl.iter
+    (fun loc used ->
+      if not !used then
+        out :=
+          {
+            C.file = src;
+            line = C.line_of loc;
+            rule;
+            msg = "[@lint.alloc] justification covers no allocation; delete it";
+          }
+          :: !out)
+    t.State.justs
+
+let check_structure ~manifest ~src str =
+  let out = ref [] in
+  let modname = module_of_src src in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) -> (
+                  let full = modname ^ "." ^ Ident.name id in
+                  let entry =
+                    List.find_opt
+                      (fun en ->
+                        String.equal en.e_fun full
+                        && String.equal en.e_file src)
+                      manifest
+                  in
+                  let hot = C.has_attr vb.vb_attributes C.attr_hot in
+                  match (entry, hot) with
+                  | Some en, true ->
+                      en.e_seen <- true;
+                      check_binding ~src out vb
+                  | Some en, false ->
+                      en.e_seen <- true;
+                      out :=
+                        {
+                          C.file = src;
+                          line = C.line_of vb.vb_loc;
+                          rule;
+                          msg =
+                            Printf.sprintf
+                              "%s is listed in the hot-path manifest but its \
+                               binding lacks [@lint.hot]"
+                              full;
+                        }
+                        :: !out;
+                      check_binding ~src out vb
+                  | None, true ->
+                      out :=
+                        {
+                          C.file = src;
+                          line = C.line_of vb.vb_loc;
+                          rule;
+                          msg =
+                            Printf.sprintf
+                              "%s is annotated [@lint.hot] but missing from \
+                               the hot-path manifest"
+                              full;
+                        }
+                        :: !out
+                  | None, false -> ())
+              | _ -> ())
+            vbs
+      | _ -> ())
+    str.str_items;
+  !out
+
+(* Manifest entries that matched nothing: the function was renamed,
+   moved, or never existed. *)
+let finish ~manifest_file entries =
+  List.filter_map
+    (fun en ->
+      if en.e_seen then None
+      else
+        Some
+          {
+            C.file = manifest_file;
+            line = en.e_line;
+            rule;
+            msg =
+              Printf.sprintf "manifest entry `%s %s` matched no top-level \
+                              binding" en.e_fun en.e_file;
+          })
+    entries

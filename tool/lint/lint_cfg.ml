@@ -1,0 +1,223 @@
+(* The shared dataflow core of the lbrm-lint analysis passes.
+
+   [Make (S)] turns a pass-specific abstract state into a
+   path-sensitive evaluator over typed-AST expressions: the evaluator
+   threads [S.t] through subexpressions in evaluation order, forks it
+   at control-flow splits (if / match / try / loops) and [S.join]s the
+   branch exits, so a pass sees every acyclic control-flow path of a
+   function body without building an explicit block graph.  The three
+   things a structured walk cannot express directly are reified for
+   the pass:
+
+   - {b exceptional edges}: [S.may_raise] fires at every expression
+     that can transfer control out of the function (an application, an
+     [assert]) as long as no enclosing [try] can intercept it — the
+     hook a leak detector needs to see lease state at the points where
+     an exception would abandon the normal path;
+   - {b evaluation context}: every visit carries a [parent] describing
+     the syntactic role of the expression on the current path (bound
+     by a [let], stored into a block, an argument of a known callee),
+     which is what turns "this ident occurs here" into "this value
+     escapes here";
+   - {b attribute scope}: the accumulated `[@lint.*]` attributes of
+     all enclosing expressions and bindings, so a justification
+     attribute blesses its whole subtree, including closure bodies.
+
+   Closure bodies run on their own paths at unknown times, so the
+   evaluator analyses them with a fresh state from [S.enter_function]
+   (findings accumulate in the pass, not the state) rather than
+   threading the current path's state through them. *)
+
+open Typedtree
+
+type parent =
+  | Top  (** statement / tail position *)
+  | Bind of Ident.t  (** direct rhs of [let x = ...] *)
+  | Build  (** element of a constructed block (tuple, record, array,
+               constructor argument) or rhs of a field assignment *)
+  | Arg of Path.t option
+      (** argument of an application; the path is the callee's head
+          ident when it is syntactically known *)
+
+type env = {
+  parent : parent;
+  attrs : Parsetree.attributes;  (** enclosing [@lint.*] attributes *)
+  try_depth : int;  (** > 0: an enclosing [try] may intercept raises *)
+}
+
+module type STATE = sig
+  type t
+
+  val join : t -> t -> t
+
+  val expr : env -> t -> expression -> t
+  (** Called on every expression before structural descent. *)
+
+  val bind : env -> t -> Ident.t -> expression -> t -> t
+  (** [bind env pre id rhs post]: a [let]-binding of [id]; [pre] is
+      the state before the rhs, [post] after it.  Returns the state
+      for the body. *)
+
+  val scope_end : t -> Ident.t -> t
+  (** [id] goes out of scope on this path. *)
+
+  val may_raise : env -> t -> expression -> t
+  (** [e] can raise with no enclosing in-function handler. *)
+
+  val enter_function : t -> t
+  (** State for analysing a closure body (a separate path). *)
+end
+
+module Make (S : STATE) = struct
+  let sub_env env ?(parent = Top) ?(attrs = []) () =
+    { env with parent; attrs = attrs @ env.attrs }
+
+  let head_path e =
+    match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+  let rec eval env st e =
+    let env = { env with attrs = e.exp_attributes @ env.attrs } in
+    let st = S.expr env st e in
+    let sub ?parent st e' = eval (sub_env env ?parent ()) st e' in
+    match e.exp_desc with
+    | Texp_ident _ | Texp_constant _ | Texp_instvar _
+    | Texp_extension_constructor _ | Texp_unreachable ->
+        st
+    | Texp_let (_, vbs, body) ->
+        let st =
+          List.fold_left
+            (fun st vb ->
+              let benv =
+                sub_env env
+                  ~parent:
+                    (match vb.vb_pat.pat_desc with
+                    | Tpat_var (id, _) -> Bind id
+                    | _ -> Top)
+                  ~attrs:vb.vb_attributes ()
+              in
+              let post = eval benv st vb.vb_expr in
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) -> S.bind benv st id vb.vb_expr post
+              | _ -> post)
+            st vbs
+        in
+        let st = sub ~parent:env.parent st body in
+        List.fold_left
+          (fun st vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) -> S.scope_end st id
+            | _ -> st)
+          st vbs
+    | Texp_function { cases; _ } ->
+        (* The body runs on its own future path. *)
+        List.iter
+          (fun c ->
+            ignore
+              (eval { env with parent = Top } (S.enter_function st) c.c_rhs))
+          cases;
+        st
+    | Texp_apply (f, args) ->
+        let st = sub st f in
+        let callee = head_path f in
+        let st =
+          List.fold_left
+            (fun st (_, a) ->
+              match a with
+              | Some a -> sub ~parent:(Arg callee) st a
+              | None -> st)
+            st args
+        in
+        if env.try_depth = 0 then S.may_raise env st e else st
+    | Texp_match (scrut, cases, _) ->
+        let st = sub st scrut in
+        join_cases env st cases
+    | Texp_try (body, handlers) ->
+        (* The handler can be entered from any point inside the body;
+           starting it from the pre-body state over-approximates the
+           set of states it can observe on the tracked facts. *)
+        let st_body =
+          eval { env with parent = Top; try_depth = env.try_depth + 1 } st body
+        in
+        List.fold_left
+          (fun acc c -> S.join acc (sub st c.c_rhs))
+          st_body handlers
+    | Texp_ifthenelse (cond, e1, e2) -> (
+        let st = sub st cond in
+        let st1 = sub ~parent:env.parent st e1 in
+        match e2 with
+        | Some e2 -> S.join st1 (sub ~parent:env.parent st e2)
+        | None -> S.join st1 st)
+    | Texp_sequence (e1, e2) ->
+        let st = sub st e1 in
+        sub ~parent:env.parent st e2
+    | Texp_while (cond, body) ->
+        let st = sub st cond in
+        (* The body may run zero times. *)
+        S.join st (sub st body)
+    | Texp_for (_, _, lo, hi, _, body) ->
+        let st = sub st lo in
+        let st = sub st hi in
+        S.join st (sub st body)
+    | Texp_tuple es | Texp_construct (_, _, es) | Texp_array es ->
+        List.fold_left (fun st e' -> sub ~parent:Build st e') st es
+    | Texp_variant (_, eo) -> (
+        match eo with Some e' -> sub ~parent:Build st e' | None -> st)
+    | Texp_record { fields; extended_expression; _ } ->
+        let st =
+          match extended_expression with Some e' -> sub st e' | None -> st
+        in
+        Array.fold_left
+          (fun st (_, def) ->
+            match def with
+            | Overridden (_, e') -> sub ~parent:Build st e'
+            | Kept _ -> st)
+          st fields
+    | Texp_field (e', _, _) -> sub st e'
+    | Texp_setfield (obj, _, _, v) ->
+        let st = sub st obj in
+        sub ~parent:Build st v
+    | Texp_assert (cond, _) ->
+        let st = sub st cond in
+        if env.try_depth = 0 then S.may_raise env st e else st
+    | Texp_lazy e' ->
+        (* Forced later, like a closure body. *)
+        ignore (eval { env with parent = Top } (S.enter_function st) e');
+        st
+    | Texp_setinstvar (_, _, _, e') -> sub st e'
+    | Texp_send (e', _) -> sub st e'
+    | Texp_letmodule (_, _, _, _, body) -> sub ~parent:env.parent st body
+    | Texp_letexception (_, body) -> sub ~parent:env.parent st body
+    | Texp_open (_, body) -> sub ~parent:env.parent st body
+    | Texp_letop { let_; ands; body; _ } ->
+        let st = sub st let_.bop_exp in
+        let st =
+          List.fold_left (fun st a -> sub st a.bop_exp) st ands
+        in
+        ignore (eval { env with parent = Top } (S.enter_function st) body.c_rhs);
+        st
+    | Texp_override (_, fields) ->
+        List.fold_left (fun st (_, _, e') -> sub st e') st fields
+    | Texp_new _ | Texp_object _ | Texp_pack _ -> st
+
+  and join_cases env st cases =
+    match
+      List.filter_map
+        (fun c ->
+          (* Exception cases of a match start from the scrutinee's
+             pre-state like a try handler; over-approximate with the
+             same post-scrutinee state. *)
+          match c.c_lhs.pat_desc with
+          | _ ->
+              let st =
+                match c.c_guard with
+                | Some g -> eval (sub_env env ()) st g
+                | None -> st
+              in
+              Some (eval (sub_env env ~parent:env.parent ()) st c.c_rhs))
+        cases
+    with
+    | [] -> st
+    | first :: rest -> List.fold_left S.join first rest
+
+  let run st e = eval { parent = Top; attrs = []; try_depth = 0 } st e
+end

@@ -1,7 +1,14 @@
-(* lbrm-lint: typed-AST invariant checker for the protocol plane.
+(* lbrm-lint: typed-AST analysis suite for the protocol plane.
 
-   Walks the .cmt files dune produces for every library and enforces
-   the four repo invariants described in DESIGN.md "Static invariants":
+   This module is the driver: it walks the .cmt files dune produces
+   for every library, runs the single-pass rule list below, hands each
+   typed structure to the dataflow passes (Lint_alloc [hot-alloc],
+   Lint_pool [pool-leak], Lint_telemetry [dead-telemetry] — all built
+   on the shared Lint_cfg evaluator), applies the allowlist, and
+   reports.
+
+   The rule-list pass enforces the repo invariants described in
+   DESIGN.md "Static invariants":
 
      [sans-io]          protocol libraries (lib/util, lib/wire, lib/sim,
                         lib/core, lib/baselines) reference no Unix, no
@@ -31,20 +38,15 @@
 
 open Typedtree
 
-type finding = { file : string; line : int; rule : string; msg : string }
+type finding = Lint_common.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  msg : string;
+}
 
-let finding_to_string f =
-  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
-
-let compare_finding a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = String.compare a.rule b.rule in
-      if c <> 0 then c else String.compare a.msg b.msg
+let finding_to_string = Lint_common.finding_to_string
+let compare_finding = Lint_common.compare_finding
 
 (* --- allowlist ------------------------------------------------------- *)
 
@@ -99,24 +101,9 @@ let allowed entries f =
       hit)
     entries
 
-(* --- path normalisation ---------------------------------------------- *)
+(* --- path normalisation (see Lint_common) ------------------------------ *)
 
-(* "Stdlib.compare" -> "compare"; "Lbrm__Io.action" -> "Io.action";
-   "Stdlib__Hashtbl.hash" -> "Hashtbl.hash".  Makes ident matching
-   robust against module aliasing and dune's wrapped-library name
-   mangling. *)
-let norm_component c =
-  match String.rindex_opt c '_' with
-  | Some i when i >= 1 && c.[i - 1] = '_' ->
-      String.sub c (i + 1) (String.length c - i - 1)
-  | _ -> c
-
-let norm_path p =
-  Path.name p
-  |> String.split_on_char '.'
-  |> List.map norm_component
-  |> List.filter (fun c -> c <> "Stdlib")
-  |> String.concat "."
+let norm_path = Lint_common.norm_path
 
 (* --- type inspection -------------------------------------------------- *)
 
@@ -180,9 +167,7 @@ let stdio_banned =
     "read_float_opt";
   ]
 
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.equal (String.sub s 0 (String.length prefix)) prefix
+let has_prefix = Lint_common.has_prefix
 
 (* [sans-io] violation message for an ident, if any. *)
 let sans_io_violation path ty =
@@ -508,8 +493,11 @@ let classify src = List.exists (fun d -> has_prefix ~prefix:d src) protocol_dirs
 (* Lint one .cmt file.  [root] resolves the relative -I paths recorded
    in the cmt (needed to reconstruct typing environments for type
    abbreviation expansion); when they do not resolve the checker falls
-   back to structural type inspection. *)
-let lint_cmt ?(all_rules = false) ?(root = ".") path =
+   back to structural type inspection.  [manifest] entries feed the
+   [hot-alloc] pass; [telemetry] is the cross-file accumulator for
+   [dead-telemetry] (facts are reported by Lint_telemetry.finish once
+   every file has been scanned). *)
+let lint_cmt ?(all_rules = false) ?(root = ".") ?manifest ?telemetry path =
   let cmt = Cmt_format.read_cmt path in
   let normalize_src src =
     (* ppx-preprocessed modules record "foo.pp.ml"; report "foo.ml". *)
@@ -533,7 +521,15 @@ let lint_cmt ?(all_rules = false) ?(root = ".") path =
       in
       let it = make_iterator ctx in
       it.structure it str;
-      List.sort compare_finding ctx.out
+      let alloc =
+        match manifest with
+        | Some entries -> Lint_alloc.check_structure ~manifest:entries ~src str
+        | None -> []
+      in
+      let pool = Lint_pool.check_structure ~src str in
+      Option.iter (fun acc -> Lint_telemetry.scan_structure acc ~src str)
+        telemetry;
+      List.sort compare_finding (ctx.out @ alloc @ pool)
   | _ -> []
 
 let cmts_of_dir dir =
@@ -544,29 +540,61 @@ let cmts_of_dir dir =
 
 (* Lint a set of .cmt files and/or directories; returns the remaining
    findings after the allowlist plus one finding per stale allowlist
-   entry. *)
-let run ?(all_rules = false) ?(root = ".") ?(allow = []) paths =
+   entry.  [manifest] is the path to the hot-path manifest
+   (lint.hotpaths); when absent the [hot-alloc] pass is skipped.  The
+   [dead-telemetry] pass always runs, accumulating across every file
+   in the invocation — the whole tree must therefore be linted in one
+   run for its verdict to be meaningful. *)
+let run ?(all_rules = false) ?(root = ".") ?(allow = []) ?manifest paths =
   let files =
     List.concat_map
       (fun p -> if Sys.is_directory p then cmts_of_dir p else [ p ])
       paths
   in
-  let found = List.concat_map (fun f -> lint_cmt ~all_rules ~root f) files in
+  let entries, manifest_findings =
+    match manifest with
+    | None -> (None, [])
+    | Some path ->
+        let entries, errs = Lint_alloc.load_manifest path in
+        (Some entries, errs)
+  in
+  let telemetry = Lint_telemetry.create () in
+  let found =
+    List.concat_map
+      (fun f -> lint_cmt ~all_rules ~root ?manifest:entries ~telemetry f)
+      files
+  in
+  let found =
+    found @ manifest_findings
+    @ (match (manifest, entries) with
+      | Some path, Some entries -> Lint_alloc.finish ~manifest_file:path entries
+      | _ -> [])
+    @ Lint_telemetry.finish telemetry
+  in
   let kept = List.filter (fun f -> not (allowed allow f)) found in
   let stale =
     List.filter_map
       (fun e ->
         if e.a_used then None
         else
+          let missing =
+            not (Sys.file_exists (Filename.concat root e.a_file))
+          in
           Some
             {
               file = e.a_file;
               line = (match e.a_line with Some l -> l | None -> 0);
               rule = "stale-allow";
               msg =
-                Printf.sprintf
-                  "allowlist entry `%s %s` matched nothing; delete it" e.a_rule
-                  e.a_file;
+                (if missing then
+                   Printf.sprintf
+                     "allowlist entry `%s %s` names a file that no longer \
+                      exists; delete it"
+                     e.a_rule e.a_file
+                 else
+                   Printf.sprintf
+                     "allowlist entry `%s %s` matched nothing; delete it"
+                     e.a_rule e.a_file);
             })
       allow
   in

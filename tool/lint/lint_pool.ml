@@ -1,0 +1,256 @@
+(* [pool-leak]: path-sensitive lease/release discipline for Buf_pool.
+
+   Every `Buf_pool.lease` must reach exactly one `Buf_pool.release` (or
+   a documented ownership transfer) on every control-flow path of the
+   function that leased it, including the exceptional ones.  The pass
+   tracks each let-bound lease through Lint_cfg's abstract evaluator:
+
+     Live         leased, release still owed on this path
+     Done         released (or reported; findings don't cascade)
+     Transferred  ownership documented elsewhere via [@lint.owns];
+                  one release is still permitted (release of a
+                  transferred fallback buf is a no-op by contract)
+     Mixed        join of paths that disagree — released on some,
+                  not on others
+
+   Escapes — storing a Live slot into a constructed block, passing it
+   to a storing function (Array.set, Hashtbl.add, ...), or capturing
+   it in a closure — end local reasoning, so they are findings unless
+   the expression carries [@lint.owns "who releases"], the repo's
+   ownership-transfer convention (DESIGN.md).  Raises are modelled at
+   the known raisers (failwith, invalid_arg, raise, assert) when no
+   enclosing in-function handler exists; a `try` handler is analysed
+   from the pre-body state, which over-approximates every point the
+   body could raise from.
+
+   The pass is intraprocedural over top-level bindings: a lease
+   returned to a caller or threaded through a helper needs
+   [@lint.owns]. *)
+
+open Typedtree
+module C = Lint_common
+
+let rule = "pool-leak"
+
+type status = Live | Done | Transferred | Mixed
+
+let callee_is e names =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> C.path_ends_with p names
+  | _ -> false
+
+let is_lease_app e =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> callee_is f [ "Buf_pool"; "lease" ]
+  | _ -> false
+
+let storing_fn n =
+  match n with
+  | "Array.make" | "Array.set" | "Array.unsafe_set" | "Array.fill"
+  | "Hashtbl.add" | "Hashtbl.replace" | "Queue.add" | "Queue.push" ->
+      true
+  | _ -> false
+
+let raising e =
+  match e.exp_desc with
+  | Texp_assert _ -> true
+  | Texp_apply (f, _) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) -> (
+          match C.norm_path p with
+          | "failwith" | "invalid_arg" | "raise" | "raise_notrace" -> true
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+module State = struct
+  type slot = { loc : Location.t; status : status; depth : int }
+
+  type t = {
+    src : string;
+    out : C.finding list ref;
+    depth : int; (* closure nesting; a deeper reference is a capture *)
+    slots : (Ident.t * slot) list;
+  }
+
+  let emit t loc msg =
+    t.out := { C.file = t.src; line = C.line_of loc; rule; msg } :: !(t.out)
+
+  let join_status a b =
+    if a = b then a
+    else
+      match (a, b) with
+      | (Done | Transferred), (Done | Transferred) -> Done
+      | _ -> Mixed
+
+  let join a b =
+    let merged =
+      List.map
+        (fun (id, sa) ->
+          match List.find_opt (fun (id', _) -> Ident.same id id') b.slots with
+          | Some (_, sb) ->
+              (id, { sa with status = join_status sa.status sb.status })
+          | None -> (id, sa))
+        a.slots
+    in
+    let only_b =
+      List.filter
+        (fun (id, _) ->
+          not (List.exists (fun (id', _) -> Ident.same id id') a.slots))
+        b.slots
+    in
+    { a with slots = merged @ only_b }
+
+  let find t id =
+    List.find_opt (fun (id', _) -> Ident.same id id') t.slots |> Option.map snd
+
+  let set t id status =
+    {
+      t with
+      slots =
+        List.map
+          (fun (id', s) ->
+            if Ident.same id id' then (id', { s with status }) else (id', s))
+          t.slots;
+    }
+
+  let bind (env : Lint_cfg.env) _pre id rhs post =
+    if is_lease_app rhs then
+      let status =
+        if C.has_attr env.attrs C.attr_owns then Transferred else Live
+      in
+      {
+        post with
+        slots =
+          (id, { loc = rhs.exp_loc; status; depth = post.depth }) :: post.slots;
+      }
+    else post
+
+  let owns_doc = "[@lint.owns \"who releases\"]"
+
+  let expr (env : Lint_cfg.env) t e =
+    match e.exp_desc with
+    | Texp_apply (f, args) when callee_is f [ "Buf_pool"; "release" ] ->
+        List.fold_left
+          (fun t (_, a) ->
+            match a with
+            | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } -> (
+                match find t id with
+                | None -> t
+                | Some s -> (
+                    match s.status with
+                    | Live | Transferred -> set t id Done
+                    | Done ->
+                        emit t e.exp_loc
+                          "buffer released twice along this path";
+                        t
+                    | Mixed ->
+                        emit t e.exp_loc
+                          "buffer may already have been released on a path \
+                           reaching this release";
+                        set t id Done))
+            | _ -> t)
+          t args
+    | Texp_apply (f, _) when callee_is f [ "Buf_pool"; "lease" ] -> (
+        match env.parent with
+        | Lint_cfg.Bind _ -> t
+        | _ ->
+            if C.has_attr env.attrs C.attr_owns then t
+            else begin
+              emit t e.exp_loc
+                ("lease result is not bound, so its release cannot be \
+                  tracked; bind it or document the transfer with " ^ owns_doc);
+              t
+            end)
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match find t id with
+        | Some s when s.status = Live || s.status = Mixed ->
+            let owns = C.has_attr env.attrs C.attr_owns in
+            if t.depth > s.depth then
+              if owns then set t id Transferred
+              else begin
+                emit t e.exp_loc
+                  ("leased buffer captured by a closure; release cannot be \
+                    verified — document the transfer with " ^ owns_doc);
+                set t id Done
+              end
+            else (
+              match env.parent with
+              | Lint_cfg.Build ->
+                  if owns then set t id Transferred
+                  else begin
+                    emit t e.exp_loc
+                      ("leased buffer escapes into a heap structure before \
+                        release; release it first or document the transfer \
+                        with " ^ owns_doc);
+                    set t id Done
+                  end
+              | Lint_cfg.Arg (Some callee)
+                when storing_fn (C.norm_path callee) ->
+                  if owns then set t id Transferred
+                  else begin
+                    emit t e.exp_loc
+                      (Printf.sprintf
+                         "leased buffer stored via %s before release; release \
+                          it first or document the transfer with %s"
+                         (C.norm_path callee) owns_doc);
+                    set t id Done
+                  end
+              | _ -> t)
+        | _ -> t)
+    | _ -> t
+
+  let may_raise _env t e =
+    if raising e then
+      List.fold_left
+        (fun t (id, s) ->
+          match s.status with
+          | Live | Mixed ->
+              emit t e.exp_loc
+                (Printf.sprintf
+                   "an exception raised here leaks the buffer leased at line \
+                    %d; release before raising, or catch and release"
+                   (C.line_of s.loc));
+              set t id Done
+          | Done | Transferred -> t)
+        t t.slots
+    else t
+
+  let scope_end t id =
+    match find t id with
+    | None -> t
+    | Some s ->
+        (match s.status with
+        | Live ->
+            emit t s.loc
+              "leased buffer is never released; every Buf_pool.lease must \
+               reach exactly one release or a documented [@lint.owns] transfer"
+        | Mixed ->
+            emit t s.loc
+              "leased buffer is released on some control-flow paths but not \
+               all"
+        | Done | Transferred -> ());
+        {
+          t with
+          slots = List.filter (fun (id', _) -> not (Ident.same id id')) t.slots;
+        }
+
+  let enter_function t = { t with depth = t.depth + 1 }
+end
+
+module Eval = Lint_cfg.Make (State)
+
+let check_structure ~src str =
+  let out = ref [] in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              ignore
+                (Eval.run { State.src; out; depth = 0; slots = [] } vb.vb_expr))
+            vbs
+      | _ -> ())
+    str.str_items;
+  !out

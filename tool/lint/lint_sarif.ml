@@ -1,0 +1,60 @@
+(* SARIF 2.1.0 rendering of lint findings — the machine-readable twin
+   of the `file:line: [rule] message` text form, so CI can upload the
+   report as an artifact and code-scanning UIs can ingest it.  The
+   subset emitted here is the minimal valid shape: one run, one driver,
+   one result per finding with a physical location. *)
+
+module C = Lint_common
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rule_ids findings =
+  List.sort_uniq String.compare (List.map (fun f -> f.C.rule) findings)
+
+let to_string findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+     \"name\":\"lbrm-lint\",\
+     \"informationUri\":\"https://example.invalid/lbrm\",\"rules\":[";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"id\":\"%s\"}" (json_escape id)))
+    (rule_ids findings);
+  Buffer.add_string b "]}},\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\
+            \"%s\"},\"locations\":[{\"physicalLocation\":{\
+            \"artifactLocation\":{\"uri\":\"%s\",\"uriBaseId\":\"SRCROOT\"},\
+            \"region\":{\"startLine\":%d}}}]}"
+           (json_escape f.C.rule) (json_escape f.C.msg) (json_escape f.C.file)
+           (max 1 f.C.line)))
+    findings;
+  Buffer.add_string b "]}]}";
+  Buffer.contents b
+
+let write path findings =
+  let oc = open_out path in
+  output_string oc (to_string findings);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,221 @@
+(* [dead-telemetry]: cross-module liveness for the observability plane.
+
+   Two vocabularies can rot silently: the Trace event constructors
+   (PR 5's typed trace vocabulary) and the interned Metrics names.
+   This pass accumulates facts across every .cmt in the run and
+   reports the difference at the end:
+
+   - every constructor of a variant type marked [@@lint.telemetry]
+     must be constructed somewhere in the analysed tree — a
+     constructor that only ever appears in the renderer's match is
+     vocabulary nobody emits;
+   - every Metrics handle bound with `let h = Metrics.counter/gauge/
+     sample t name` must be written (incr/add/set/observe) or escape
+     into a structure that plausibly writes it.  Reads (value/read)
+     and `ignore` do not keep a handle alive.  The dominant inline
+     form `Metrics.incr (Metrics.counter t name)` registers and
+     writes in one expression and needs no tracking.
+
+   Handle liveness is keyed by (module, identifier name): precise
+   enough for the repo's flat metric bindings, and any aliasing slack
+   errs toward silence, not false findings. *)
+
+open Typedtree
+module C = Lint_common
+
+let rule = "dead-telemetry"
+
+type acc = {
+  declared : (string * string, string * int) Hashtbl.t;
+      (* (type name, constructor) -> declaration (src, line) *)
+  constructed : (string * string, unit) Hashtbl.t;
+  registered : (string * string, string * int * string) Hashtbl.t;
+      (* (module, ident) -> (src, line, kind) *)
+  written : (string * string, unit) Hashtbl.t;
+  used : (string * string, unit) Hashtbl.t; (* escaped: assumed live *)
+  mutable out : C.finding list;
+}
+
+let create () =
+  {
+    declared = Hashtbl.create 64;
+    constructed = Hashtbl.create 512;
+    registered = Hashtbl.create 32;
+    written = Hashtbl.create 64;
+    used = Hashtbl.create 64;
+    out = [];
+  }
+
+let module_of_src src =
+  Filename.basename src |> Filename.remove_extension |> String.capitalize_ascii
+
+(* (module, name) for a reference: a Pident resolves inside the module
+   being scanned; a dotted path carries its module with it. *)
+let key_of_path ~modname p =
+  match p with
+  | Path.Pident id -> (modname, Ident.name id)
+  | _ -> (
+      let n = C.norm_path p in
+      match String.rindex_opt n '.' with
+      | Some i ->
+          (String.sub n 0 i, String.sub n (i + 1) (String.length n - i - 1))
+      | None -> (modname, n))
+
+let register_kind e =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) ->
+          if C.path_ends_with p [ "Metrics"; "counter" ] then Some "counter"
+          else if C.path_ends_with p [ "Metrics"; "gauge" ] then Some "gauge"
+          else if C.path_ends_with p [ "Metrics"; "sample" ] then Some "sample"
+          else None
+      | _ -> None)
+  | _ -> None
+
+let write_fn p =
+  C.path_ends_with p [ "Metrics"; "incr" ]
+  || C.path_ends_with p [ "Metrics"; "add" ]
+  || C.path_ends_with p [ "Metrics"; "set" ]
+  || C.path_ends_with p [ "Metrics"; "observe" ]
+  || C.path_ends_with p [ "Stats"; "Sample"; "add" ]
+
+let read_fn p =
+  C.path_ends_with p [ "Metrics"; "value" ]
+  || C.path_ends_with p [ "Metrics"; "read" ]
+
+let handle_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      C.path_ends_with p [ "Metrics"; "counter" ]
+      || C.path_ends_with p [ "Metrics"; "gauge" ]
+      || C.path_ends_with p [ "Stats"; "Sample"; "t" ]
+  | _ -> false
+
+let scan_structure acc ~src str =
+  let modname = module_of_src src in
+  (* Telemetry vocabulary declarations. *)
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_type (_, tds) ->
+          List.iter
+            (fun td ->
+              if C.has_attr td.typ_attributes C.attr_telemetry then
+                match td.typ_kind with
+                | Ttype_variant cds ->
+                    List.iter
+                      (fun cd ->
+                        Hashtbl.replace acc.declared
+                          (td.typ_name.txt, cd.cd_name.txt)
+                          (src, C.line_of cd.cd_loc))
+                      cds
+                | _ ->
+                    acc.out <-
+                      {
+                        C.file = src;
+                        line = C.line_of td.typ_loc;
+                        rule;
+                        msg = "[@@lint.telemetry] only applies to variant types";
+                      }
+                      :: acc.out)
+            tds
+      | _ -> ())
+    str.str_items;
+  (* Handle uses consumed by a write/read/ignore are claimed at the
+     application so the generic ident case below doesn't count them as
+     escapes. *)
+  let claimed : (Location.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let claim (e : expression) = Hashtbl.replace claimed e.exp_loc () in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_construct (_, cd, _) ->
+        let tyname =
+          match Types.get_desc cd.Types.cstr_res with
+          | Types.Tconstr (p, _, _) -> Path.last p
+          | _ -> ""
+        in
+        Hashtbl.replace acc.constructed (tyname, cd.Types.cstr_name) ()
+    | Texp_apply (f, args) -> (
+        match f.exp_desc with
+        | Texp_ident (p, _, _) when write_fn p ->
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some ae when handle_ty ae.exp_type -> (
+                    claim ae;
+                    match ae.exp_desc with
+                    | Texp_ident (ap, _, _) ->
+                        Hashtbl.replace acc.written (key_of_path ~modname ap)
+                          ()
+                    | _ -> ())
+                | _ -> ())
+              args
+        | Texp_ident (p, _, _)
+          when read_fn p || String.equal (C.norm_path p) "ignore" ->
+            (* Neither a read nor an ignore keeps a handle alive. *)
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some ae when handle_ty ae.exp_type -> claim ae
+                | _ -> ())
+              args
+        | _ -> ())
+    | _ -> ());
+    (match e.exp_desc with
+    | Texp_ident (p, _, _)
+      when handle_ty e.exp_type && not (Hashtbl.mem claimed e.exp_loc) ->
+        Hashtbl.replace acc.used (key_of_path ~modname p) ()
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let value_binding sub vb =
+    (match (vb.vb_pat.pat_desc, register_kind vb.vb_expr) with
+    | Tpat_var (id, _), Some kind ->
+        Hashtbl.replace acc.registered
+          (modname, Ident.name id)
+          (src, C.line_of vb.vb_expr.exp_loc, kind)
+    | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it = { Tast_iterator.default_iterator with expr; value_binding } in
+  it.structure it str
+
+let finish acc =
+  let dead_cstrs =
+    Hashtbl.fold
+      (fun (ty, cstr) (src, line) out ->
+        if Hashtbl.mem acc.constructed (ty, cstr) then out
+        else
+          {
+            C.file = src;
+            line;
+            rule;
+            msg =
+              Printf.sprintf
+                "constructor %s of [@@lint.telemetry] type `%s` is never \
+                 emitted by any machine; delete it or emit it"
+                cstr ty;
+          }
+          :: out)
+      acc.declared []
+  in
+  let dead_metrics =
+    Hashtbl.fold
+      (fun ((_, name) as key) (src, line, kind) out ->
+        if Hashtbl.mem acc.written key || Hashtbl.mem acc.used key then out
+        else
+          {
+            C.file = src;
+            line;
+            rule;
+            msg =
+              Printf.sprintf
+                "%s handle `%s` is interned but never written; delete the \
+                 registration or write it"
+                kind name;
+          }
+          :: out)
+      acc.registered []
+  in
+  acc.out @ dead_cstrs @ dead_metrics
