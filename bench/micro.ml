@@ -301,6 +301,42 @@ let bench_population ~sites ~members ~packets () =
       ("heap_mb", heap_mb);
     ] )
 
+(* ---- replication: strategy deposit/ack hot path ---------------------- *)
+
+(* Pump the source-side {!Lbrm.Replication} machine directly: one
+   deposit plus its matching ack(s) per op, no network or engine in the
+   loop.  Measures the per-packet cost of each strategy's deposit
+   routing and ack-floor bookkeeping (the quorum path's floor sort is a
+   zero-alloc manifest entry). *)
+let bench_replication ~replication ~ops () =
+  let cfg = { Lbrm.Config.default with replication } in
+  let members = [ 2; 3; 4 ] in
+  let rep =
+    Lbrm.Replication.create cfg ~self:1 ~primary:2
+      ~replicas:(List.tl members)
+      ~retained_above:(fun _ -> 0)
+      ()
+  in
+  let payload = String.make 128 'x' in
+  for seq = 1 to ops do
+    ignore
+      (Lbrm.Replication.deposit rep ~now:0.0 ~seq ~epoch:1 ~payload
+        : Lbrm.Io.action list);
+    let ack msg src =
+      ignore
+        (Lbrm.Replication.on_message rep ~now:0.0 ~src msg
+          : (Lbrm.Io.action list * Lbrm.Replication.event list) option)
+    in
+    match replication with
+    | Lbrm.Config.R_primary ->
+        ack (Message.Log_ack { primary_seq = seq; replica_seq = seq }) 2
+    | Lbrm.Config.R_ring -> ack (Message.Ring_ack { seq }) 4
+    | Lbrm.Config.R_quorum ->
+        List.iter (fun m -> ack (Message.Quorum_ack { seq }) m) members
+  done;
+  assert (Lbrm.Replication.durable rep = ops);
+  (ops, [])
+
 (* ---- chaos: fail-over and rediscovery under injected faults ---------- *)
 
 (* End-to-end fault drills: a primary-logger crash mid-stream and a
@@ -327,6 +363,25 @@ let bench_chaos () =
       ("rediscovery_latency_p99", Sample.percentile rl 99.);
       ("failovers", float_of_int p.Chaos.failovers);
       ("rediscoveries", float_of_int s.Chaos.rediscoveries);
+    ] )
+
+(* The same primary-crash drill under the ring / quorum strategies: the
+   replica-set head dies mid-stream, the source must promote.  Extras
+   report the strategy's fail-over latency and its window of loss (the
+   promotion's re-deposit count — packets the strategy had not made
+   durable at the new floor). *)
+let bench_chaos_strategy ~replication () =
+  let module Chaos = Lbrm_run.Chaos in
+  let module Sample = Lbrm_util.Stats.Sample in
+  let p = Chaos.primary_crash ~replication () in
+  let fl = Lbrm_sim.Trace.sample p.Chaos.trace "failover_latency" in
+  let wl = Lbrm_sim.Trace.sample p.Chaos.trace "window_of_loss" in
+  ( p.Chaos.delivered,
+    [
+      ("violations", float_of_int (List.length p.Chaos.violations));
+      ("failover_latency", Sample.median fl);
+      ("window_of_loss", Sample.median wl);
+      ("failovers", float_of_int p.Chaos.failovers);
     ] )
 
 (* ---------------------------------------------------------------------- *)
@@ -363,9 +418,20 @@ let () =
   run_bench ~reps:1 ~name:"population_1m"
     (bench_population ~sites:64 ~members:(scale 15_625)
        ~packets:(if smoke then 10 else 60));
+  run_bench ~reps ~name:"replication_primary"
+    (bench_replication ~replication:Lbrm.Config.R_primary
+       ~ops:(scale 200_000));
+  run_bench ~reps ~name:"replication_ring"
+    (bench_replication ~replication:Lbrm.Config.R_ring ~ops:(scale 200_000));
+  run_bench ~reps ~name:"replication_quorum"
+    (bench_replication ~replication:Lbrm.Config.R_quorum ~ops:(scale 200_000));
   (* Fixed-size drills: the virtual-time schedules are part of the
      scenario, so there is nothing to scale down for smoke. *)
   run_bench ~reps:1 ~name:"chaos_failover" bench_chaos;
+  run_bench ~reps:1 ~name:"chaos_failover_ring"
+    (bench_chaos_strategy ~replication:Lbrm.Config.R_ring);
+  run_bench ~reps:1 ~name:"chaos_failover_quorum"
+    (bench_chaos_strategy ~replication:Lbrm.Config.R_quorum);
   match json with
   | Some path ->
       Bench_common.emit_json suite path;

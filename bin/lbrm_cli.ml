@@ -136,10 +136,35 @@ let simulate_cmd =
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let chaos seed soak h_min =
+let replication_conv =
+  let parse s =
+    match Lbrm.Config.replication_of_string s with
+    | Some r -> Ok r
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown replication strategy %S" s))
+  in
+  let print ppf r =
+    Format.pp_print_string ppf (Lbrm.Config.replication_label r)
+  in
+  Arg.conv (parse, print)
+
+let replication_arg =
+  Arg.(
+    value
+    & opt replication_conv Lbrm.Config.R_primary
+    & info [ "replication" ] ~docv:"STRATEGY"
+        ~doc:
+          "Logger-replication strategy: $(b,primary) (deposits to one \
+           primary that fans to replicas), $(b,ring) (hop-by-hop deposits \
+           around an ordered replica ring, tail acks), or $(b,quorum) \
+           (deposit multicast to all members, durable at a majority of \
+           floors).")
+
+let chaos seed soak h_min replication =
   let module C = Lbrm_run.Chaos in
   let outcomes =
-    C.run_scripted ?h_min () @ if soak then [ C.random_chaos ~seed () ] else []
+    C.run_scripted ?h_min ~replication ()
+    @ if soak then [ C.random_chaos ~seed ~replication () ] else []
   in
   let failed = ref 0 in
   List.iter
@@ -153,6 +178,10 @@ let chaos seed soak h_min =
       if Lbrm_util.Stats.Sample.count fl > 0 then
         Printf.printf "  failover latency    : %.3f s\n"
           (Lbrm_util.Stats.Sample.median fl);
+      let wl = Lbrm_sim.Trace.sample o.C.trace "window_of_loss" in
+      if Lbrm_util.Stats.Sample.count wl > 0 then
+        Printf.printf "  window of loss      : %.0f packets re-deposited\n"
+          (Lbrm_util.Stats.Sample.median wl);
       let rl = Lbrm_sim.Trace.sample o.C.trace "rediscovery_latency" in
       if Lbrm_util.Stats.Sample.count rl > 0 then
         Printf.printf "  rediscovery latency : median %.3f s, p99 %.3f s \
@@ -191,7 +220,7 @@ let chaos_cmd =
        ~doc:
          "Run the fault-injection scenarios (logger crashes, site \
           partition) and check end-to-end invariants")
-    Term.(const chaos $ seed $ soak $ h_min)
+    Term.(const chaos $ seed $ soak $ h_min $ replication_arg)
 
 
 (* ------------------------------------------------------------------ *)
@@ -201,7 +230,7 @@ let chaos_cmd =
 (* Reconstruct, from the merged typed trace of a scripted scenario, the
    causal chain of every loss: gap detection -> NACK -> logger
    retransmission -> delivery, plus recovery-latency percentiles. *)
-let trace_scenario name seed jsonl_path ring_size =
+let trace_scenario name seed jsonl_path ring_size replication =
   let module C = Lbrm_run.Chaos in
   let module T = Lbrm.Trace in
   let module Tl = Lbrm.Timeline in
@@ -217,9 +246,11 @@ let trace_scenario name seed jsonl_path ring_size =
   (* events, plus (dropped, capacity) when a bounded ring recorded them *)
   let events, ring_drops =
     match name with
-    | "primary-crash" -> ((C.primary_crash ~seed ()).C.events, None)
-    | "secondary-crash" -> ((C.secondary_crash ~seed ()).C.events, None)
-    | "partition-heal" -> ((C.partition_heal ~seed ()).C.events, None)
+    | "primary-crash" -> ((C.primary_crash ~seed ~replication ()).C.events, None)
+    | "secondary-crash" ->
+        ((C.secondary_crash ~seed ~replication ()).C.events, None)
+    | "partition-heal" ->
+        ((C.partition_heal ~seed ~replication ()).C.events, None)
     | "lossy" when ring_size > 0 ->
         let ring = T.Ring.create ~capacity:ring_size in
         run_lossy (T.Ring.sink ring);
@@ -310,7 +341,9 @@ let trace_cmd =
        ~doc:
          "Run a scripted scenario with tracing enabled and print the \
           causal recovery timeline of every loss")
-    Term.(const trace_scenario $ scenario $ seed $ jsonl $ ring_size)
+    Term.(
+      const trace_scenario $ scenario $ seed $ jsonl $ ring_size
+      $ replication_arg)
 
 (* ------------------------------------------------------------------ *)
 (* udp                                                                 *)

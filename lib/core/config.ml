@@ -1,4 +1,16 @@
 type heartbeat_policy = Fixed | Variable
+type replication = R_primary | R_ring | R_quorum
+
+let replication_label = function
+  | R_primary -> "primary"
+  | R_ring -> "ring"
+  | R_quorum -> "quorum"
+
+let replication_of_string = function
+  | "primary" -> Some R_primary
+  | "ring" -> Some R_ring
+  | "quorum" -> Some R_quorum
+  | _ -> None
 
 type t = {
   group : int;
@@ -14,7 +26,10 @@ type t = {
   retrans_retry_limit : int;
   rediscovery_silence : float;
   recover_from_start : bool;
+  replication : replication;
   deposit_timeout : float;
+  deposit_backoff : float;
+  deposit_timeout_max : float;
   deposit_retry_limit : int;
   source_retain_max : int;
   remcast_request_threshold : int;
@@ -53,7 +68,10 @@ let default =
     retrans_retry_limit = 4;
     rediscovery_silence = 128.;
     recover_from_start = true;
+    replication = R_primary;
     deposit_timeout = 0.5;
+    deposit_backoff = 2.;
+    deposit_timeout_max = 4.;
     deposit_retry_limit = 5;
     source_retain_max = 65536;
     remcast_request_threshold = 3;
@@ -97,4 +115,16 @@ let validate t =
   else if t.t_wait_alpha <= 0. || t.t_wait_alpha > 1. then
     err "t_wait_alpha must be in (0,1]"
   else if t.rchannel_copies <= 0 then err "rchannel_copies must be positive"
+  else if t.deposit_timeout <= 0. then err "deposit_timeout must be positive"
+  else if t.deposit_backoff < 1. then
+    err "deposit_backoff must be >= 1 (got %g)" t.deposit_backoff
+  else if t.deposit_timeout_max < t.deposit_timeout then
+    err "deposit_timeout_max %g < deposit_timeout %g" t.deposit_timeout_max
+      t.deposit_timeout
   else Ok t
+
+(* Retry delay for deposit attempt [attempt] (0-based): exponential
+   backoff from [deposit_timeout] capped at [deposit_timeout_max]. *)
+let deposit_delay t ~attempt =
+  let d = t.deposit_timeout *. (t.deposit_backoff ** float_of_int attempt) in
+  if d > t.deposit_timeout_max then t.deposit_timeout_max else d

@@ -8,6 +8,23 @@ type heartbeat_policy =
   | Fixed  (** heartbeat every [h_min] while idle — the §2.1.2 baseline *)
   | Variable  (** exponential backoff from [h_min] to [h_max] — LBRM *)
 
+type replication =
+  | R_primary
+      (** §2.2.3 primary/secondary: deposits go to one primary which
+          fans updates to replicas; fail-over queries the replica set *)
+  | R_ring
+      (** deposits forwarded hop-by-hop around an ordered replica ring
+          with pipelined cumulative acks from the tail *)
+  | R_quorum
+      (** source multicasts deposits to every replica-set member; a seq
+          is durable once a majority acks *)
+
+val replication_label : replication -> string
+(** ["primary"], ["ring"], ["quorum"]. *)
+
+val replication_of_string : string -> replication option
+(** Inverse of {!replication_label}. *)
+
 type t = {
   group : int;  (** data multicast group id *)
   (* heartbeats *)
@@ -40,9 +57,13 @@ type t = {
           packet has seq > 1 knows the earlier ones exist; when set, it
           recovers them (back-fills history after joining late or losing
           the first packets) *)
-  (* source → primary logger handoff *)
-  deposit_timeout : float;
-  deposit_retry_limit : int;  (** then the primary is suspected dead *)
+  (* source → logger deposit handoff *)
+  replication : replication;  (** logger-replication strategy *)
+  deposit_timeout : float;  (** initial deposit retry timer *)
+  deposit_backoff : float;
+      (** retry-delay growth multiple per unacked attempt (>= 1) *)
+  deposit_timeout_max : float;  (** cap on the backed-off retry delay *)
+  deposit_retry_limit : int;  (** then the deposit target is suspected dead *)
   source_retain_max : int;
       (** soft cap on the source's replay table: above it, entries that
           both the primary and best replica have acknowledged are
@@ -90,3 +111,8 @@ val fixed_heartbeat : t -> t
 
 val validate : t -> (t, string) result
 (** Check parameter sanity (h_min ≤ h_max, backoff > 1, …). *)
+
+val deposit_delay : t -> attempt:int -> float
+(** Retry delay for 0-based deposit [attempt]:
+    [deposit_timeout · deposit_backoff^attempt] capped at
+    [deposit_timeout_max]. *)

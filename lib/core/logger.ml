@@ -20,8 +20,10 @@ type t = {
   source : address;
   mutable parent : address option;
   mutable replicas : address list;
+  mutable succ : address option; (* ring replication: next hop, None = tail *)
   store : Log_store.t;
-  archive : Archive.t option; (* disk tier fed by store eviction *)
+  mutable archive : Archive.t option; (* disk tier fed by store eviction *)
+  mutable archive_write_errors : int;
   tracker : Gap_tracker.t; (* what this logger knows exists *)
   recovered_here : (seq, unit) Hashtbl.t; (* packets we had to pull *)
   pending_up : (seq, address list ref) Hashtbl.t; (* awaiting parent *)
@@ -37,25 +39,44 @@ type t = {
   mutable on_rchannel : bool; (* subscribed to the retransmission channel *)
 }
 
-let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng
+let create cfg ~self ~source ?parent ?(replicas = []) ?succ ?archive ~rng
     ?(sink = Trace.null ()) () =
+  (* The eviction hook closes over the logger record (created below) so
+     a failing disk tier can be disabled in place: one [Fs_error] and
+     the logger counts it, traces it, and keeps serving from memory. *)
+  let cell = ref None in
   let on_evict =
     match archive with
     | None -> None
     | Some a ->
         Some
           (fun (e : Log_store.entry) ->
-            Archive.append a ~seq:e.seq ~epoch:e.epoch ~payload:e.payload)
+            match !cell with
+            | None -> ()
+            | Some t -> (
+                match t.archive with
+                | None -> () (* disk tier already degraded *)
+                | Some _ -> (
+                    try Archive.append a ~seq:e.seq ~epoch:e.epoch ~payload:e.payload
+                    with Archive.Fs_error _ ->
+                      t.archive <- None;
+                      t.archive_write_errors <- t.archive_write_errors + 1;
+                      if Trace.is_on t.sink then
+                        Trace.emit t.sink ~at:e.logged_at ~node:t.self
+                          (Trace.Archive_degraded { seq = e.seq }))))
   in
-  {
-    cfg;
-    self;
-    sink;
-    source;
-    parent;
-    replicas;
-    store = Log_store.create ?on_evict ~retention:cfg.retention ();
-    archive;
+  let t =
+    {
+      cfg;
+      self;
+      sink;
+      source;
+      parent;
+      replicas;
+      succ;
+      store = Log_store.create ?on_evict ~retention:cfg.retention ();
+      archive;
+      archive_write_errors = 0;
     tracker = Gap_tracker.create ();
     recovered_here = Hashtbl.create 16;
     pending_up = Hashtbl.create 16;
@@ -65,11 +86,14 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?archive ~rng
     replica_acked = Hashtbl.create 4;
     designated = Hashtbl.create 4;
     rng;
-    requests_served = 0;
-    remulticasts = 0;
-    uplink_nacks = 0;
-    on_rchannel = false;
-  }
+      requests_served = 0;
+      remulticasts = 0;
+      uplink_nacks = 0;
+      on_rchannel = false;
+    }
+  in
+  cell := Some t;
+  t
 
 let is_primary t = t.parent = None
 let trace t ~now ev = Trace.emit t.sink ~at:now ~node:t.self ev
@@ -78,6 +102,9 @@ let self t = t.self
 let requests_served t = t.requests_served
 let remulticasts t = t.remulticasts
 let uplink_nacks t = t.uplink_nacks
+let archive_write_errors t = t.archive_write_errors
+let archive_enabled t = match t.archive with Some _ -> true | None -> false
+let successor t = t.succ
 
 let designated_for t =
   Hashtbl.fold (fun e () acc -> e :: acc) t.designated []
@@ -410,6 +437,74 @@ let on_replica_update t ~now ~src ~seq ~epoch ~payload =
   let contig = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
   [ Io.send_to src (Message.Replica_ack { seq = contig }) ]
 
+(* --- ring and quorum replication duties --------------------------------- *)
+
+(* Ring member: log, then pass the deposit down the chain; the tail
+   acks the source with its contiguous floor — which, because every
+   upstream member logged before forwarding, is the whole ring's
+   durability mark.  Duplicates are forwarded too: a source retry
+   re-walks the chain and repairs whatever a downstream member lost. *)
+let on_ring_forward t ~now ~seq ~epoch ~payload =
+  let fresh =
+    Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload)
+  in
+  if fresh && Trace.is_on t.sink then
+    trace t ~now (Trace.Log_write { seq; recovered = false });
+  (* A dropped forward upstream shows as a gap here; chase it through the
+     parent so the chain self-heals even before the source's retry
+     re-walks it. *)
+  let gap_actions =
+    match Gap_tracker.note t.tracker seq with
+    | Gap_opened gaps -> note_gaps t gaps
+    | Fills_gap -> maybe_leave_channel t
+    | First | In_order | Duplicate -> []
+  in
+  let waiters =
+    gap_actions
+    @
+    match Log_store.get t.store ~now seq with
+    | Some e -> satisfy_waiters t ~now e
+    | None -> []
+  in
+  match t.succ with
+  | Some next ->
+      if Trace.is_on t.sink then
+        trace t ~now (Trace.Ring_forwarded { seq; dest = next });
+      Io.send_to next (Message.Ring_forward { seq; epoch; payload }) :: waiters
+  | None ->
+      let floor =
+        Option.value ~default:0 (Log_store.highest_contiguous t.store)
+      in
+      Io.send_to t.source (Message.Ring_ack { seq = floor }) :: waiters
+
+(* Quorum member: every member (primary or not) logs the multicast
+   deposit and acks its own contiguous floor straight back to the
+   source, which counts floors toward the majority. *)
+let on_quorum_deposit t ~now ~seq ~epoch ~payload =
+  let fresh =
+    Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload)
+  in
+  if fresh && Trace.is_on t.sink then
+    trace t ~now (Trace.Log_write { seq; recovered = false });
+  (* A lost deposit multicast shows as a gap; chase it through the
+     parent so this member's floor (and thus the quorum) keeps moving. *)
+  let gap_actions =
+    match Gap_tracker.note t.tracker seq with
+    | Gap_opened gaps -> note_gaps t gaps
+    | Fills_gap -> maybe_leave_channel t
+    | First | In_order | Duplicate -> []
+  in
+  let floor = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
+  if Trace.is_on t.sink then trace t ~now (Trace.Quorum_acked { seq; floor });
+  let waiters =
+    gap_actions
+    @
+    match Log_store.get t.store ~now seq with
+    | Some e -> satisfy_waiters t ~now e
+    | None -> []
+  in
+  Io.send_to t.source (Message.Quorum_ack { seq = floor }) :: waiters
+
 (* --- dispatch ------------------------------------------------------------ *)
 
 let handle_message t ~now ~src msg =
@@ -431,8 +526,21 @@ let handle_message t ~now ~src msg =
         | None -> []
       in
       log_actions @ stat @ waiters
-  | Message.Log_deposit { seq; epoch; payload } ->
-      if is_primary t then on_deposit t ~now ~seq ~epoch ~payload else []
+  | Message.Log_deposit { seq; epoch; payload } -> (
+      match t.cfg.replication with
+      | Config.R_quorum -> on_quorum_deposit t ~now ~seq ~epoch ~payload
+      | Config.R_primary | Config.R_ring ->
+          if is_primary t then on_deposit t ~now ~seq ~epoch ~payload else [])
+  | Message.Ring_forward { seq; epoch; payload } -> (
+      match t.cfg.replication with
+      | Config.R_ring -> on_ring_forward t ~now ~seq ~epoch ~payload
+      | Config.R_primary | Config.R_quorum -> [])
+  | Message.Ring_set { succ; head } ->
+      (* Ring repair: adopt the new successor and re-home on the new
+         head (demoting an old head that survived with a lower floor). *)
+      t.succ <- succ;
+      t.parent <- (if head = t.self then None else Some head);
+      []
   | Message.Replica_update { seq; epoch; payload } ->
       on_replica_update t ~now ~src ~seq ~epoch ~payload
   | Message.Replica_ack { seq } ->
@@ -474,7 +582,7 @@ let handle_message t ~now ~src msg =
       [ Io.send_to src (Message.Discovery_reply { nonce; logger = t.self }) ]
   | Message.Replica_status _ | Message.Log_ack _ | Message.Acker_reply _
   | Message.Stat_ack _ | Message.Probe_reply _ | Message.Discovery_reply _
-  | Message.Who_is_primary ->
+  | Message.Who_is_primary | Message.Ring_ack _ | Message.Quorum_ack _ ->
       []
 
 let handle_timer t ~now key =

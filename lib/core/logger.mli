@@ -31,15 +31,21 @@ val create :
   source:address ->
   ?parent:address ->
   ?replicas:address list ->
+  ?succ:address ->
   ?archive:Archive.t ->
   rng:Lbrm_util.Rng.t ->
   ?sink:Trace.sink ->
   unit ->
   t
-(** [parent = None] makes this the primary.  [rng] drives the
-    probabilistic Acker/probe volunteering.  With [archive], packets
-    evicted from the in-memory store spill to disk and stay servable
-    (§2's "writing them to disk once in-memory buffers are full"). *)
+(** [parent = None] makes this the primary.  [succ] is the next hop for
+    ring replication ([None] on a ring member makes it the tail).  [rng]
+    drives the probabilistic Acker/probe volunteering.  With [archive],
+    packets evicted from the in-memory store spill to disk and stay
+    servable (§2's "writing them to disk once in-memory buffers are
+    full"); if the disk tier raises {!Archive.Fs_error} during eviction
+    the logger degrades gracefully — the tier is disabled, the error
+    counted, an {!Trace.Archive_degraded} event emitted, and service
+    continues from memory. *)
 
 val handle_message :
   t -> now:float -> src:address -> Lbrm_wire.Message.t -> Io.action list
@@ -62,3 +68,14 @@ val uplink_nacks : t -> int
 
 val designated_for : t -> int list
 (** Epochs for which this logger volunteered as Designated Acker. *)
+
+val archive_write_errors : t -> int
+(** Disk-tier write failures absorbed (the tier is disabled on the
+    first one). *)
+
+val archive_enabled : t -> bool
+(** Whether the disk tier is still attached and serving. *)
+
+val successor : t -> address option
+(** Ring replication: this member's next hop ([None] = tail, or not a
+    ring member). *)

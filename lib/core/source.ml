@@ -6,16 +6,11 @@ open Io
 type address = Message.address
 type seq = Seqno.t
 
-type failover =
-  | Normal
-  | Querying of { mutable statuses : (address * seq) list; round : int }
-
 type t = {
   cfg : Config.t;
   self : address;
   sink : Trace.sink;
-  mutable primary : address;
-  mutable replicas : address list;
+  rep : Replication.t; (* deposit routing, ack policy, fail-over *)
   hb : Heartbeat.t;
   stat : Stat_ack.t;
   mutable seq : seq; (* last data seq; 0 = none *)
@@ -24,51 +19,49 @@ type t = {
   mutable last_payload : string;
   retained : (seq, string * int) Hashtbl.t; (* payload, epoch at send *)
   rchannel_buf : (seq, string) Hashtbl.t; (* awaiting channel copies *)
-  deposit_retries : (seq, int) Hashtbl.t;
   mutable released : seq;
-  mutable acked_primary : seq; (* primary's contiguous mark, high water *)
   mutable evict_floor : seq; (* cap eviction already swept up to here *)
-  mutable failover : failover;
-  mutable failovers_done : int;
   mutable heartbeats_sent : int;
   mutable data_multicasts : int;
 }
 
 let create cfg ~self ~primary ?(replicas = []) ?initial_estimate
     ?(sink = Trace.null ()) () =
+  let retained = Hashtbl.create 64 in
+  let retained_above floor =
+    Hashtbl.fold
+      (fun seq _ n -> if Seqno.(seq > floor) then n + 1 else n)
+      retained 0
+  in
   {
     cfg;
     self;
     sink;
-    primary;
-    replicas;
+    rep = Replication.create cfg ~self ~primary ~replicas ~retained_above ~sink ();
     hb = Heartbeat.of_config cfg;
     stat = Stat_ack.create cfg ~self ?initial_estimate ~sink ();
     seq = 0;
     epoch = 0;
     hb_index = 0;
     last_payload = "";
-    retained = Hashtbl.create 64;
+    retained;
     rchannel_buf = Hashtbl.create 64;
-    deposit_retries = Hashtbl.create 64;
     released = 0;
-    acked_primary = 0;
     evict_floor = 0;
-    failover = Normal;
-    failovers_done = 0;
     heartbeats_sent = 0;
     data_multicasts = 0;
   }
 
 let last_seq t = t.seq
 let current_epoch t = t.epoch
-let primary t = t.primary
+let primary t = Replication.primary t.rep
 let retained t = Hashtbl.length t.retained
 let released t = t.released
+let durable t = Replication.durable t.rep
 let stat t = t.stat
 let heartbeats_sent t = t.heartbeats_sent
 let data_multicasts t = t.data_multicasts
-let failovers t = t.failovers_done
+let failovers t = Replication.failovers t.rep
 
 let group t = t.cfg.group
 
@@ -106,7 +99,7 @@ let apply_events t ~now events =
     events
 
 (* Soft cap on the replay table (§2.3.2 meets fail-over): entries that
-   both the primary and the best replica have durably acknowledged are
+   the log infrastructure has both acknowledged and made durable are
    only being retained for a potential stat-ack re-multicast, so once
    the table outgrows [source_retain_max] they are evicted anyway — a
    re-multicast for an evicted seq degrades to logger recovery.  The
@@ -115,10 +108,8 @@ let apply_events t ~now events =
 let enforce_retain_bound t =
   let cap = t.cfg.source_retain_max in
   if cap > 0 && Hashtbl.length t.retained > cap then begin
-    let floor =
-      if Seqno.(t.acked_primary < t.released) then t.acked_primary
-      else t.released
-    in
+    let acked = Replication.acked t.rep in
+    let floor = if Seqno.(acked < t.released) then acked else t.released in
     if Seqno.(floor > t.evict_floor) then begin
       t.evict_floor <- floor;
       let evict =
@@ -129,6 +120,45 @@ let enforce_retain_bound t =
       List.iter (Hashtbl.remove t.retained) evict
     end
   end
+
+(* Translate replication events (durability floor advanced, fail-over
+   outcomes) into source behaviour: release replay buffers, notify, and
+   re-deposit everything a newly promoted leader lacks. *)
+let apply_rep_events t ~now events =
+  List.concat_map
+    (fun (ev : Replication.event) ->
+      match ev with
+      | Replication.E_release floor ->
+          (* Buffers at or below the durability floor can be released
+             (§2.2.3) — unless statistical acking still needs them for
+             a potential re-multicast (§2.3.2). *)
+          let release =
+            Hashtbl.fold
+              (fun seq _ acc ->
+                if Seqno.(seq <= floor) && not (Stat_ack.is_pending t.stat seq)
+                then seq :: acc
+                else acc)
+              t.retained []
+          in
+          List.iter (Hashtbl.remove t.retained) release;
+          if Seqno.(floor > t.released) then t.released <- floor;
+          enforce_retain_bound t;
+          []
+      | Replication.E_suspected -> [ Notify N_primary_suspected ]
+      | Replication.E_kept primary -> [ Notify (N_new_primary primary) ]
+      | Replication.E_promoted { primary; floor } ->
+          (* Reliably hand every retained packet above [floor] to the
+             new leader, with fresh retry clocks. *)
+          let redeposits =
+            Hashtbl.fold
+              (fun seq (payload, epoch) acc ->
+                if Seqno.(seq > floor) then
+                  Replication.deposit t.rep ~now ~seq ~epoch ~payload @ acc
+                else acc)
+              t.retained []
+          in
+          Notify (N_new_primary primary) :: redeposits)
+    events
 
 let arm_heartbeat t = Set_timer (K_heartbeat, Heartbeat.next_delay t.hb)
 
@@ -142,13 +172,10 @@ let send t ~now payload =
   t.last_payload <- payload;
   Hashtbl.replace t.retained seq (payload, t.epoch);
   enforce_retain_bound t;
-  Hashtbl.replace t.deposit_retries seq 0;
   Heartbeat.on_data t.hb;
   t.data_multicasts <- t.data_multicasts + 1;
-  if Trace.is_on t.sink then begin
-    trace t ~now (Trace.Send { seq });
-    trace t ~now (Trace.Deposit_sent { seq; attempt = 0 })
-  end;
+  if Trace.is_on t.sink then trace t ~now (Trace.Send { seq });
+  let deposit = Replication.deposit t.rep ~now ~seq ~epoch:t.epoch ~payload in
   let stat_actions = Stat_ack.on_data_sent t.stat ~now seq in
   let rchannel_actions =
     match t.cfg.rchannel_group with
@@ -157,16 +184,10 @@ let send t ~now payload =
         Hashtbl.replace t.rchannel_buf seq payload;
         [ Set_timer (K_rchannel (seq, 0), t.cfg.h_min) ]
   in
-  let pv = Payload.of_string payload in
-  [
-    Io.send ~group:(group t)
-      (Message.Data { seq; epoch = t.epoch; payload = pv });
-    Io.send_to t.primary
-      (Message.Log_deposit { seq; epoch = t.epoch; payload = pv });
-    Set_timer (K_deposit seq, t.cfg.deposit_timeout);
-    arm_heartbeat t;
-  ]
-  @ rchannel_actions @ stat_actions
+  (Io.send ~group:(group t)
+     (Message.Data { seq; epoch = t.epoch; payload = Payload.of_string payload })
+  :: deposit)
+  @ [ arm_heartbeat t ] @ rchannel_actions @ stat_actions
 
 (* --- heartbeats ------------------------------------------------------ *)
 
@@ -199,198 +220,60 @@ let on_heartbeat_due t ~now =
          { hb_index = t.hb_index; interval = Heartbeat.interval t.hb; seq = t.seq });
   [ Io.send ~group:(group t) msg; arm_heartbeat t ]
 
-(* --- primary-logger handoff and fail-over ---------------------------- *)
-
-let begin_failover t ~now =
-  match t.failover with
-  | Querying _ -> []
-  | Normal ->
-      if Trace.is_on t.sink then
-        trace t ~now (Trace.Failover_step Trace.F_suspected);
-      if t.replicas = [] then [ Notify N_primary_suspected ]
-      else begin
-        t.failovers_done <- t.failovers_done + 1;
-        t.failover <- Querying { statuses = []; round = t.failovers_done };
-        if Trace.is_on t.sink then
-          trace t ~now
-            (Trace.Failover_step
-               (Trace.F_query
-                  {
-                    round = t.failovers_done;
-                    replicas = List.length t.replicas;
-                  }));
-        Notify N_primary_suspected
-        :: Set_timer (K_failover t.failovers_done, 2. *. t.cfg.deposit_timeout)
-        :: List.map (fun r -> Io.send_to r Message.Replica_query) t.replicas
-      end
-
-let redeposit_from t ~floor =
-  (* Reliably hand every retained packet above [floor] to the (new)
-     primary. *)
-  Hashtbl.fold
-    (fun seq (payload, epoch) acc ->
-      if Seqno.(seq > floor) then begin
-        Hashtbl.replace t.deposit_retries seq 0;
-        Io.send_to t.primary
-          (Message.Log_deposit
-             { seq; epoch; payload = Payload.of_string payload })
-        :: Set_timer (K_deposit seq, t.cfg.deposit_timeout)
-        :: acc
-      end
-      else acc)
-    t.retained []
-
-let finish_failover t ~now =
-  match t.failover with
-  | Normal -> []
-  | Querying { statuses; _ } -> (
-      t.failover <- Normal;
-      match
-        List.sort (fun (_, a) (_, b) -> Seqno.compare b a) statuses
-      with
-      | [] ->
-          (* No replica answered; keep trying the old primary. *)
-          if Trace.is_on t.sink then
-            trace t ~now (Trace.Failover_step (Trace.F_kept t.primary));
-          [ Notify (N_new_primary t.primary) ]
-      | (best, best_seq) :: _ ->
-          let others = List.filter (fun r -> r <> best) t.replicas in
-          (* [Promote] is wire-bounded to [Codec.promote_max] replicas;
-             never build an unencodable one.  Replicas beyond the bound
-             are dropped from the set — they keep their logs but the
-             new primary will not feed them. *)
-          let others =
-            List.filteri (fun i _ -> i < Lbrm_wire.Codec.promote_max) others
-          in
-          (* Every pending deposit retry was aimed at the dead primary
-             and its count is at or near the suspicion limit; left
-             armed, the first one to fire would start a second, spurious
-             fail-over round.  Stop them all — [redeposit_from] re-arms
-             fresh clocks for the packets the new primary lacks. *)
-          let stale =
-            Hashtbl.fold (fun seq _ acc -> seq :: acc) t.deposit_retries []
-          in
-          List.iter (Hashtbl.remove t.deposit_retries) stale;
-          let cancels =
-            List.map (fun seq -> Cancel_timer (K_deposit seq)) stale
-          in
-          t.primary <- best;
-          t.replicas <- others;
-          if Trace.is_on t.sink then begin
-            let redeposits =
-              Hashtbl.fold
-                (fun seq _ n -> if Seqno.(seq > best_seq) then n + 1 else n)
-                t.retained 0
-            in
-            trace t ~now
-              (Trace.Failover_step
-                 (Trace.F_promoted { primary = best; redeposits }))
-          end;
-          (Io.send_to best (Message.Promote { replicas = others })
-          :: Notify (N_new_primary best)
-          :: (cancels @ redeposit_from t ~floor:best_seq)))
-
-let on_log_ack t ~now ~primary_seq ~replica_seq =
-  if Trace.is_on t.sink then
-    trace t ~now (Trace.Deposit_acked { primary_seq; replica_seq });
-  (* Deposits at or below the primary's contiguous mark stop retrying. *)
-  let stop =
-    Hashtbl.fold
-      (fun seq _ acc -> if Seqno.(seq <= primary_seq) then seq :: acc else acc)
-      t.deposit_retries []
-  in
-  List.iter (Hashtbl.remove t.deposit_retries) stop;
-  (* Buffers at or below the replica mark can be released (§2.2.3) —
-     unless statistical acking still needs them for a potential
-     re-multicast (§2.3.2). *)
-  let release =
-    Hashtbl.fold
-      (fun seq _ acc ->
-        if Seqno.(seq <= replica_seq) && not (Stat_ack.is_pending t.stat seq)
-        then seq :: acc
-        else acc)
-      t.retained []
-  in
-  List.iter (Hashtbl.remove t.retained) release;
-  if Seqno.(replica_seq > t.released) then t.released <- replica_seq;
-  if Seqno.(primary_seq > t.acked_primary) then t.acked_primary <- primary_seq;
-  enforce_retain_bound t;
-  List.map (fun seq -> Cancel_timer (K_deposit seq)) stop
-
-let on_deposit_timeout t ~now seq =
-  match Hashtbl.find_opt t.deposit_retries seq with
-  | None -> []
-  | Some retries ->
-      if retries >= t.cfg.deposit_retry_limit then begin_failover t ~now
-      else begin
-        Hashtbl.replace t.deposit_retries seq (retries + 1);
-        match Hashtbl.find_opt t.retained seq with
-        | None ->
-            Hashtbl.remove t.deposit_retries seq;
-            []
-        | Some (payload, epoch) ->
-            if Trace.is_on t.sink then
-              trace t ~now (Trace.Deposit_sent { seq; attempt = retries + 1 });
-            [
-              Io.send_to t.primary
-                (Message.Log_deposit
-                   { seq; epoch; payload = Payload.of_string payload });
-              Set_timer (K_deposit seq, t.cfg.deposit_timeout);
-            ]
-      end
-
 (* --- dispatch --------------------------------------------------------- *)
 
 let handle_message t ~now ~src msg =
   match Stat_ack.on_message t.stat ~now ~src msg with
   | Some (actions, events) -> actions @ apply_events t ~now events
   | None -> (
-      match msg with
-      | Message.Log_ack { primary_seq; replica_seq } ->
-          on_log_ack t ~now ~primary_seq ~replica_seq
-      | Message.Replica_status { seq } -> (
-          match t.failover with
-          | Querying q ->
-              q.statuses <- (src, seq) :: q.statuses;
-              []
-          | Normal -> [])
-      | Message.Who_is_primary ->
-          [ Io.send_to src (Message.Primary_is { logger = t.primary }) ]
-      | _ -> [])
+      match Replication.on_message t.rep ~now ~src msg with
+      | Some (actions, events) -> actions @ apply_rep_events t ~now events
+      | None -> (
+          match msg with
+          | Message.Who_is_primary ->
+              [
+                Io.send_to src
+                  (Message.Primary_is { logger = Replication.primary t.rep });
+              ]
+          | _ -> []))
 
 let handle_timer t ~now key =
   match Stat_ack.on_timer t.stat ~now key with
   | Some (actions, events) -> actions @ apply_events t ~now events
   | None -> (
-      match key with
-      | K_heartbeat -> on_heartbeat_due t ~now
-      | K_rchannel (seq, k) -> (
-          (* 7: re-multicast the packet on the retransmission channel
-             [rchannel_copies] times with exponentially growing gaps. *)
-          match (t.cfg.rchannel_group, Hashtbl.find_opt t.rchannel_buf seq) with
-          | Some channel, Some payload ->
-              if Trace.is_on t.sink then
-                trace t ~now (Trace.Retrans { seq; mode = Trace.R_rchannel });
-              let copy =
-                Io.send ~group:channel
-                  (Message.Retrans
-                     { seq; epoch = t.epoch; payload = Payload.of_string payload })
-              in
-              if k + 1 >= t.cfg.rchannel_copies then begin
-                Hashtbl.remove t.rchannel_buf seq;
-                [ copy ]
-              end
-              else
-                [
-                  copy;
-                  Set_timer
-                    ( K_rchannel (seq, k + 1),
-                      t.cfg.h_min *. (t.cfg.backoff ** float_of_int (k + 1)) );
-                ]
-          | _ -> [])
-      | K_deposit seq -> on_deposit_timeout t ~now seq
-      | K_failover round -> (
-          match t.failover with
-          | Querying { round = r; _ } when r = round -> finish_failover t ~now
-          | Querying _ | Normal -> [])
-      | _ -> [])
+      match
+        Replication.on_timer t.rep ~now key
+          ~lookup:(Hashtbl.find_opt t.retained)
+      with
+      | Some (actions, events) -> actions @ apply_rep_events t ~now events
+      | None -> (
+          match key with
+          | K_heartbeat -> on_heartbeat_due t ~now
+          | K_rchannel (seq, k) -> (
+              (* §7: re-multicast the packet on the retransmission channel
+                 [rchannel_copies] times with exponentially growing gaps. *)
+              match
+                (t.cfg.rchannel_group, Hashtbl.find_opt t.rchannel_buf seq)
+              with
+              | Some channel, Some payload ->
+                  if Trace.is_on t.sink then
+                    trace t ~now (Trace.Retrans { seq; mode = Trace.R_rchannel });
+                  let copy =
+                    Io.send ~group:channel
+                      (Message.Retrans
+                         { seq; epoch = t.epoch; payload = Payload.of_string payload })
+                  in
+                  if k + 1 >= t.cfg.rchannel_copies then begin
+                    Hashtbl.remove t.rchannel_buf seq;
+                    [ copy ]
+                  end
+                  else
+                    [
+                      copy;
+                      Set_timer
+                        ( K_rchannel (seq, k + 1),
+                          t.cfg.h_min *. (t.cfg.backoff ** float_of_int (k + 1))
+                        );
+                    ]
+              | _ -> [])
+          | _ -> []))

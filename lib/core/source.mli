@@ -4,10 +4,12 @@
 
     - assign sequence numbers (starting at 1; 0 means "nothing sent")
       and multicast application data on the group;
-    - hand every packet reliably to the primary logging server
-      ([Log_deposit] with retransmission until [Log_ack]);
-    - retain payloads until a replica of the primary log holds them
-      (the [replica_seq] of [Log_ack], §2.2.3), then release;
+    - hand every packet reliably to the logging infrastructure under
+      the configured {!Replication} strategy (primary deposit, ring
+      forward, or quorum multicast) with backed-off retransmission;
+    - retain payloads until the strategy's durability floor covers them
+      (for the paper's primary strategy, the [replica_seq] of
+      [Log_ack], §2.2.3), then release;
     - schedule heartbeats under the configured policy (§2.1), optionally
       piggybacking the last small payload (§7 option);
     - run statistical acknowledgement (§2.3) and re-multicast packets
@@ -60,6 +62,10 @@ val retained : t -> int
 
 val released : t -> seq
 (** Highest sequence number whose buffer has been released. *)
+
+val durable : t -> seq
+(** Highest sequence number the active replication strategy considers
+    safely logged ({!Replication.durable}). *)
 
 val stat : t -> Stat_ack.t
 (** The embedded statistical-acknowledgement machine. *)

@@ -55,6 +55,10 @@ type event =
   | Pop_repair of { seq : seq; repaired : int; remaining : int }
   | Encode_failed of { kind : string; size : int }
   | Peer_state of { peer : address; before : string; after : string }
+  | Ring_forwarded of { seq : seq; dest : address }
+  | Quorum_acked of { seq : seq; floor : seq }
+  | Ack_floor of { durable : seq; acked : seq }
+  | Archive_degraded of { seq : seq }
 [@@lint.telemetry]
 
 type record = { at : float; node : address; ev : event }
@@ -238,6 +242,17 @@ let event_fields buf ev =
         (Printf.sprintf
            {|"ev":"peer_state","peer":%d,"before":"%s","after":"%s"|} peer
            before after)
+  | Ring_forwarded { seq; dest } ->
+      add (Printf.sprintf {|"ev":"ring_forwarded","seq":%d,"dest":%d|} seq dest)
+  | Quorum_acked { seq; floor } ->
+      add
+        (Printf.sprintf {|"ev":"quorum_acked","seq":%d,"floor":%d|} seq floor)
+  | Ack_floor { durable; acked } ->
+      add
+        (Printf.sprintf {|"ev":"ack_floor","durable":%d,"acked":%d|} durable
+           acked)
+  | Archive_degraded { seq } ->
+      add (Printf.sprintf {|"ev":"archive_degraded","seq":%d|} seq)
 
 let add_jsonl buf r =
   Buffer.add_string buf

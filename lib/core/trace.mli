@@ -80,6 +80,19 @@ type event =
       (** a runtime peer-liveness transition (labels from
           [Peer_manager.state_label]); string-typed so the trace
           vocabulary does not depend on the runtime layer *)
+  | Ring_forwarded of { seq : seq; dest : address }
+      (** ring replication: a member logged a deposit and forwarded it
+          to its successor [dest] *)
+  | Quorum_acked of { seq : seq; floor : seq }
+      (** quorum replication: a member logged deposit [seq] and acked
+          its contiguous floor back to the source *)
+  | Ack_floor of { durable : seq; acked : seq }
+      (** the source's durability floor advanced: [durable] is the
+          highest seq safely logged under the active strategy's ack
+          policy, [acked] the highest individually acked *)
+  | Archive_degraded of { seq : seq }
+      (** the logger's disk tier failed writing [seq] and was disabled;
+          service continues from memory *)
 
 type record = { at : float; node : address; ev : event }
 

@@ -117,17 +117,29 @@ let finish ~name d tk collector extra =
    The detection clocks are provisioned in heartbeat periods — a
    deposit goes unanswered after ~1.2 heartbeats, a retransmission
    request after ~2.4 — so crash-detection latency in the scenarios
-   scales linearly with [h_min] (the EXPERIMENTS.md table). *)
-let chaos_cfg ?(h_min = 0.25) () =
+   scales linearly with [h_min] (the EXPERIMENTS.md table).  The
+   deposit backoff is capped at two heartbeats so that suspicion still
+   fires well inside each scenario's crash window; the default 4 s cap
+   would stretch the retry schedule past the scripted restarts. *)
+let chaos_cfg ?(h_min = 0.25) ?(replication = Lbrm.Config.R_primary) () =
   {
     Lbrm.Config.default with
     h_min;
     h_max = 2.0;
     max_it = 4.0;
+    replication;
     deposit_timeout = 1.2 *. h_min;
+    deposit_backoff = 2.0;
+    deposit_timeout_max = 2.4 *. h_min;
     nack_timeout = 2.4 *. h_min;
     nack_retry_limit = 8;
   }
+
+(* Scenario names carry the non-default strategy as a suffix so matrix
+   runs ("primary_crash_ring", …) stay distinguishable in reports. *)
+let strategy_name base = function
+  | Lbrm.Config.R_primary -> base
+  | r -> base ^ "_" ^ Lbrm.Config.replication_label r
 
 (* ---- scripted scenarios ---------------------------------------------- *)
 
@@ -136,13 +148,13 @@ let chaos_cfg ?(h_min = 0.25) () =
    promote the most up-to-date one and re-deposit from its floor — all
    over the simulated WAN.  The crashed node later restarts as a replica
    of the new primary. *)
-let primary_crash ?(seed = 11) ?h_min () =
+let primary_crash ?(seed = 11) ?h_min ?replication () =
   let crash_at = 3.0 and restart_at = 10.0 and horizon = 30.0 in
   let tk = tracker () in
   let collector = Ev.Collector.create () in
   let sink = Ev.Collector.sink collector in
   let d =
-    Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~replica_count:2
+    Scenario.standard ~cfg:(chaos_cfg ?h_min ?replication ()) ~seed ~replica_count:2
       ~initial_estimate:12.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
@@ -155,12 +167,20 @@ let primary_crash ?(seed = 11) ?h_min () =
        d.Scenario.primary_node);
   Scenario.run d ~until:horizon;
   let trace = Scenario.trace d in
-  (* The exactly-one-Promote invariant and the fail-over latency both
-     come straight off the typed trace: one F_promoted record, stamped
-     at the instant the source switched primaries. *)
+  (* The exactly-one-Promote invariant, the fail-over latency and the
+     window of loss all come straight off the typed trace: one
+     F_promoted record, stamped at the instant the source switched
+     primaries, carrying the count of retained packets above the new
+     floor that the strategy left un-durable (and the source must now
+     re-deposit). *)
   let promotions = Ev.Query.promotions (Ev.Collector.records collector) in
   (match promotions with
-  | { Ev.at; _ } :: _ -> Trace.observe trace "failover_latency" (at -. crash_at)
+  | ({ Ev.at; _ } as r) :: _ ->
+      Trace.observe trace "failover_latency" (at -. crash_at);
+      (match r.Ev.ev with
+      | Ev.Failover_step (Ev.F_promoted { redeposits; _ }) ->
+          Trace.observe trace "window_of_loss" (float_of_int redeposits)
+      | _ -> ())
   | [] -> ());
   let extra =
     match promotions with
@@ -170,21 +190,26 @@ let primary_crash ?(seed = 11) ?h_min () =
         [ Printf.sprintf "expected exactly 1 Promote in the trace, saw %d"
             (List.length ps) ]
   in
-  finish ~name:"primary_crash" d tk collector extra
+  let name =
+    strategy_name "primary_crash" d.Scenario.cfg.Lbrm.Config.replication
+  in
+  finish ~name d tk collector extra
 
 (* A site's secondary logger dies under ongoing tail loss: that site's
    receivers burn through [retrans_retry_limit] unanswered requests,
    discard the dead logger, and re-run expanding-ring discovery to adopt
    a live one.  Per-receiver rediscovery latency is sampled relative to
    the crash instant. *)
-let secondary_crash ?(seed = 12) ?h_min () =
+let secondary_crash ?(seed = 12) ?h_min ?replication () =
   let crash_at = 3.0 and restart_at = 20.0 and horizon = 40.0 in
   let lossy_site = 1 in
   let tk = tracker () in
   let collector = Ev.Collector.create () in
   let sink = Ev.Collector.sink collector in
   let d =
-    Scenario.standard ~cfg:(chaos_cfg ?h_min ()) ~seed ~initial_estimate:9.
+    Scenario.standard
+      ~cfg:(chaos_cfg ?h_min ?replication ())
+      ~seed ~initial_estimate:9.
       ~tail_loss:(fun site ->
         if site = lossy_site then Lbrm_sim.Loss.bernoulli 0.15
         else Lbrm_sim.Loss.none)
@@ -221,21 +246,24 @@ let secondary_crash ?(seed = 12) ?h_min () =
                node))
       orphans
   in
-  finish ~name:"secondary_crash" d tk collector extra
+  let name =
+    strategy_name "secondary_crash" d.Scenario.cfg.Lbrm.Config.replication
+  in
+  finish ~name d tk collector extra
 
 (* A whole site drops off the WAN for four seconds and heals.  Nothing
    is deliverable during the cut, so the test is pure log-based catch-up
    afterwards: every receiver behind the partition must close the gap
    through its (equally partitioned, hence initially empty-handed) site
    secondary, with no fail-over and no duplicates anywhere. *)
-let partition_heal ?(seed = 13) () =
+let partition_heal ?(seed = 13) ?replication () =
   let t0 = 2.1 and t1 = 6.1 and horizon = 30.0 in
   let cut_site = 3 in
   let tk = tracker () in
   let collector = Ev.Collector.create () in
   let sink = Ev.Collector.sink collector in
   let d =
-    Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~initial_estimate:12.
+    Scenario.standard ~cfg:(chaos_cfg ?replication ()) ~seed ~initial_estimate:12.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
       ~sink ~sites:4 ~receivers_per_site:3 ()
@@ -259,20 +287,24 @@ let partition_heal ?(seed = 13) () =
       [ Printf.sprintf "partition must not trigger fail-over (saw %d)" promos ]
     else []
   in
-  finish ~name:"partition_heal" d tk collector extra
+  let name =
+    strategy_name "partition_heal" d.Scenario.cfg.Lbrm.Config.replication
+  in
+  finish ~name d tk collector extra
 
 (* Seeded random soak: crash/restart cycles over loggers and a sample of
    receivers plus transient site partitions, drawn from a schedule RNG
    decoupled from the engine's.  Checked for the same gap-free /
    duplicate-free / nothing-abandoned invariants; the digest lets the
    caller assert byte-identical metrics for equal seeds. *)
-let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) () =
+let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) ?replication ()
+    =
   let horizon = 20.0 and quiesce = 40.0 in
   let tk = tracker () in
   let collector = Ev.Collector.create () in
   let sink = Ev.Collector.sink collector in
   let d =
-    Scenario.standard ~cfg:(chaos_cfg ()) ~seed ~replica_count:1
+    Scenario.standard ~cfg:(chaos_cfg ?replication ()) ~seed ~replica_count:1
       ~initial_estimate:8.
       ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
         track tk node seq)
@@ -296,7 +328,14 @@ let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) () =
     ~on_restart:(fun node -> forget_node tk node)
     events;
   Scenario.run d ~until:quiesce;
-  finish ~name:"random_chaos" d tk collector []
+  let name =
+    strategy_name "random_chaos" d.Scenario.cfg.Lbrm.Config.replication
+  in
+  finish ~name d tk collector []
 
-let run_scripted ?h_min () =
-  [ primary_crash ?h_min (); secondary_crash ?h_min (); partition_heal () ]
+let run_scripted ?h_min ?replication () =
+  [
+    primary_crash ?h_min ?replication ();
+    secondary_crash ?h_min ?replication ();
+    partition_heal ?replication ();
+  ]

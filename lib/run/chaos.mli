@@ -47,26 +47,49 @@ val digest_of_trace : Lbrm_sim.Trace.t -> string
 (** The digest {!outcome.digest} is computed with: counters and samples
     name-sorted, sample values in insertion order at full precision. *)
 
-val primary_crash : ?seed:int -> ?h_min:float -> unit -> outcome
-(** Crash the primary logger at t = 3 s with deposits in flight; it
-    restarts at t = 10 s as a replica of whichever logger the source
-    promoted.  Expects exactly one fail-over and records its latency. *)
+val primary_crash :
+  ?seed:int ->
+  ?h_min:float ->
+  ?replication:Lbrm.Config.replication ->
+  unit ->
+  outcome
+(** Crash the head of the replica set at t = 3 s with deposits in
+    flight; it restarts at t = 10 s as a secondary of whichever logger
+    the source promoted.  Expects exactly one fail-over under every
+    strategy, records its latency, and records the promotion's
+    re-deposit count as the ["window_of_loss"] sample (packets the
+    strategy left un-durable at the new floor). *)
 
-val secondary_crash : ?seed:int -> ?h_min:float -> unit -> outcome
+val secondary_crash :
+  ?seed:int ->
+  ?h_min:float ->
+  ?replication:Lbrm.Config.replication ->
+  unit ->
+  outcome
 (** Crash one site's secondary logger under 15% tail loss; that site's
     receivers must re-run expanding-ring discovery and repair through an
     adopted remote logger.  Records per-receiver rediscovery latency. *)
 
-val partition_heal : ?seed:int -> unit -> outcome
+val partition_heal :
+  ?seed:int -> ?replication:Lbrm.Config.replication -> unit -> outcome
 (** Sever one site's tail circuit for 4 s, then heal.  Receivers behind
     the cut must close the whole gap afterwards; fail-over must not
     trigger. *)
 
 val random_chaos :
-  ?seed:int -> ?crashes:int -> ?partitions:int -> unit -> outcome
+  ?seed:int ->
+  ?crashes:int ->
+  ?partitions:int ->
+  ?replication:Lbrm.Config.replication ->
+  unit ->
+  outcome
 (** Seeded random crash/restart and partition schedule over loggers and
     receivers ({!Lbrm_sim.Fault.random_schedule}); the soak re-runs this
     with equal seeds and compares digests. *)
 
-val run_scripted : ?h_min:float -> unit -> outcome list
-(** The three scripted scenarios, in order, at their default seeds. *)
+val run_scripted :
+  ?h_min:float -> ?replication:Lbrm.Config.replication -> unit -> outcome list
+(** The three scripted scenarios, in order, at their default seeds.
+    [replication] selects the logger-replication strategy
+    ({!Lbrm.Config.replication}, default primary/secondary) and is
+    suffixed onto scenario names for non-default strategies. *)

@@ -78,15 +78,33 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
       ~replicas:replica_nodes ?initial_estimate ?sink ()
   in
+  (* Under ring replication the log hosts form an ordered chain
+     head -> replica_1 -> ... -> replica_n (tail); each member knows only
+     its successor.  Under primary/quorum there is no chain. *)
+  let ring_succ node =
+    match cfg.Lbrm.Config.replication with
+    | Lbrm.Config.R_ring ->
+        let rec next = function
+          | a :: b :: _ when a = node -> Some b
+          | _ :: rest -> next rest
+          | [] -> None
+        in
+        next (primary_node :: replica_nodes)
+    | Lbrm.Config.R_primary | Lbrm.Config.R_quorum -> None
+  in
   let primary =
     Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
-      ~replicas:replica_nodes ~rng:(Rng.split rng) ?sink ()
+      ~replicas:replica_nodes
+      ?succ:(ring_succ primary_node)
+      ~rng:(Rng.split rng) ?sink ()
   in
   let replicas =
     List.map
       (fun node ->
         ( Lbrm.Logger.create cfg ~self:node ~source:source_node
-            ~parent:primary_node ~rng:(Rng.split rng) ?sink (),
+            ~parent:primary_node
+            ?succ:(ring_succ node)
+            ~rng:(Rng.split rng) ?sink (),
           node ))
       replica_nodes
   in
@@ -289,13 +307,19 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
         let l =
           if current = node then
             (* Restarted while still (or again) the primary: resume the
-               role, with the other log hosts as its replicas. *)
+               role, with the other log hosts as its replicas (and, under
+               ring replication, its original successor). *)
             let others =
               List.filter (fun n -> n <> node) (primary_node :: replica_nodes)
             in
             Lbrm.Logger.create cfg ~self:node ~source:source_node
-              ~replicas:others ~rng:(Rng.split fault_rng) ?sink ()
+              ~replicas:others
+              ?succ:(ring_succ node)
+              ~rng:(Rng.split fault_rng) ?sink ()
           else
+            (* A demoted ring/quorum member returns as a plain secondary
+               of whoever now heads the replica set; a later Ring_set can
+               splice it back into a chain. *)
             Lbrm.Logger.create cfg ~self:node ~source:source_node
               ~parent:current ~rng:(Rng.split fault_rng) ?sink ()
         in

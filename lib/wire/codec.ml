@@ -170,6 +170,10 @@ let tag_of = function
   | Replica_query -> 17
   | Replica_status _ -> 18
   | Promote _ -> 19
+  | Ring_forward _ -> 20
+  | Ring_ack _ -> 21
+  | Ring_set _ -> 22
+  | Quorum_ack _ -> 23
 
 let nack_max = 65536
 let promote_max = 1024
@@ -252,6 +256,19 @@ let[@lint.hot] write_body w (m : Message.t) =
   | Replica_query -> ()
   | Replica_status { seq } -> Writer.u32 w seq
   | Promote { replicas } -> seq_list w replicas
+  | Ring_forward { seq; epoch; payload } ->
+      Writer.u32 w seq;
+      Writer.u32 w epoch;
+      Writer.payload w payload
+  | Ring_ack { seq } -> Writer.u32 w seq
+  | Ring_set { succ; head } ->
+      (match succ with
+      | None -> Writer.u8 w 0
+      | Some s ->
+          Writer.u8 w 1;
+          Writer.u32 w s);
+      Writer.u32 w head
+  | Quorum_ack { seq } -> Writer.u32 w seq
 
 let encode_into w (m : Message.t) =
   match validate m with
@@ -376,6 +393,20 @@ let decode_body tag r : Message.t =
           replicas =
             Array.to_list (decode_seq_array r ~max:promote_max ~what:"replica");
         }
+  | 20 ->
+      let seq = u32_exn r in
+      let epoch = u32_exn r in
+      Message.Ring_forward { seq; epoch; payload = payload_exn r }
+  | 21 -> Message.Ring_ack { seq = u32_exn r }
+  | 22 ->
+      let succ =
+        match u8_exn r with
+        | 0 -> None
+        | 1 -> Some (u32_exn r)
+        | n -> fail (Bad_value (Printf.sprintf "ring_set succ flag %d" n))
+      in
+      Message.Ring_set { succ; head = u32_exn r }
+  | 23 -> Message.Quorum_ack { seq = u32_exn r }
   | t -> fail (Bad_tag t)
 
 let[@lint.hot] decode ?pos ?len s =

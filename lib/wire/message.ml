@@ -32,6 +32,10 @@ type t =
   | Replica_query
   | Replica_status of { seq : seq }
   | Promote of { replicas : address list }
+  | Ring_forward of { seq : seq; epoch : int; payload : Payload.t }
+  | Ring_ack of { seq : seq }
+  | Ring_set of { succ : address option; head : address }
+  | Quorum_ack of { seq : seq }
 [@@deriving show, eq]
 
 let header_overhead = 28
@@ -62,6 +66,11 @@ let body_size = function
   | Replica_query -> 1
   | Replica_status _ -> 1 + 4
   | Promote { replicas } -> 1 + 4 + (4 * List.length replicas)
+  | Ring_forward { payload; _ } -> 1 + 4 + 4 + 4 + Payload.length payload
+  | Ring_ack _ -> 1 + 4
+  | Ring_set { succ; _ } -> (
+      1 + 1 + 4 + match succ with None -> 0 | Some _ -> 4)
+  | Quorum_ack _ -> 1 + 4
 
 let wire_size m = header_overhead + body_size m
 
@@ -86,6 +95,10 @@ let kind = function
   | Replica_query -> "replica_query"
   | Replica_status _ -> "replica_status"
   | Promote _ -> "promote"
+  | Ring_forward _ -> "ring_forward"
+  | Ring_ack _ -> "ring_ack"
+  | Ring_set _ -> "ring_set"
+  | Quorum_ack _ -> "quorum_ack"
 
 let is_control = function
   | Data _ | Retrans _ -> false
@@ -94,5 +107,6 @@ let is_control = function
   | Nack _ | Log_deposit _ | Log_ack _ | Replica_update _ | Replica_ack _
   | Acker_select _ | Acker_reply _ | Stat_ack _ | Probe _ | Probe_reply _
   | Discovery_query _ | Discovery_reply _ | Who_is_primary | Primary_is _
-  | Replica_query | Replica_status _ | Promote _ ->
+  | Replica_query | Replica_status _ | Promote _ | Ring_forward _ | Ring_ack _
+  | Ring_set _ | Quorum_ack _ ->
       true

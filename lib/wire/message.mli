@@ -62,6 +62,18 @@ type t =
   | Promote of { replicas : address list }
       (** Source → chosen replica: become the primary, with the
           remaining replica set. *)
+  | Ring_forward of { seq : seq; epoch : int; payload : Payload.t }
+      (** Ring replication: deposit forwarded hop-by-hop, source → ring
+          head → successor → … → tail. *)
+  | Ring_ack of { seq : seq }
+      (** Ring tail → source: highest sequence contiguously logged by
+          the whole ring (cumulative, pipelined). *)
+  | Ring_set of { succ : address option; head : address }
+      (** Source → ring member during ring repair: your new successor
+          ([None] = you are the tail) and the new head. *)
+  | Quorum_ack of { seq : seq }
+      (** Replica-set member → source: highest contiguously logged
+          sequence at that member (the member's ack floor). *)
 [@@deriving show, eq]
 
 val header_overhead : int

@@ -32,6 +32,10 @@ let lossy_events () =
 
 let () =
   line "primary_crash" (C.primary_crash ()).C.events;
+  line "primary_crash_ring"
+    (C.primary_crash ~replication:Lbrm.Config.R_ring ()).C.events;
+  line "primary_crash_quorum"
+    (C.primary_crash ~replication:Lbrm.Config.R_quorum ()).C.events;
   line "secondary_crash" (C.secondary_crash ()).C.events;
   line "partition_heal" (C.partition_heal ()).C.events;
   line "lossy_50_sites" (lossy_events ())

@@ -390,6 +390,35 @@ let measurements : (string list * (unit -> float)) list =
           ignore (Heap.pop_exn h)
         done;
         (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
+    ( [
+        "Replication.member_index";
+        "Replication.note_floor";
+        "Replication.insert_desc";
+        "Replication.sort_floors";
+      ],
+      fun () ->
+        (* One quorum-ack worth of floor bookkeeping per iteration:
+           note_floor runs member_index, sort_floors runs insert_desc. *)
+        let cfg =
+          { Lbrm.Config.default with replication = Lbrm.Config.R_quorum }
+        in
+        let rep =
+          Lbrm.Replication.create cfg ~self:1 ~primary:2 ~replicas:[ 3; 4; 5 ]
+            ~retained_above:(fun _ -> 0)
+            ()
+        in
+        let step floor =
+          Lbrm.Replication.Hot.note_floor rep ~member:4 ~floor;
+          Lbrm.Replication.Hot.sort_floors rep
+        in
+        for i = 1 to 100 do
+          step i
+        done;
+        let before = Gc.allocated_bytes () in
+        for i = 1 to iters do
+          step i
+        done;
+        (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
     ( [ "Metrics.incr"; "Metrics.add" ],
       fun () ->
         let m = Metrics.create () in

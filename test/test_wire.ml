@@ -53,6 +53,11 @@ let samples =
     Message.Replica_status { seq = 44 };
     Message.Promote { replicas = [] };
     Message.Promote { replicas = [ 4; 5; 6 ] };
+    Message.Ring_forward { seq = 8; epoch = 2; payload = p "ring" };
+    Message.Ring_ack { seq = 8 };
+    Message.Ring_set { succ = None; head = 3 };
+    Message.Ring_set { succ = Some 5; head = 3 };
+    Message.Quorum_ack { seq = 21 };
   ]
 
 let all_constructors_roundtrip () = List.iter roundtrip samples
@@ -257,6 +262,7 @@ let payloads_of = function
   | Message.Retrans { payload; _ }
   | Message.Log_deposit { payload; _ }
   | Message.Replica_update { payload; _ }
+  | Message.Ring_forward { payload; _ }
   | Message.Heartbeat { payload = Some payload; _ } ->
       [ payload ]
   | _ -> []
