@@ -16,10 +16,21 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 
 let simulate sites receivers loss packets interval seed stat_ack duration
-    population mcast_cache =
+    population mcast_cache keep_last archive_segment_bytes =
   let cfg =
-    { Lbrm.Config.default with stat_ack_enabled = stat_ack }
+    {
+      Lbrm.Config.default with
+      stat_ack_enabled = stat_ack;
+      retention =
+        (match keep_last with
+        | Some n -> Lbrm.Log_store.Keep_last n
+        | None -> Lbrm.Config.default.retention);
+      archive_segment_bytes =
+        Option.value archive_segment_bytes
+          ~default:Lbrm.Config.default.archive_segment_bytes;
+    }
   in
+  let archive = archive_segment_bytes <> None in
   let site_population =
     if population > 0 then
       Some (Lbrm_run.Scenario.population_spec ~members:population ())
@@ -30,10 +41,11 @@ let simulate sites receivers loss packets interval seed stat_ack duration
       ~initial_estimate:(float_of_int sites)
       ~tail_loss:(fun _ ->
         if loss > 0. then Lbrm_sim.Loss.bernoulli loss else Lbrm_sim.Loss.none)
-      ?site_population ?mcast_cache ()
+      ?site_population ?mcast_cache ~archive ()
   in
   Lbrm_run.Scenario.drive_periodic d ~interval ~count:packets ();
   Lbrm_run.Scenario.run d ~until:duration;
+  if archive then Lbrm_run.Scenario.record_archive_stats d;
   Printf.printf
     "LBRM simulation: %d sites x %d receivers, %.0f%% tail loss, %d packets\n\n"
     sites receivers (100. *. loss) packets;
@@ -126,11 +138,35 @@ let simulate_cmd =
             "Pruned multicast-tree cache capacity (default 512); trees are \
              keyed by (source, membership fingerprint) and evicted LRU.")
   in
+  let keep_last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep-last" ] ~docv:"N"
+          ~doc:
+            "Bound every logger's in-memory store to the last $(docv) \
+             packets (default: keep everything in RAM).  Pair with \
+             $(b,--archive-segment-bytes) so evictions spill to the disk \
+             tier instead of vanishing.")
+  in
+  let archive_segment_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "archive-segment-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Attach the segmented disk tier to every logger, rotating \
+             archive segments at $(docv) bytes (the library default is \
+             262144).  Evicted packets spill to segments, retransmissions \
+             fall through memory to disk, and the $(b,archive.*) counters \
+             appear in the trace summary.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run an LBRM deployment on the simulated WAN")
     Term.(
       const simulate $ sites $ receivers $ loss $ packets $ interval $ seed
-      $ stat_ack $ duration $ population $ mcast_cache)
+      $ stat_ack $ duration $ population $ mcast_cache $ keep_last
+      $ archive_segment_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)

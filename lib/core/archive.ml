@@ -1,12 +1,37 @@
-(* Record format (all big-endian):
+(* Segmented disk tier.
+
+   An archive is a set of segment data files plus a manifest:
+
+     <base>.manifest      append-only, fixed-size checksummed records
+     <base>.NNNNNN.seg    data records (format below), one active at a time
+     <base>.NNNNNN.idx    sorted (seq, pos, len) table for a sealed segment
+
+   Data record format (all big-endian):
      magic   u16 = 0xA10C
      seq     u32
      epoch   u32
      length  u32
      payload bytes
-     check   u32 = simple additive checksum of the fields above
-   The checksum guards torn tail writes; on open we scan records until
-   EOF or a bad record, truncating the latter.
+     check   u32 = simple multiplicative checksum of the fields above
+
+   Manifest record format (23 bytes, big-endian):
+     magic   u16 = 0xA11F
+     kind    u8            'A' activate | 'S' seal | 'C' compact | 'L' low-water
+     a,b,c,d u32 each      kind-specific (see the [kind_*] constants)
+     check   u32
+
+   The manifest is the source of truth for which segments exist: on open
+   we replay it (truncating a torn tail), load each sealed segment's idx
+   sidecar (rebuilding it from the data file if missing or corrupt), and
+   scan only the tail (active) segment record-by-record to rebuild its
+   full in-memory index, truncating a torn data record.  Sealed segments
+   keep only a sparse in-memory index — every [index_stride]-th entry of
+   the sorted sidecar table — so a sealed lookup reads one small idx
+   slice plus the record itself.
+
+   The low-water mark ('L' records) persists the highest seq L such that
+   1..L are all on disk; it deliberately excludes the in-memory store so
+   a floor recovered after a crash never overstates what survived.
 
    All file access goes through an injected {!fs} record: lib/core is
    sans-IO, so the real (Unix-backed) implementation lives in
@@ -21,6 +46,7 @@ type fs = {
   read_at : string -> pos:int -> len:int -> string;
   append : string -> string -> unit;
   truncate : string -> len:int -> unit;
+  remove : string -> unit;
   fsync : string -> unit;
 }
 
@@ -60,71 +86,73 @@ let in_memory () =
         match Hashtbl.find_opt files path with
         | None -> fs_error "truncate %s: no such file" path
         | Some r -> if String.length !r > len then r := String.sub !r 0 len);
+    remove = (fun path -> Hashtbl.remove files path);
     fsync = (fun _ -> ());
   }
 
 let magic = 0xA10C
+let manifest_magic = 0xA11F
+let idx_magic = 0xA1D1
+let manifest_record_length = 2 + 1 + (4 * 4) + 4
+let idx_header_length = 2 + 4
+let idx_entry_length = 4 + 4 + 4
+
+let kind_activate = 0x41 (* 'A' a=id *)
+let kind_seal = 0x53 (* 'S' a=id b=min_seq c=max_seq d=count *)
+let kind_compact = 0x43 (* 'C' a=id *)
+let kind_lwm = 0x4C (* 'L' a=floor *)
+
+(* Sparse in-memory view of a sealed segment: range, density, and every
+   [index_stride]-th seq of the sidecar's sorted table (checkpoint [j]
+   covers table ranks [j*stride, (j+1)*stride)). *)
+type sealed = {
+  s_id : int;
+  s_min : Seqno.t;
+  s_max : Seqno.t;
+  s_count : int;
+  s_keys : int array;
+}
 
 type t = {
-  archive_path : string;
+  base : string;
   fs : fs;
-  index : (Seqno.t, int * int) Hashtbl.t; (* seq -> (offset, total length) *)
-  mutable size : int; (* valid bytes *)
+  segment_bytes : int;
+  index_stride : int;
+  lwm_stride : int;
+  mutable sealed : sealed list; (* ascending id order *)
+  mutable active_id : int;
+  active_index : (Seqno.t, int) Hashtbl.t; (* seq -> record offset *)
+  mutable active_size : int; (* valid bytes in the active segment *)
+  mutable active_min : Seqno.t;
+  mutable active_max : Seqno.t;
+  mutable sealed_records : int;
+  mutable contig : Seqno.t; (* 1..contig all on disk (or compacted away) *)
+  mutable persisted_lwm : Seqno.t;
+  mutable rotations : int;
+  mutable compactions : int;
+  mutable last_sealed : int; (* id of the most recently sealed segment, 0 if none *)
+  mutable reads : int; (* successful disk-tier record reads *)
+  mutable misses : int; (* lookups that found nothing *)
 }
+
+let seg_path base id = Printf.sprintf "%s.%06d.seg" base id
+let idx_path base id = Printf.sprintf "%s.%06d.idx" base id
+let manifest_path base = base ^ ".manifest"
 
 let checksum ~seq ~epoch ~payload =
   let acc = ref (magic + seq + epoch + String.length payload) in
   String.iter (fun c -> acc := (!acc * 31) + Char.code c) payload;
   !acc land 0x3fffffff
 
+let mcheck ~kind ~a ~b ~c ~d =
+  let acc = (((((((manifest_magic * 31) + kind) * 31) + a) * 31) + b) * 31) + c in
+  (((acc * 31) + d) land 0x3fffffff)
+
 let header_length = 2 + 4 + 4 + 4
 let record_length payload = header_length + String.length payload + 4
 
 let get_u16 s pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
 let get_u32 s pos = (get_u16 s pos lsl 16) lor get_u16 s (pos + 2)
-
-(* Read one record at [pos]; None on EOF/corruption (incl. short
-   reads: a torn tail). *)
-let read_record t pos =
-  let header = t.fs.read_at t.archive_path ~pos ~len:header_length in
-  if String.length header < header_length then None
-  else if get_u16 header 0 <> magic then None
-  else
-    let seq = get_u32 header 2 in
-    let epoch = get_u32 header 6 in
-    let len = get_u32 header 10 in
-    if len < 0 || len > 16 * 1024 * 1024 then None
-    else
-      let rest = t.fs.read_at t.archive_path ~pos:(pos + header_length) ~len:(len + 4) in
-      if String.length rest < len + 4 then None
-      else
-        let payload = String.sub rest 0 len in
-        let check = get_u32 rest len in
-        if check = checksum ~seq ~epoch ~payload then Some (seq, epoch, payload)
-        else None
-
-let open_ ~fs ~path:archive_path =
-  try
-    (* Scan existing content to rebuild the index. *)
-    let index = Hashtbl.create 256 in
-    let t = { archive_path; fs; index; size = 0 } in
-    let file_len = if fs.exists archive_path then fs.size archive_path else 0 in
-    let rec scan pos =
-      if pos >= file_len then pos
-      else
-        match read_record t pos with
-        | Some (seq, _, payload) ->
-            let len = record_length payload in
-            if not (Hashtbl.mem index seq) then
-              Hashtbl.replace index seq (pos, len);
-            scan (pos + len)
-        | None -> pos (* torn tail: truncate here *)
-    in
-    let valid = scan 0 in
-    if file_len > valid then fs.truncate archive_path ~len:valid;
-    t.size <- valid;
-    Ok t
-  with Fs_error e | Sys_error e -> Error e
 
 let put_u16 b v =
   Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
@@ -134,10 +162,430 @@ let put_u32 b v =
   put_u16 b ((v lsr 16) land 0xffff);
   put_u16 b (v land 0xffff)
 
+let log_manifest t ~kind ~a ~b ~c ~d =
+  let buf = Buffer.create manifest_record_length in
+  put_u16 buf manifest_magic;
+  Buffer.add_char buf (Char.chr kind);
+  put_u32 buf a;
+  put_u32 buf b;
+  put_u32 buf c;
+  put_u32 buf d;
+  put_u32 buf (mcheck ~kind ~a ~b ~c ~d);
+  t.fs.append (manifest_path t.base) (Buffer.contents buf)
+
+(* Read one data record at [pos] of segment file [path]; None on
+   EOF/corruption (incl. short reads: a torn tail).  The payload string
+   is returned exactly as read — no intermediate copy — so the logger
+   can hand it straight to the wire path. *)
+let read_data_record t path pos =
+  let header = t.fs.read_at path ~pos ~len:header_length in
+  if String.length header < header_length then None
+  else if get_u16 header 0 <> magic then None
+  else
+    let seq = get_u32 header 2 in
+    let epoch = get_u32 header 6 in
+    let len = get_u32 header 10 in
+    if len < 0 || len > 16 * 1024 * 1024 then None
+    else
+      let payload = t.fs.read_at path ~pos:(pos + header_length) ~len in
+      if String.length payload < len then None
+      else
+        let tail = t.fs.read_at path ~pos:(pos + header_length + len) ~len:4 in
+        if String.length tail < 4 then None
+        else if get_u32 tail 0 = checksum ~seq ~epoch ~payload then
+          Some (seq, epoch, payload)
+        else None
+
+(* ---------- sealed-segment sidecars ---------- *)
+
+let idx_check_entry acc ~seq ~pos ~len =
+  (((((((acc * 31) + seq) * 31) + pos) * 31) + len) land 0x3fffffff)
+
+(* [entries] sorted by seq. *)
+let write_idx t id entries =
+  let n = List.length entries in
+  let b = Buffer.create (idx_header_length + (n * idx_entry_length) + 4) in
+  put_u16 b idx_magic;
+  put_u32 b n;
+  let acc = ref ((idx_magic + n) land 0x3fffffff) in
+  List.iter
+    (fun (seq, pos, len) ->
+      put_u32 b seq;
+      put_u32 b pos;
+      put_u32 b len;
+      acc := idx_check_entry !acc ~seq ~pos ~len)
+    entries;
+  put_u32 b !acc;
+  let ip = idx_path t.base id in
+  if t.fs.exists ip then t.fs.truncate ip ~len:0;
+  t.fs.append ip (Buffer.contents b);
+  t.fs.fsync ip
+
+let make_checkpoints t seqs_at =
+  (* [seqs_at rank] for ranks 0..count-1; returns the sparse key array *)
+  fun count ->
+   let ncp = (count + t.index_stride - 1) / t.index_stride in
+   Array.init (Stdlib.max ncp 1) (fun j ->
+       if j * t.index_stride < count then seqs_at (j * t.index_stride) else 0)
+
+(* Load a sealed segment's sparse index from its sidecar; None if the
+   sidecar is missing or fails validation. *)
+let load_idx t id =
+  let ip = idx_path t.base id in
+  if not (t.fs.exists ip) then None
+  else
+    let sz = t.fs.size ip in
+    if sz < idx_header_length + 4 then None
+    else
+      let data = t.fs.read_at ip ~pos:0 ~len:sz in
+      if String.length data < sz then None
+      else if get_u16 data 0 <> idx_magic then None
+      else
+        let n = get_u32 data 2 in
+        if sz <> idx_header_length + (n * idx_entry_length) + 4 then None
+        else begin
+          let acc = ref ((idx_magic + n) land 0x3fffffff) in
+          for i = 0 to n - 1 do
+            let off = idx_header_length + (i * idx_entry_length) in
+            acc :=
+              idx_check_entry !acc ~seq:(get_u32 data off)
+                ~pos:(get_u32 data (off + 4))
+                ~len:(get_u32 data (off + 8))
+          done;
+          if get_u32 data (sz - 4) <> !acc || n = 0 then None
+          else
+            let seq_at rank =
+              get_u32 data (idx_header_length + (rank * idx_entry_length))
+            in
+            Some
+              {
+                s_id = id;
+                s_min = seq_at 0;
+                s_max = seq_at (n - 1);
+                s_count = n;
+                s_keys = (make_checkpoints t seq_at) n;
+              }
+        end
+
+(* Scan a segment's data records sequentially (used when the idx
+   sidecar is lost and for {!iter}).  Stops at the first bad record. *)
+let scan_segment t path f =
+  let flen = if t.fs.exists path then t.fs.size path else 0 in
+  let rec scan pos =
+    if pos >= flen then pos
+    else
+      match read_data_record t path pos with
+      | Some (seq, epoch, payload) ->
+          f ~seq ~epoch ~payload ~pos;
+          scan (pos + record_length payload)
+      | None -> pos
+  in
+  scan 0
+
+(* Rebuild a sealed segment's sidecar by scanning its data file. *)
+let rebuild_sealed t id =
+  let entries = ref [] in
+  ignore
+    (scan_segment t (seg_path t.base id) (fun ~seq ~epoch:_ ~payload ~pos ->
+         entries := (seq, pos, record_length payload) :: !entries));
+  let entries =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !entries
+  in
+  write_idx t id entries;
+  let n = List.length entries in
+  let arr = Array.of_list entries in
+  let seq_at rank =
+    let s, _, _ = arr.(rank) in
+    s
+  in
+  if n = 0 then
+    { s_id = id; s_min = 1; s_max = 0; s_count = 0; s_keys = [| 0 |] }
+  else
+    {
+      s_id = id;
+      s_min = seq_at 0;
+      s_max = seq_at (n - 1);
+      s_count = n;
+      s_keys = (make_checkpoints t seq_at) n;
+    }
+
+let load_sealed t id =
+  match load_idx t id with Some s -> s | None -> rebuild_sealed t id
+
+(* Locate [seq] inside a sealed segment: binary-search the sparse
+   checkpoints, then read the covered sidecar slice (at most
+   [index_stride] entries).  Returns (pos, len) in the data file. *)
+let sealed_locate t s seq =
+  if s.s_count = 0 || seq < s.s_min || seq > s.s_max then None
+  else begin
+    let lo = ref 0 and hi = ref (Array.length s.s_keys - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if mid * t.index_stride < s.s_count && s.s_keys.(mid) <= seq then
+        lo := mid
+      else hi := mid - 1
+    done;
+    let r0 = !lo * t.index_stride in
+    let r1 = Stdlib.min s.s_count (r0 + t.index_stride) in
+    let slice =
+      t.fs.read_at (idx_path t.base s.s_id)
+        ~pos:(idx_header_length + (r0 * idx_entry_length))
+        ~len:((r1 - r0) * idx_entry_length)
+    in
+    if String.length slice < (r1 - r0) * idx_entry_length then None
+    else
+      let rec probe i =
+        if i >= r1 - r0 then None
+        else
+          let off = i * idx_entry_length in
+          if get_u32 slice off = seq then
+            Some (get_u32 slice (off + 4), get_u32 slice (off + 8))
+          else probe (i + 1)
+      in
+      probe 0
+  end
+
+let sealed_mem t s seq =
+  if s.s_count = 0 || seq < s.s_min || seq > s.s_max then false
+  else if s.s_count = s.s_max - s.s_min + 1 then true (* dense: no read *)
+  else Option.is_some (sealed_locate t s seq)
+
+(* ---------- hot read path ---------- *)
+
+(* Offset of [seq] in the active segment, or -1.  On the retransmission
+   fast path this is the only per-lookup work before the payload read,
+   so it must not allocate. *)
+let[@lint.hot] locate t seq =
+  match Hashtbl.find t.active_index seq with
+  | pos -> pos
+  | exception Not_found -> -1
+
+let mem t seq =
+  Hashtbl.mem t.active_index seq
+  || List.exists (fun s -> sealed_mem t s seq) t.sealed
+
+(* ---------- low-water mark ---------- *)
+
+(* Advance the archive-only contiguity floor.  Fully-contiguous sealed
+   segments are jumped over without touching disk. *)
+let advance_contig t =
+  let progressing = ref true in
+  while !progressing do
+    let next = t.contig + 1 in
+    let jumped =
+      List.exists
+        (fun s ->
+          if
+            s.s_count > 0
+            && s.s_min <= next
+            && next <= s.s_max
+            && s.s_count = s.s_max - s.s_min + 1
+          then begin
+            t.contig <- s.s_max;
+            true
+          end
+          else false)
+        t.sealed
+    in
+    if not jumped then
+      if mem t next then t.contig <- next else progressing := false
+  done
+
+let persist_lwm t =
+  if t.contig > t.persisted_lwm then begin
+    (* The records backing the mark must hit stable storage before the
+       mark itself: a crash may then lose the L record (the floor
+       understates, which is safe) but never the data under a surviving
+       L record (which would overstate). *)
+    let sp = seg_path t.base t.active_id in
+    if t.fs.exists sp then t.fs.fsync sp;
+    log_manifest t ~kind:kind_lwm ~a:t.contig ~b:0 ~c:0 ~d:0;
+    t.persisted_lwm <- t.contig
+  end
+
+(* ---------- open ---------- *)
+
+let scan_active t =
+  let sp = seg_path t.base t.active_id in
+  let valid =
+    scan_segment t sp (fun ~seq ~epoch:_ ~payload:_ ~pos ->
+        if not (Hashtbl.mem t.active_index seq) then
+          Hashtbl.replace t.active_index seq pos;
+        if seq < t.active_min then t.active_min <- seq;
+        if seq > t.active_max then t.active_max <- seq)
+  in
+  let flen = if t.fs.exists sp then t.fs.size sp else 0 in
+  if flen > valid then t.fs.truncate sp ~len:valid;
+  t.active_size <- valid
+
+(* Seal a stale open segment left behind by a crash between manifest
+   records: scan it, write its sidecar, and record the seal. *)
+let rescan_and_seal t id =
+  let s = rebuild_sealed t id in
+  log_manifest t ~kind:kind_seal ~a:id ~b:s.s_min ~c:s.s_max ~d:s.s_count;
+  t.sealed <- t.sealed @ [ s ];
+  t.sealed_records <- t.sealed_records + s.s_count;
+  if id > t.last_sealed then t.last_sealed <- id
+
+let open_ ?(segment_bytes = 262144) ?(index_stride = 8) ?(lwm_stride = 32)
+    ~fs base =
+  try
+    let mpath = manifest_path base in
+    let mlen = if fs.exists mpath then fs.size mpath else 0 in
+    let nrec = mlen / manifest_record_length in
+    let data = if mlen = 0 then "" else fs.read_at mpath ~pos:0 ~len:mlen in
+    let states : (int, [ `Open | `Sealed ]) Hashtbl.t = Hashtbl.create 8 in
+    let max_id = ref 0 and lwm = ref 0 in
+    let rec replay i =
+      if i >= nrec then i
+      else
+        let off = i * manifest_record_length in
+        if String.length data < off + manifest_record_length then i
+        else if get_u16 data off <> manifest_magic then i
+        else
+          let kind = Char.code data.[off + 2] in
+          let a = get_u32 data (off + 3) in
+          let b = get_u32 data (off + 7) in
+          let c = get_u32 data (off + 11) in
+          let d = get_u32 data (off + 15) in
+          if get_u32 data (off + 19) <> mcheck ~kind ~a ~b ~c ~d then i
+          else if kind = kind_activate then begin
+            Hashtbl.replace states a `Open;
+            if a > !max_id then max_id := a;
+            replay (i + 1)
+          end
+          else if kind = kind_seal then begin
+            Hashtbl.replace states a `Sealed;
+            replay (i + 1)
+          end
+          else if kind = kind_compact then begin
+            Hashtbl.remove states a;
+            replay (i + 1)
+          end
+          else if kind = kind_lwm then begin
+            if a > !lwm then lwm := a;
+            replay (i + 1)
+          end
+          else i
+    in
+    let valid = replay 0 in
+    if mlen > valid * manifest_record_length then
+      fs.truncate mpath ~len:(valid * manifest_record_length);
+    let t =
+      {
+        base;
+        fs;
+        segment_bytes;
+        index_stride;
+        lwm_stride;
+        sealed = [];
+        active_id = 0;
+        active_index = Hashtbl.create 256;
+        active_size = 0;
+        active_min = max_int;
+        active_max = -1;
+        sealed_records = 0;
+        contig = !lwm;
+        persisted_lwm = !lwm;
+        rotations = 0;
+        compactions = 0;
+        last_sealed = 0;
+        reads = 0;
+        misses = 0;
+      }
+    in
+    let sealed_ids =
+      Hashtbl.fold
+        (fun id st acc -> match st with `Sealed -> id :: acc | `Open -> acc)
+        states []
+      |> List.sort Int.compare
+    in
+    let open_ids =
+      Hashtbl.fold
+        (fun id st acc -> match st with `Open -> id :: acc | `Sealed -> acc)
+        states []
+      |> List.sort Int.compare
+    in
+    List.iter
+      (fun id ->
+        let s = load_sealed t id in
+        t.sealed <- t.sealed @ [ s ];
+        t.sealed_records <- t.sealed_records + s.s_count;
+        if id > t.last_sealed then t.last_sealed <- id)
+      sealed_ids;
+    (match List.rev open_ids with
+    | [] ->
+        let id = !max_id + 1 in
+        t.active_id <- id;
+        log_manifest t ~kind:kind_activate ~a:id ~b:0 ~c:0 ~d:0
+    | id :: stale ->
+        List.iter (fun sid -> rescan_and_seal t sid) (List.rev stale);
+        t.active_id <- id;
+        scan_active t);
+    advance_contig t;
+    Ok t
+  with Fs_error e | Sys_error e -> Error e
+
+(* ---------- rotation & append ---------- *)
+
+let seal_active t =
+  if Hashtbl.length t.active_index > 0 then begin
+    let sp = seg_path t.base t.active_id in
+    t.fs.fsync sp;
+    (* Derive record lengths from consecutive offsets: records in the
+       active segment are laid out back to back. *)
+    let by_pos =
+      Hashtbl.fold (fun seq pos acc -> (pos, seq) :: acc) t.active_index []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let rec lens = function
+      | [] -> []
+      | [ (pos, seq) ] -> [ (seq, pos, t.active_size - pos) ]
+      | (pos, seq) :: ((next, _) :: _ as rest) ->
+          (seq, pos, next - pos) :: lens rest
+    in
+    let entries =
+      List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) (lens by_pos)
+    in
+    write_idx t t.active_id entries;
+    let n = List.length entries in
+    let arr = Array.of_list entries in
+    let seq_at rank =
+      let s, _, _ = arr.(rank) in
+      s
+    in
+    let s =
+      {
+        s_id = t.active_id;
+        s_min = t.active_min;
+        s_max = t.active_max;
+        s_count = n;
+        s_keys = (make_checkpoints t seq_at) n;
+      }
+    in
+    log_manifest t ~kind:kind_seal ~a:t.active_id ~b:s.s_min ~c:s.s_max
+      ~d:s.s_count;
+    t.sealed <- t.sealed @ [ s ];
+    t.sealed_records <- t.sealed_records + n;
+    t.last_sealed <- t.active_id;
+    t.rotations <- t.rotations + 1;
+    t.active_id <- t.active_id + 1;
+    log_manifest t ~kind:kind_activate ~a:t.active_id ~b:0 ~c:0 ~d:0;
+    t.fs.fsync (manifest_path t.base);
+    Hashtbl.reset t.active_index;
+    t.active_size <- 0;
+    t.active_min <- max_int;
+    t.active_max <- -1
+  end
+
+let rotate = seal_active
+
 let append t ~seq ~epoch ~payload =
-  if not (Hashtbl.mem t.index seq) then begin
-    let pos = t.size in
+  if not (mem t seq) then begin
     let len = record_length payload in
+    if Hashtbl.length t.active_index > 0 && t.active_size + len > t.segment_bytes
+    then seal_active t;
+    let pos = t.active_size in
     let b = Buffer.create len in
     put_u16 b magic;
     put_u32 b seq;
@@ -145,32 +593,95 @@ let append t ~seq ~epoch ~payload =
     put_u32 b (String.length payload);
     Buffer.add_string b payload;
     put_u32 b (checksum ~seq ~epoch ~payload);
-    t.fs.append t.archive_path (Buffer.contents b);
-    t.size <- pos + len;
-    Hashtbl.replace t.index seq (pos, len)
+    t.fs.append (seg_path t.base t.active_id) (Buffer.contents b);
+    t.active_size <- pos + len;
+    Hashtbl.replace t.active_index seq pos;
+    if seq < t.active_min then t.active_min <- seq;
+    if seq > t.active_max then t.active_max <- seq;
+    if t.contig + 1 = seq then advance_contig t;
+    if t.contig - t.persisted_lwm >= t.lwm_stride then persist_lwm t
   end
 
-let find t seq =
-  match Hashtbl.find_opt t.index seq with
-  | None -> None
-  | Some (pos, _) -> (
-      match read_record t pos with
-      | Some (s, epoch, payload) when Int.equal s seq -> Some (epoch, payload)
-      | _ -> None)
+(* ---------- lookup ---------- *)
 
-let mem t seq = Hashtbl.mem t.index seq
-let count t = Hashtbl.length t.index
-let sync t = t.fs.fsync t.archive_path
+let find t seq =
+  let result =
+    match locate t seq with
+    | pos when pos >= 0 -> (
+        match read_data_record t (seg_path t.base t.active_id) pos with
+        | Some (s, epoch, payload) when Int.equal s seq -> Some (epoch, payload)
+        | _ -> None)
+    | _ ->
+        let rec search = function
+          | [] -> None
+          | s :: rest -> (
+              match sealed_locate t s seq with
+              | Some (pos, _len) -> (
+                  match read_data_record t (seg_path t.base s.s_id) pos with
+                  | Some (sq, epoch, payload) when Int.equal sq seq ->
+                      Some (epoch, payload)
+                  | _ -> None)
+              | None -> search rest)
+        in
+        search t.sealed
+  in
+  (match result with
+  | Some _ -> t.reads <- t.reads + 1
+  | None -> t.misses <- t.misses + 1);
+  result
+
+(* ---------- compaction ---------- *)
+
+let compact t ~floor =
+  let gone, keep = List.partition (fun s -> s.s_max <= floor) t.sealed in
+  List.iter
+    (fun s ->
+      t.fs.remove (seg_path t.base s.s_id);
+      t.fs.remove (idx_path t.base s.s_id);
+      log_manifest t ~kind:kind_compact ~a:s.s_id ~b:0 ~c:0 ~d:0;
+      t.sealed_records <- t.sealed_records - s.s_count;
+      t.compactions <- t.compactions + 1)
+    gone;
+  t.sealed <- keep;
+  List.map (fun s -> s.s_id) gone
+
+(* ---------- stats & plumbing ---------- *)
+
+let count t = t.sealed_records + Hashtbl.length t.active_index
+
+let sync t =
+  let sp = seg_path t.base t.active_id in
+  if t.fs.exists sp then t.fs.fsync sp;
+  persist_lwm t;
+  let mp = manifest_path t.base in
+  if t.fs.exists mp then t.fs.fsync mp
+
 let close t = sync t
-let path t = t.archive_path
+let path t = t.base
+let active_path t = seg_path t.base t.active_id
+let active_size t = t.active_size
+let low_water t = t.contig
+let rotations t = t.rotations
+let compactions t = t.compactions
+let reads t = t.reads
+let misses t = t.misses
+let last_sealed t = t.last_sealed
+let segments t = List.map (fun s -> s.s_id) t.sealed @ [ t.active_id ]
+
+let files t =
+  manifest_path t.base
+  :: List.concat_map
+       (fun s -> [ seg_path t.base s.s_id; idx_path t.base s.s_id ])
+       t.sealed
+  @ [ seg_path t.base t.active_id ]
 
 let iter f t =
-  let rec scan pos =
-    if pos < t.size then
-      match read_record t pos with
-      | Some (seq, epoch, payload) ->
-          f ~seq ~epoch ~payload;
-          scan (pos + record_length payload)
-      | None -> ()
-  in
-  scan 0
+  List.iter
+    (fun s ->
+      ignore
+        (scan_segment t (seg_path t.base s.s_id)
+           (fun ~seq ~epoch ~payload ~pos:_ -> f ~seq ~epoch ~payload)))
+    t.sealed;
+  ignore
+    (scan_segment t (seg_path t.base t.active_id)
+       (fun ~seq ~epoch ~payload ~pos:_ -> f ~seq ~epoch ~payload))

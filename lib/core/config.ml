@@ -51,6 +51,10 @@ type t = {
   (* retransmission channel (7, first bullet) *)
   rchannel_group : int option;
   rchannel_copies : int;
+  (* disk tier *)
+  archive_segment_bytes : int;
+  archive_index_stride : int;
+  archive_lwm_stride : int;
 }
 
 let default =
@@ -92,6 +96,9 @@ let default =
     discovery_round_timeout = 0.05;
     rchannel_group = None;
     rchannel_copies = 3;
+    archive_segment_bytes = 262144;
+    archive_index_stride = 8;
+    archive_lwm_stride = 32;
   }
 
 let fixed_heartbeat t = { t with heartbeat_policy = Fixed }
@@ -121,6 +128,11 @@ let validate t =
   else if t.deposit_timeout_max < t.deposit_timeout then
     err "deposit_timeout_max %g < deposit_timeout %g" t.deposit_timeout_max
       t.deposit_timeout
+  else if t.archive_segment_bytes < 64 then
+    err "archive_segment_bytes must be >= 64 (got %d)" t.archive_segment_bytes
+  else if t.archive_index_stride < 1 then
+    err "archive_index_stride must be positive"
+  else if t.archive_lwm_stride < 1 then err "archive_lwm_stride must be positive"
   else Ok t
 
 (* Retry delay for deposit attempt [attempt] (0-based): exponential

@@ -100,6 +100,16 @@ type t = {
           subscribe on loss instead of NACKing.  [None] disables. *)
   rchannel_copies : int;
       (** copies of each packet placed on the channel (n) *)
+  (* disk tier *)
+  archive_segment_bytes : int;
+      (** rotate the archive's active segment once it reaches this many
+          bytes (default 256 KiB) *)
+  archive_index_stride : int;
+      (** sealed-segment sparse-index sampling interval: one in-memory
+          checkpoint per this many sidecar entries *)
+  archive_lwm_stride : int;
+      (** persist the archive low-water mark once it has advanced this
+          many sequence numbers past the last persisted value *)
 }
 
 val default : t

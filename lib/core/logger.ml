@@ -24,6 +24,8 @@ type t = {
   store : Log_store.t;
   mutable archive : Archive.t option; (* disk tier fed by store eviction *)
   mutable archive_write_errors : int;
+  mutable archive_reads : int; (* retransmissions served from disk *)
+  mutable floor : seq; (* tiered memory+disk contiguous floor (archive only) *)
   tracker : Gap_tracker.t; (* what this logger knows exists *)
   recovered_here : (seq, unit) Hashtbl.t; (* packets we had to pull *)
   pending_up : (seq, address list ref) Hashtbl.t; (* awaiting parent *)
@@ -38,6 +40,35 @@ type t = {
   mutable uplink_nacks : int;
   mutable on_rchannel : bool; (* subscribed to the retransmission channel *)
 }
+
+(* Advance the tiered contiguous floor across memory and disk.  Only
+   meaningful with an archive attached; the archive's persisted
+   low-water mark gives the starting jump, then membership in either
+   tier extends it.  Monotone: a floor never moves backward, and after
+   a restart it resumes from what the archive durably recorded — never
+   from the first post-rejoin sequence. *)
+let advance_floor t =
+  match t.archive with
+  | None -> ()
+  | Some a ->
+      let lw = Archive.low_water a in
+      if lw > t.floor then t.floor <- lw;
+      let progressing = ref true in
+      while !progressing do
+        let next = t.floor + 1 in
+        if Log_store.mem t.store next || Archive.mem a next then
+          t.floor <- next
+        else progressing := false
+      done
+
+(* The durability floor this logger reports (Log_ack / Replica_ack /
+   Ring_ack / Quorum_ack / Replica_status).  Without a disk tier it is
+   the in-memory contiguous mark, as before; with one it is the tiered
+   floor, which survives restarts via the archive's low-water mark. *)
+let durable_floor t =
+  match t.archive with
+  | None -> Option.value ~default:0 (Log_store.highest_contiguous t.store)
+  | Some _ -> t.floor
 
 let create cfg ~self ~source ?parent ?(replicas = []) ?succ ?archive ~rng
     ?(sink = Trace.null ()) () =
@@ -57,7 +88,17 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?succ ?archive ~rng
                 match t.archive with
                 | None -> () (* disk tier already degraded *)
                 | Some _ -> (
-                    try Archive.append a ~seq:e.seq ~epoch:e.epoch ~payload:e.payload
+                    let sealed_before = Archive.rotations a in
+                    try
+                      Archive.append a ~seq:e.seq ~epoch:e.epoch
+                        ~payload:e.payload;
+                      if
+                        Archive.rotations a > sealed_before
+                        && Trace.is_on t.sink
+                      then
+                        Trace.emit t.sink ~at:e.logged_at ~node:t.self
+                          (Trace.Segment_rotated
+                             { segment = Archive.last_sealed a })
                     with Archive.Fs_error _ ->
                       t.archive <- None;
                       t.archive_write_errors <- t.archive_write_errors + 1;
@@ -77,6 +118,8 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?succ ?archive ~rng
       store = Log_store.create ?on_evict ~retention:cfg.retention ();
       archive;
       archive_write_errors = 0;
+      archive_reads = 0;
+      floor = 0;
     tracker = Gap_tracker.create ();
     recovered_here = Hashtbl.create 16;
     pending_up = Hashtbl.create 16;
@@ -93,6 +136,7 @@ let create cfg ~self ~source ?parent ?(replicas = []) ?succ ?archive ~rng
     }
   in
   cell := Some t;
+  advance_floor t;
   t
 
 let is_primary t = t.parent = None
@@ -103,8 +147,24 @@ let requests_served t = t.requests_served
 let remulticasts t = t.remulticasts
 let uplink_nacks t = t.uplink_nacks
 let archive_write_errors t = t.archive_write_errors
+let archive_reads t = t.archive_reads
 let archive_enabled t = match t.archive with Some _ -> true | None -> false
 let successor t = t.succ
+
+(* Whole-segment reclamation: drop every sealed segment wholly below
+   [floor] (the retention policy's durability floor).  Returns the
+   number of segments reclaimed. *)
+let compact_archive t ~now ~floor =
+  match t.archive with
+  | None -> 0
+  | Some a ->
+      let removed = Archive.compact a ~floor in
+      List.iter
+        (fun id ->
+          if Trace.is_on t.sink then
+            trace t ~now (Trace.Segment_compacted { segment = id }))
+        removed;
+      List.length removed
 
 let designated_for t =
   Hashtbl.fold (fun e () acc -> e :: acc) t.designated []
@@ -188,7 +248,9 @@ let retrans_msg (e : Log_store.entry) =
   Message.Retrans
     { seq = e.seq; epoch = e.epoch; payload = Payload.of_string e.payload }
 
-(* In-memory store first, disk archive second. *)
+(* In-memory store first, disk archive second.  The payload string the
+   archive hands back is the exact bytes read from the segment file;
+   [retrans_msg] wraps it as a view, so nothing on this path copies. *)
 let lookup t ~now seq =
   match Log_store.get t.store ~now seq with
   | Some e -> Some e
@@ -198,6 +260,9 @@ let lookup t ~now seq =
       | Some a -> (
           match Archive.find a seq with
           | Some (epoch, payload) ->
+              t.archive_reads <- t.archive_reads + 1;
+              if Trace.is_on t.sink then
+                trace t ~now (Trace.Archive_read { seq });
               Some { Log_store.seq; epoch; payload; logged_at = now }
           | None -> None))
 
@@ -297,6 +362,7 @@ let log_packet t ~now ~seq ~epoch ~payload ~recovered =
   in
   if fresh && Trace.is_on t.sink then
     trace t ~now (Trace.Log_write { seq; recovered });
+  advance_floor t;
   Hashtbl.remove t.uplink_asked seq;
   Hashtbl.remove t.uplink_retries seq;
   if recovered then Hashtbl.replace t.recovered_here seq ();
@@ -358,7 +424,7 @@ let best_replica_seq t =
   (* §2.2.3: the replica sequence number reported to the source is the
      most up-to-date replica's contiguous mark; with no replicas the
      primary's own mark stands in. *)
-  let own = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
+  let own = durable_floor t in
   match t.replicas with
   | [] -> own
   | replicas ->
@@ -369,16 +435,15 @@ let best_replica_seq t =
         0 replicas
 
 let log_ack t =
-  let primary_seq =
-    Option.value ~default:0 (Log_store.highest_contiguous t.store)
-  in
-  Message.Log_ack { primary_seq; replica_seq = best_replica_seq t }
+  Message.Log_ack
+    { primary_seq = durable_floor t; replica_seq = best_replica_seq t }
 
 let on_deposit t ~now ~seq ~epoch ~payload =
   let fresh =
     Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload)
   in
   ignore (Gap_tracker.note t.tracker seq);
+  advance_floor t;
   let to_replicas =
     if fresh then
       List.concat_map
@@ -434,8 +499,8 @@ let on_replica_update t ~now ~src ~seq ~epoch ~payload =
   ignore
     (Log_store.add t.store ~now ~seq ~epoch ~payload:(Payload.to_owned payload));
   ignore (Gap_tracker.note t.tracker seq);
-  let contig = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
-  [ Io.send_to src (Message.Replica_ack { seq = contig }) ]
+  advance_floor t;
+  [ Io.send_to src (Message.Replica_ack { seq = durable_floor t }) ]
 
 (* --- ring and quorum replication duties --------------------------------- *)
 
@@ -450,6 +515,7 @@ let on_ring_forward t ~now ~seq ~epoch ~payload =
   in
   if fresh && Trace.is_on t.sink then
     trace t ~now (Trace.Log_write { seq; recovered = false });
+  advance_floor t;
   (* A dropped forward upstream shows as a gap here; chase it through the
      parent so the chain self-heals even before the source's retry
      re-walks it. *)
@@ -472,10 +538,8 @@ let on_ring_forward t ~now ~seq ~epoch ~payload =
         trace t ~now (Trace.Ring_forwarded { seq; dest = next });
       Io.send_to next (Message.Ring_forward { seq; epoch; payload }) :: waiters
   | None ->
-      let floor =
-        Option.value ~default:0 (Log_store.highest_contiguous t.store)
-      in
-      Io.send_to t.source (Message.Ring_ack { seq = floor }) :: waiters
+      Io.send_to t.source (Message.Ring_ack { seq = durable_floor t })
+      :: waiters
 
 (* Quorum member: every member (primary or not) logs the multicast
    deposit and acks its own contiguous floor straight back to the
@@ -486,6 +550,7 @@ let on_quorum_deposit t ~now ~seq ~epoch ~payload =
   in
   if fresh && Trace.is_on t.sink then
     trace t ~now (Trace.Log_write { seq; recovered = false });
+  advance_floor t;
   (* A lost deposit multicast shows as a gap; chase it through the
      parent so this member's floor (and thus the quorum) keeps moving. *)
   let gap_actions =
@@ -494,7 +559,7 @@ let on_quorum_deposit t ~now ~seq ~epoch ~payload =
     | Fills_gap -> maybe_leave_channel t
     | First | In_order | Duplicate -> []
   in
-  let floor = Option.value ~default:0 (Log_store.highest_contiguous t.store) in
+  let floor = durable_floor t in
   if Trace.is_on t.sink then trace t ~now (Trace.Quorum_acked { seq; floor });
   let waiters =
     gap_actions
@@ -548,10 +613,7 @@ let handle_message t ~now ~src msg =
       if Seqno.(seq > prev) then Hashtbl.replace t.replica_acked src seq;
       if is_primary t then [ Io.send_to t.source (log_ack t) ] else []
   | Message.Replica_query ->
-      let contig =
-        Option.value ~default:0 (Log_store.highest_contiguous t.store)
-      in
-      [ Io.send_to src (Message.Replica_status { seq = contig }) ]
+      [ Io.send_to src (Message.Replica_status { seq = durable_floor t }) ]
   | Message.Promote { replicas } ->
       t.parent <- None;
       t.replicas <- replicas;

@@ -45,7 +45,9 @@ val create :
     full"); if the disk tier raises {!Archive.Fs_error} during eviction
     the logger degrades gracefully — the tier is disabled, the error
     counted, an {!Trace.Archive_degraded} event emitted, and service
-    continues from memory. *)
+    continues from memory.  An archive that already holds history (a
+    restart) seeds the logger's durability floor from its persisted
+    low-water mark. *)
 
 val handle_message :
   t -> now:float -> src:address -> Lbrm_wire.Message.t -> Io.action list
@@ -73,8 +75,25 @@ val archive_write_errors : t -> int
 (** Disk-tier write failures absorbed (the tier is disabled on the
     first one). *)
 
+val archive_reads : t -> int
+(** Retransmission lookups that missed the in-memory store and were
+    served from the disk tier. *)
+
 val archive_enabled : t -> bool
 (** Whether the disk tier is still attached and serving. *)
+
+val durable_floor : t -> Lbrm_util.Seqno.t
+(** The durability floor this logger reports in
+    [Log_ack]/[Replica_ack]/[Ring_ack]/[Quorum_ack]/[Replica_status].
+    Without a disk tier: the in-memory store's contiguous mark.  With
+    one: the tiered memory+disk contiguous floor, seeded after a
+    restart from the archive's persisted low-water mark — so a rejoined
+    member never overstates what it holds. *)
+
+val compact_archive : t -> now:float -> floor:Lbrm_util.Seqno.t -> int
+(** Reclaim archive segments wholly at or below [floor] (whole-segment
+    compaction), emitting {!Trace.Segment_compacted} per segment;
+    returns how many were reclaimed.  0 without a disk tier. *)
 
 val successor : t -> address option
 (** Ring replication: this member's next hop ([None] = tail, or not a

@@ -59,6 +59,9 @@ type event =
   | Quorum_acked of { seq : seq; floor : seq }
   | Ack_floor of { durable : seq; acked : seq }
   | Archive_degraded of { seq : seq }
+  | Archive_read of { seq : seq }
+  | Segment_rotated of { segment : int }
+  | Segment_compacted of { segment : int }
 [@@lint.telemetry]
 
 type record = { at : float; node : address; ev : event }
@@ -253,6 +256,12 @@ let event_fields buf ev =
            acked)
   | Archive_degraded { seq } ->
       add (Printf.sprintf {|"ev":"archive_degraded","seq":%d|} seq)
+  | Archive_read { seq } ->
+      add (Printf.sprintf {|"ev":"archive_read","seq":%d|} seq)
+  | Segment_rotated { segment } ->
+      add (Printf.sprintf {|"ev":"segment_rotated","segment":%d|} segment)
+  | Segment_compacted { segment } ->
+      add (Printf.sprintf {|"ev":"segment_compacted","segment":%d|} segment)
 
 let add_jsonl buf r =
   Buffer.add_string buf

@@ -93,6 +93,15 @@ type event =
   | Archive_degraded of { seq : seq }
       (** the logger's disk tier failed writing [seq] and was disabled;
           service continues from memory *)
+  | Archive_read of { seq : seq }
+      (** a retransmission missed the in-memory store and was served
+          from the disk tier *)
+  | Segment_rotated of { segment : int }
+      (** the archive sealed segment [segment] and opened a fresh
+          active one *)
+  | Segment_compacted of { segment : int }
+      (** sealed segment [segment] fell wholly below the retention
+          floor and was reclaimed *)
 
 type record = { at : float; node : address; ev : event }
 

@@ -195,6 +195,107 @@ let primary_crash ?(seed = 11) ?h_min ?replication () =
   in
   finish ~name d tk collector extra
 
+(* Primary crash with the disk tier attached and a store small enough
+   that most of the history has already spilled to segments before the
+   crash.  Exercises the full restart contract of the tier: the archive
+   (a persistent per-node fs) survives the crash, the rebuilt logger
+   reopens it, seeds its durability floor from the recovered low-water
+   mark, and keeps old packets servable from disk — while fail-over
+   still promotes exactly one replica, each of which runs the same
+   spilling configuration.
+
+   A concurrent site partition (cut during the whole stream, healed
+   after the new primary is stable) forces the deep catch-up that makes
+   the tier observable: the cut site returns needing most of the
+   stream, long evicted from every 8-entry store, so its repairs must
+   fall through memory to the archive. *)
+let primary_crash_spill ?(seed = 11) ?h_min ?replication () =
+  let crash_at = 3.0 and restart_at = 10.0 and horizon = 40.0 in
+  let cut_site = 2 and cut_t0 = 2.1 and cut_t1 = 12.1 in
+  let tk = tracker () in
+  let collector = Ev.Collector.create () in
+  let sink = Ev.Collector.sink collector in
+  (* Keep_last 8 forces eviction after a fraction of the 100-packet
+     stream; 2 KiB segments force rotations, so the reopen path walks a
+     multi-segment manifest rather than one active file. *)
+  let cfg =
+    {
+      (chaos_cfg ?h_min ?replication ()) with
+      Lbrm.Config.retention = Lbrm.Log_store.Keep_last 8;
+      archive_segment_bytes = 2048;
+    }
+  in
+  let d =
+    Scenario.standard ~cfg ~seed ~replica_count:2 ~initial_estimate:12.
+      ~on_deliver:(fun node ~now:_ ~seq ~payload:_ ~recovered:_ ->
+        track tk node seq)
+      ~sink ~archive:true ~sites:4 ~receivers_per_site:3 ()
+  in
+  Scenario.drive_periodic d ~interval:0.05 ~count:100 ();
+  Scenario.schedule_faults d
+    ~on_restart:(fun node -> forget_node tk node)
+    (Fault.outage ~at:crash_at ~downtime:(restart_at -. crash_at)
+       d.Scenario.primary_node);
+  Scenario.schedule_faults d
+    (Fault.partition_site d.Scenario.wan ~site:cut_site ~t0:cut_t0 ~t1:cut_t1);
+  Scenario.run d ~until:horizon;
+  Scenario.record_archive_stats d;
+  let trace = Scenario.trace d in
+  let promotions = Ev.Query.promotions (Ev.Collector.records collector) in
+  (match promotions with
+  | { Ev.at; _ } :: _ -> Trace.observe trace "failover_latency" (at -. crash_at)
+  | [] -> ());
+  let promote_extra =
+    match promotions with
+    | [ _ ] -> []
+    | [] -> [ "no Promote in the trace within the horizon" ]
+    | ps ->
+        [ Printf.sprintf "expected exactly 1 Promote in the trace, saw %d"
+            (List.length ps) ]
+  in
+  (* The restarted ex-primary reopened the surviving archive.  Its
+     durability floor must be seeded from the recovered low-water mark
+     and must never overstate: every sequence number at or below the
+     floor has to be servable from memory or disk right now. *)
+  let spill_extra =
+    match Hashtbl.find_opt d.Scenario.archives d.Scenario.primary_node with
+    | None -> [ "restarted primary has no archive handle" ]
+    | Some a ->
+        let lw = Lbrm.Archive.low_water a in
+        let floor = Lbrm.Logger.durable_floor d.Scenario.primary in
+        let store = Lbrm.Logger.store d.Scenario.primary in
+        let unheld = ref 0 in
+        for s = 1 to floor do
+          if not (Lbrm.Log_store.mem store s || Lbrm.Archive.mem a s) then
+            incr unheld
+        done;
+        (if lw <= 0 then
+           [ "primary never spilled a contiguous prefix to disk" ]
+         else [])
+        @ (if floor < lw then
+             [
+               Printf.sprintf "restarted floor %d below archive low-water %d"
+                 floor lw;
+             ]
+           else [])
+        @
+        if !unheld > 0 then
+          [
+            Printf.sprintf "floor %d overstates holdings: %d seqs unservable"
+              floor !unheld;
+          ]
+        else []
+  in
+  let tier_extra =
+    if Trace.get trace "archive.read" = 0 then
+      [ "no retransmission was ever served from the disk tier" ]
+    else []
+  in
+  let name =
+    strategy_name "primary_crash_spill" d.Scenario.cfg.Lbrm.Config.replication
+  in
+  finish ~name d tk collector (promote_extra @ spill_extra @ tier_extra)
+
 (* A site's secondary logger dies under ongoing tail loss: that site's
    receivers burn through [retrans_retry_limit] unanswered requests,
    discard the dead logger, and re-run expanding-ring discovery to adopt
@@ -336,6 +437,7 @@ let random_chaos ?(seed = 42) ?(crashes = 3) ?(partitions = 2) ?replication ()
 let run_scripted ?h_min ?replication () =
   [
     primary_crash ?h_min ?replication ();
+    primary_crash_spill ?h_min ?replication ();
     secondary_crash ?h_min ?replication ();
     partition_heal ?replication ();
   ]

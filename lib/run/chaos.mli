@@ -60,6 +60,25 @@ val primary_crash :
     re-deposit count as the ["window_of_loss"] sample (packets the
     strategy left un-durable at the new floor). *)
 
+val primary_crash_spill :
+  ?seed:int ->
+  ?h_min:float ->
+  ?replication:Lbrm.Config.replication ->
+  unit ->
+  outcome
+(** {!primary_crash} with a disk tier attached to every logger
+    ([Scenario.standard ~archive:true]) and a [Keep_last 8] store, so
+    most of the stream has spilled into (2 KiB, hence multiple) archive
+    segments before the crash; a concurrent site partition, healed only
+    after the promoted primary is stable, forces that site's deep
+    catch-up through the disk tier.  On top of the
+    exactly-one-fail-over contract it asserts the restart half of the
+    tier: the rebuilt ex-primary reopens the surviving archive, its
+    durability floor is at (or above) the recovered low-water mark
+    without overstating — every sequence number at or below the floor
+    is still servable from memory or disk — and retransmissions were
+    actually served from disk (["archive.read"] on the trace). *)
+
 val secondary_crash :
   ?seed:int ->
   ?h_min:float ->
@@ -89,7 +108,7 @@ val random_chaos :
 
 val run_scripted :
   ?h_min:float -> ?replication:Lbrm.Config.replication -> unit -> outcome list
-(** The three scripted scenarios, in order, at their default seeds.
+(** The four scripted scenarios, in order, at their default seeds.
     [replication] selects the logger-replication strategy
     ({!Lbrm.Config.replication}, default primary/secondary) and is
     suffixed onto scenario names for non-default strategies. *)

@@ -1,6 +1,6 @@
 (* The real filesystem behind Lbrm.Archive.fs.
 
-   lib/core is sans-IO: the archive asks for six primitive file
+   lib/core is sans-IO: the archive asks for seven primitive file
    operations and this module supplies them with Unix.  Each call
    opens, operates and closes — archive appends happen on the cold
    eviction path, so handle caching is not worth the crash-consistency
@@ -68,5 +68,6 @@ let real : Lbrm.Archive.fs =
     append;
     truncate =
       (fun path ~len -> wrap "truncate" path (fun () -> Unix.truncate path len));
+    remove = (fun path -> wrap "remove" path (fun () -> Unix.unlink path));
     fsync;
   }

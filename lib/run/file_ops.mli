@@ -1,7 +1,7 @@
 (** The real (Unix-backed) implementation of {!Lbrm.Archive.fs}.
 
     lib/core is sans-IO; runtimes inject this record when opening an
-    archive: [Lbrm.Archive.open_ ~fs:File_ops.real ~path].  Failures
+    archive: [Lbrm.Archive.open_ ~fs:File_ops.real path].  Failures
     raise {!Lbrm.Archive.Fs_error} (converted to [Error] by
     [Archive.open_]). *)
 

@@ -35,12 +35,17 @@ type deployment = {
   delivered : (node_id, (int, unit) Hashtbl.t) Hashtbl.t;
   (* node -> fresh-machine factory, run when a crashed node restarts *)
   rebuilders : (node_id, unit -> unit) Hashtbl.t;
+  (* node -> the archive handle its logger currently serves from (only
+     with ~archive:true; rebuilt handles replace crashed ones, the
+     backing in-memory fs survives the crash like a disk would) *)
+  archives : (node_id, Lbrm.Archive.t) Hashtbl.t;
 }
 
 let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     ?initial_estimate ?backbone_delay ?tail_loss ?on_deliver ?on_notice
     ?on_source_notice ?(logging = `Distributed) ?sink ?agent_metrics
-    ?site_population ?mcast_cache ~sites ~receivers_per_site () =
+    ?site_population ?mcast_cache ?(archive = false) ~sites
+    ~receivers_per_site () =
   assert (sites > 0 && receivers_per_site >= 0);
   let delivered_table = Hashtbl.create 64 in
   let reserved = 3 + replica_count in
@@ -78,6 +83,38 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     Lbrm.Source.create cfg ~self:source_node ~primary:primary_node
       ~replicas:replica_nodes ?initial_estimate ?sink ()
   in
+  (* Disk tiers: one persistent in-memory fs per log host.  The fs
+     outlives the logger machine — a crash loses the machine (and its
+     in-memory store) but not the "disk", exactly as a restart would
+     find real files — so the rebuilder's reopen recovers segments,
+     index and low-water mark from what was durably written. *)
+  let archive_fs : (node_id, Lbrm.Archive.fs) Hashtbl.t = Hashtbl.create 8 in
+  let archive_handles : (node_id, Lbrm.Archive.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let make_archive node =
+    if not archive then None
+    else
+      let fs =
+        match Hashtbl.find_opt archive_fs node with
+        | Some fs -> fs
+        | None ->
+            let fs = Lbrm.Archive.in_memory () in
+            Hashtbl.replace archive_fs node fs;
+            fs
+      in
+      match
+        Lbrm.Archive.open_
+          ~segment_bytes:cfg.Lbrm.Config.archive_segment_bytes
+          ~index_stride:cfg.Lbrm.Config.archive_index_stride
+          ~lwm_stride:cfg.Lbrm.Config.archive_lwm_stride ~fs
+          (Printf.sprintf "logger-%d.log" node)
+      with
+      | Ok a ->
+          Hashtbl.replace archive_handles node a;
+          Some a
+      | Error e -> failwith (Printf.sprintf "archive open (node %d): %s" node e)
+  in
   (* Under ring replication the log hosts form an ordered chain
      head -> replica_1 -> ... -> replica_n (tail); each member knows only
      its successor.  Under primary/quorum there is no chain. *)
@@ -96,6 +133,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
     Lbrm.Logger.create cfg ~self:primary_node ~source:source_node
       ~replicas:replica_nodes
       ?succ:(ring_succ primary_node)
+      ?archive:(make_archive primary_node)
       ~rng:(Rng.split rng) ?sink ()
   in
   let replicas =
@@ -104,6 +142,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
         ( Lbrm.Logger.create cfg ~self:node ~source:source_node
             ~parent:primary_node
             ?succ:(ring_succ node)
+            ?archive:(make_archive node)
             ~rng:(Rng.split rng) ?sink (),
           node ))
       replica_nodes
@@ -116,7 +155,9 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
           (fun site ->
             let node = site.Builders.hosts.(0) in
             ( Lbrm.Logger.create cfg ~self:node ~source:source_node
-                ~parent:primary_node ~rng:(Rng.split rng) ?sink (),
+                ~parent:primary_node
+                ?archive:(make_archive node)
+                ~rng:(Rng.split rng) ?sink (),
               node ))
           wan.sites
   in
@@ -291,6 +332,7 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
       regionals = [];
       delivered = delivered_table;
       rebuilders = Hashtbl.create 16;
+      archives = archive_handles;
     }
   in
   (* Restart factories.  A restarted process has no soft state, so every
@@ -315,13 +357,16 @@ let standard ?(cfg = Lbrm.Config.default) ?(seed = 42) ?(replica_count = 0)
             Lbrm.Logger.create cfg ~self:node ~source:source_node
               ~replicas:others
               ?succ:(ring_succ node)
+              ?archive:(make_archive node)
               ~rng:(Rng.split fault_rng) ?sink ()
           else
             (* A demoted ring/quorum member returns as a plain secondary
                of whoever now heads the replica set; a later Ring_set can
                splice it back into a chain. *)
             Lbrm.Logger.create cfg ~self:node ~source:source_node
-              ~parent:current ~rng:(Rng.split fault_rng) ?sink ()
+              ~parent:current
+              ?archive:(make_archive node)
+              ~rng:(Rng.split fault_rng) ?sink ()
         in
         update l;
         Sim_runtime.replace_agent runtime ~node (Handlers.of_logger l))
@@ -545,6 +590,27 @@ let total_missing d =
   in
   individual + tracer + aggregate
 
+(* Fold the disk tier's counters into the deployment's experiment
+   metrics: "archive.read" counts retransmissions the currently
+   installed loggers served from disk; the "archive.rotations" /
+   "archive.compactions" / "archive.segments" family tracks segment
+   lifecycle across the live archive handles. *)
+let record_archive_stats d =
+  let tr = Sim_runtime.trace d.runtime in
+  let add name n = if n > 0 then Trace.incr ~by:n tr name in
+  let loggers =
+    (d.primary :: List.map fst d.replicas)
+    @ Array.to_list (Array.map fst d.secondaries)
+    @ List.map fst d.regionals
+  in
+  List.iter (fun l -> add "archive.read" (Lbrm.Logger.archive_reads l)) loggers;
+  Hashtbl.fold (fun node a acc -> (node, a) :: acc) d.archives []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (_, a) ->
+         add "archive.rotations" (Lbrm.Archive.rotations a);
+         add "archive.compactions" (Lbrm.Archive.compactions a);
+         add "archive.segments" (List.length (Lbrm.Archive.segments a)))
+
 (* A three-level logger hierarchy (the paper's Â§7 "multi-level hierarchy
    of logging servers" future-work item): receivers NACK their site
    secondary, secondaries NACK a regional logger, regionals NACK the
@@ -681,4 +747,5 @@ let hierarchical ?(cfg = Lbrm.Config.default) ?(seed = 42) ?initial_estimate
     (* no restart support in the hierarchical builder (yet): restarted
        nodes come back up silent *)
     rebuilders = Hashtbl.create 1;
+    archives = Hashtbl.create 1;
   }

@@ -44,6 +44,11 @@ type deployment = {
       (** per-receiver-node set of delivered sequence numbers *)
   rebuilders : (node_id, unit -> unit) Hashtbl.t;
       (** node → factory installing a fresh state machine at restart *)
+  archives : (node_id, Lbrm.Archive.t) Hashtbl.t;
+      (** log host → the archive handle its logger currently serves
+          from (empty unless [standard ~archive:true]); a rebuilt
+          logger's reopened handle replaces the crashed one here, while
+          the backing in-memory fs persists across the crash *)
 }
 
 val standard :
@@ -67,6 +72,7 @@ val standard :
   ?agent_metrics:bool ->
   ?site_population:population_spec ->
   ?mcast_cache:int ->
+  ?archive:bool ->
   sites:int ->
   receivers_per_site:int ->
   unit ->
@@ -93,7 +99,15 @@ val standard :
     (restart = fresh model, true rejoin).  Population-free deployments
     are bit-identical to before the option existed.  [mcast_cache] caps
     the network's pruned multicast-tree cache
-    ({!Lbrm_sim.Net.create}).  All agents are started. *)
+    ({!Lbrm_sim.Net.create}).  All agents are started.
+
+    [archive] attaches a disk tier (over a per-node persistent
+    in-memory fs) to every logger — primary, replicas and site
+    secondaries — sized by the config's [archive_*] knobs: store
+    evictions spill to segments, retransmissions fall through
+    memory → disk, and a crashed logger's rebuilder {e reopens} the
+    surviving archive, recovering its history and persisted low-water
+    mark.  Archive-free deployments are bit-identical to before. *)
 
 val hierarchical :
   ?cfg:Lbrm.Config.t ->
@@ -182,3 +196,11 @@ val total_missing : deployment -> int
 (** Sum of currently missing packets across receivers — individual,
     tracer, and aggregate (population gaps are multiplicity-weighted:
     a packet missed by [m] modeled receivers counts [m]). *)
+
+val record_archive_stats : deployment -> unit
+(** Fold disk-tier counters into the deployment's {!trace} metrics:
+    ["archive.read"] (retransmissions the currently installed loggers
+    served from disk) and the ["archive.rotations"] /
+    ["archive.compactions"] / ["archive.segments"] segment-lifecycle
+    family.  No-op counters stay absent, so archive-free scenarios'
+    metrics are unchanged. *)

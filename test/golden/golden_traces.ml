@@ -36,6 +36,7 @@ let () =
     (C.primary_crash ~replication:Lbrm.Config.R_ring ()).C.events;
   line "primary_crash_quorum"
     (C.primary_crash ~replication:Lbrm.Config.R_quorum ()).C.events;
+  line "primary_crash_spill" (C.primary_crash_spill ()).C.events;
   line "secondary_crash" (C.secondary_crash ()).C.events;
   line "partition_heal" (C.partition_heal ()).C.events;
   line "lossy_50_sites" (lossy_events ())

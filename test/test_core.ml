@@ -952,7 +952,7 @@ let tmp_archive () =
 let archive_roundtrip () =
   let fs = Lbrm.Archive.in_memory () in
   let path = "archive.log" in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   for seq = 1 to 20 do
     Lbrm.Archive.append a ~seq ~epoch:(seq mod 3)
       ~payload:(Printf.sprintf "payload-%d" seq)
@@ -974,13 +974,13 @@ let archive_roundtrip () =
 let archive_survives_reopen () =
   let fs = Lbrm.Archive.in_memory () in
   let path = "archive.log" in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   for seq = 1 to 10 do
     Lbrm.Archive.append a ~seq ~epoch:0 ~payload:(string_of_int seq)
   done;
   Lbrm.Archive.close a;
   (* Reopen: the index is rebuilt from the file. *)
-  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   checki "count after reopen" 10 (Lbrm.Archive.count b);
   (match Lbrm.Archive.find b 10 with
   | Some (0, "10") -> ()
@@ -993,26 +993,28 @@ let archive_survives_reopen () =
 let archive_truncates_torn_tail () =
   let fs = Lbrm.Archive.in_memory () in
   let path = "archive.log" in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   for seq = 1 to 5 do
     Lbrm.Archive.append a ~seq ~epoch:0 ~payload:"data"
   done;
+  let active = Lbrm.Archive.active_path a in
   Lbrm.Archive.close a;
-  (* Simulate a crash mid-append: garbage at the tail. *)
-  Lbrm.Archive.(fs.append) path "\xA1\x0Cgarbage-torn-write";
-  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  (* Simulate a crash mid-append: garbage at the tail of the active
+     segment. *)
+  Lbrm.Archive.(fs.append) active "\xA1\x0Cgarbage-torn-write";
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   checki "valid prefix preserved" 5 (Lbrm.Archive.count b);
   checkb "records intact" true (Lbrm.Archive.find b 5 <> None);
   (* New appends land after the truncated tail and survive reopen. *)
   Lbrm.Archive.append b ~seq:6 ~epoch:0 ~payload:"six";
   Lbrm.Archive.close b;
-  let c = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let c = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   checki "post-crash append persisted" 6 (Lbrm.Archive.count c);
   Lbrm.Archive.close c
 
 let archive_iter_order () =
   let fs = Lbrm.Archive.in_memory () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path:"archive.log") in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs "archive.log") in
   List.iter
     (fun seq -> Lbrm.Archive.append a ~seq ~epoch:0 ~payload:"")
     [ 3; 1; 2 ];
@@ -1022,12 +1024,62 @@ let archive_iter_order () =
     (List.rev !order);
   Lbrm.Archive.close a
 
+let archive_reappend_noop_after_restart () =
+  (* Regression: append's dedup must hold across a reopen of a
+     multi-segment archive — for sequence numbers recovered into the
+     active segment, into a dense sealed segment, and into a gappy
+     sealed segment (whose membership probe goes through the sparse
+     sidecar index), a rotate + restart must not make old sequence
+     numbers appendable again. *)
+  let fs = Lbrm.Archive.in_memory () in
+  let reopen () =
+    Result.get_ok
+      (Lbrm.Archive.open_ ~segment_bytes:64 ~index_stride:2 ~fs "archive.log")
+  in
+  let orig seq = Printf.sprintf "original-%d" seq in
+  let a = reopen () in
+  (* 28-byte records, 64-byte segments: two records per segment, so
+     this seals the dense {1,2}, the gappy {3,5}, and leaves 7 active. *)
+  List.iter
+    (fun seq -> Lbrm.Archive.append a ~seq ~epoch:(seq mod 3) ~payload:(orig seq))
+    [ 1; 2; 3; 5; 7 ];
+  checki "two sealed segments" 3 (List.length (Lbrm.Archive.segments a));
+  Lbrm.Archive.close a;
+  let b = reopen () in
+  checki "recovered" 5 (Lbrm.Archive.count b);
+  List.iter
+    (fun seq -> Lbrm.Archive.append b ~seq ~epoch:9 ~payload:"duplicate")
+    [ 1; 2; 3; 5; 7 ];
+  checki "re-appends after restart are no-ops" 5 (Lbrm.Archive.count b);
+  List.iter
+    (fun seq ->
+      match Lbrm.Archive.find b seq with
+      | Some (e, p) when e = seq mod 3 && String.equal p (orig seq) -> ()
+      | _ -> Alcotest.failf "seq %d overwritten after restart" seq)
+    [ 1; 2; 3; 5; 7 ];
+  (* The gap really is absent — dedup must not shadow it. *)
+  Lbrm.Archive.append b ~seq:4 ~epoch:0 ~payload:"four";
+  checki "gap fill lands" 6 (Lbrm.Archive.count b);
+  Lbrm.Archive.close b;
+  (* Second restart: iter must visit every sequence number exactly
+     once — count alone could hide a duplicate record on disk. *)
+  let c = reopen () in
+  checki "no duplicates after a second restart" 6 (Lbrm.Archive.count c);
+  let seen = Hashtbl.create 8 in
+  Lbrm.Archive.iter
+    (fun ~seq ~epoch:_ ~payload:_ ->
+      if Hashtbl.mem seen seq then Alcotest.failf "seq %d archived twice" seq;
+      Hashtbl.add seen seq ())
+    c;
+  checki "six distinct records on disk" 6 (Hashtbl.length seen);
+  Lbrm.Archive.close c
+
 let archive_real_fs () =
   (* The Unix-backed fs from lib/run: roundtrip, reopen, and torn-tail
      recovery against a real temp file. *)
   let fs = Lbrm_run.File_ops.real in
   let path = tmp_archive () in
-  let a = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let a = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   for seq = 1 to 5 do
     Lbrm.Archive.append a ~seq ~epoch:(seq mod 2)
       ~payload:(Printf.sprintf "payload-%d" seq)
@@ -1036,29 +1088,33 @@ let archive_real_fs () =
   (match Lbrm.Archive.find a 3 with
   | Some (1, "payload-3") -> ()
   | _ -> Alcotest.fail "real-fs lookup");
+  let active = Lbrm.Archive.active_path a in
   Lbrm.Archive.close a;
-  (* Crash mid-append: garbage at the tail of the real file. *)
-  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  (* Crash mid-append: garbage at the tail of the real active segment. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 active
+  in
   output_string oc "\xA1\x0Cgarbage-torn-write";
   close_out oc;
-  let b = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let b = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   checki "valid prefix preserved" 5 (Lbrm.Archive.count b);
   Lbrm.Archive.append b ~seq:6 ~epoch:0 ~payload:"six";
   Lbrm.Archive.close b;
-  let c = Result.get_ok (Lbrm.Archive.open_ ~fs ~path) in
+  let c = Result.get_ok (Lbrm.Archive.open_ ~fs path) in
   checki "post-crash append persisted" 6 (Lbrm.Archive.count c);
   (match Lbrm.Archive.find c 6 with
   | Some (0, "six") -> ()
   | _ -> Alcotest.fail "post-crash append lookup");
+  let leftovers = Lbrm.Archive.files c in
   Lbrm.Archive.close c;
-  Sys.remove path
+  List.iter (fun f -> if Sys.file_exists f then Sys.remove f) leftovers
 
 let logger_serves_from_archive () =
   (* Bounded memory + archive: old packets evicted from RAM are still
      servable from disk. *)
   let archive =
     Result.get_ok
-      (Lbrm.Archive.open_ ~fs:(Lbrm.Archive.in_memory ()) ~path:"archive.log")
+      (Lbrm.Archive.open_ ~fs:(Lbrm.Archive.in_memory ()) "archive.log")
   in
   let cfg = { plain with retention = Log_store.Keep_last 3 } in
   let l =
@@ -1445,6 +1501,8 @@ let () =
             archive_truncates_torn_tail;
           Alcotest.test_case "iterates in append order" `Quick
             archive_iter_order;
+          Alcotest.test_case "re-append no-op across restart" `Quick
+            archive_reappend_noop_after_restart;
           Alcotest.test_case "real fs roundtrip + torn tail" `Quick
             archive_real_fs;
           Alcotest.test_case "logger serves from disk" `Quick

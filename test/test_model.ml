@@ -8,9 +8,16 @@
      bookkeeping shows up as a count/get/highest_contiguous mismatch.
    - Gap_tracker vs a sorted-set oracle computed in absolute (unwrapped)
      sequence positions, driven across the Seqno wrap boundary so the
-     serial-arithmetic ordering is exercised where it matters. *)
+     serial-arithmetic ordering is exercised where it matters.
+   - Archive's segmented disk tier vs a plain Map, over random
+     append/find/rotate/compact/reopen streams on the in-memory fs fake,
+     including injected Fs_error on data appends and crash-with-torn-tail
+     reopens: the recovered archive must equal the oracle minus exactly
+     the torn records, and the low-water mark must never overstate what
+     survived. *)
 
 module Log_store = Lbrm.Log_store
+module Archive = Lbrm.Archive
 module Gap_tracker = Lbrm_util.Gap_tracker
 module Seqno = Lbrm_util.Seqno
 module IntMap = Map.Make (Int)
@@ -323,10 +330,329 @@ let prop_gap_tracker =
         cmds;
       true)
 
+(* ---- Archive vs Map oracle across rotation, compaction, crash --------- *)
+
+(* Geometry chosen so a random stream exercises everything: ~4 records
+   per 160-byte segment (frequent rotation), a sparse index sampling
+   every 2nd entry, and a low-water stride of 3 so persisted L records
+   appear mid-stream (where a torn tail could contradict them). *)
+let a_seg_bytes = 160
+let a_lwm_stride = 3
+let a_max_seq = 48
+let a_reclen payload = 18 + String.length payload
+
+let a_pay seq salt =
+  Printf.sprintf "%d#%d#%s" seq salt (String.make (seq mod 23) 'x')
+
+type arec = { a_seq : int; a_pos : int; a_len : int }
+
+(* The oracle mirrors the archive's layout decisions (rotation points,
+   record offsets) but keeps its *contents* as a plain Map; [a_fsynced]
+   tracks the prefix of the active segment on stable storage, which is
+   where torn-tail cuts are clamped (a crash can only lose data the
+   archive never fsynced). *)
+type amodel = {
+  mutable a_kv : (int * string) IntMap.t;  (* live seq -> epoch, payload *)
+  mutable a_gone : IntSet.t;  (* seqs reclaimed by compaction *)
+  mutable a_sealed : (int * IntSet.t) list;  (* (segment id, seqs), id asc *)
+  mutable a_active : arec list;  (* append order = offset order *)
+  mutable a_active_id : int;
+  mutable a_active_size : int;
+  mutable a_fsynced : int;
+  mutable a_contig : int;
+  mutable a_persisted : int;
+}
+
+let amodel () =
+  {
+    a_kv = IntMap.empty;
+    a_gone = IntSet.empty;
+    a_sealed = [];
+    a_active = [];
+    a_active_id = 1;
+    a_active_size = 0;
+    a_fsynced = 0;
+    a_contig = 0;
+    a_persisted = 0;
+  }
+
+let m_advance m =
+  while IntMap.mem (m.a_contig + 1) m.a_kv do
+    m.a_contig <- m.a_contig + 1
+  done
+
+let m_seal m =
+  if m.a_active <> [] then begin
+    let seqs =
+      List.fold_left (fun s r -> IntSet.add r.a_seq s) IntSet.empty m.a_active
+    in
+    m.a_sealed <- m.a_sealed @ [ (m.a_active_id, seqs) ];
+    m.a_active_id <- m.a_active_id + 1;
+    m.a_active <- [];
+    m.a_active_size <- 0;
+    m.a_fsynced <- 0
+  end
+
+let m_append m ~seq ~epoch ~payload =
+  if not (IntMap.mem seq m.a_kv) then begin
+    let len = a_reclen payload in
+    if m.a_active <> [] && m.a_active_size + len > a_seg_bytes then m_seal m;
+    m.a_active <-
+      m.a_active @ [ { a_seq = seq; a_pos = m.a_active_size; a_len = len } ];
+    m.a_active_size <- m.a_active_size + len;
+    m.a_kv <- IntMap.add seq (epoch, payload) m.a_kv;
+    if m.a_contig + 1 = seq then m_advance m;
+    if m.a_contig - m.a_persisted >= a_lwm_stride then begin
+      (* persist_lwm fsyncs the active segment before the L record, so
+         everything backing the persisted mark is stable from here on *)
+      m.a_persisted <- m.a_contig;
+      m.a_fsynced <- m.a_active_size
+    end
+  end
+
+let m_compact m ~floor =
+  let gone, keep =
+    List.partition (fun (_, seqs) -> IntSet.max_elt seqs <= floor) m.a_sealed
+  in
+  List.iter
+    (fun (_, seqs) ->
+      IntSet.iter
+        (fun s ->
+          m.a_kv <- IntMap.remove s m.a_kv;
+          m.a_gone <- IntSet.add s m.a_gone)
+        seqs)
+    gone;
+  m.a_sealed <- keep;
+  List.map fst gone
+
+(* Cheap invariants checked after every command. *)
+let a_check m arch ctx =
+  if Archive.count arch <> IntMap.cardinal m.a_kv then
+    QCheck.Test.fail_reportf "%s: count %d, oracle %d" ctx (Archive.count arch)
+      (IntMap.cardinal m.a_kv);
+  if Archive.active_size arch <> m.a_active_size then
+    QCheck.Test.fail_reportf "%s: active_size %d, oracle %d" ctx
+      (Archive.active_size arch) m.a_active_size;
+  if Archive.low_water arch <> m.a_contig then
+    QCheck.Test.fail_reportf "%s: low_water %d, oracle %d" ctx
+      (Archive.low_water arch) m.a_contig;
+  for s = 1 to Archive.low_water arch do
+    if not (IntMap.mem s m.a_kv || IntSet.mem s m.a_gone) then
+      QCheck.Test.fail_reportf
+        "%s: floor %d overstates: %d neither held nor compacted" ctx
+        (Archive.low_water arch) s
+  done
+
+(* Full sweep, run after every reopen and at the end. *)
+let a_check_full m arch ctx =
+  a_check m arch ctx;
+  for s = 1 to a_max_seq + 2 do
+    (match (Archive.find arch s, IntMap.find_opt s m.a_kv) with
+    | None, None -> ()
+    | Some (e, p), Some (e', p') when e = e' && String.equal p p' -> ()
+    | Some _, None ->
+        QCheck.Test.fail_reportf "%s: archive has %d, oracle does not" ctx s
+    | None, Some _ ->
+        QCheck.Test.fail_reportf "%s: oracle has %d, archive lost it" ctx s
+    | Some _, Some _ ->
+        QCheck.Test.fail_reportf "%s: entry %d fields diverged" ctx s);
+    if Archive.mem arch s <> IntMap.mem s m.a_kv then
+      QCheck.Test.fail_reportf "%s: mem %d diverged" ctx s
+  done
+
+let prop_archive =
+  QCheck.Test.make ~count:150
+    ~name:"archive: segments + manifest = Map across rotate/compact/crash"
+    QCheck.(
+      list_of_size
+        Gen.(10 -- 120)
+        (triple (int_range 0 9) (int_range 0 47) (int_range 0 200)))
+    (fun cmds ->
+      let fail_next = ref false in
+      let base_fs = Archive.in_memory () in
+      (* Injected data-append failures: all-or-nothing, segment files
+         only (manifest and sidecar writes stay healthy). *)
+      let fs =
+        {
+          base_fs with
+          Archive.append =
+            (fun path data ->
+              if !fail_next && Filename.check_suffix path ".seg" then begin
+                fail_next := false;
+                raise (Archive.Fs_error "injected append failure")
+              end;
+              base_fs.Archive.append path data);
+        }
+      in
+      let reopen () =
+        match
+          Archive.open_ ~segment_bytes:a_seg_bytes ~index_stride:2
+            ~lwm_stride:a_lwm_stride ~fs "model-archive"
+        with
+        | Ok a -> a
+        | Error e -> QCheck.Test.fail_reportf "open failed: %s" e
+      in
+      let arch = ref (reopen ()) in
+      let m = amodel () in
+      List.iter
+        (fun (op, a, b) ->
+          let seq = (a mod a_max_seq) + 1 in
+          if op <= 3 then begin
+            let epoch = b mod 3 and payload = a_pay seq b in
+            Archive.append !arch ~seq ~epoch ~payload;
+            m_append m ~seq ~epoch ~payload
+          end
+          else if op = 4 then begin
+            if IntMap.mem seq m.a_kv then
+              (* duplicate: dedup fires before any fs call *)
+              Archive.append !arch ~seq ~epoch:0 ~payload:"dup"
+            else begin
+              (* fresh append with the data write failing: the rotation
+                 decision precedes the write, the record itself must not
+                 land, and the handle must stay usable *)
+              let epoch = b mod 3 and payload = a_pay seq b in
+              let len = a_reclen payload in
+              if m.a_active <> [] && m.a_active_size + len > a_seg_bytes then
+                m_seal m;
+              fail_next := true;
+              (match Archive.append !arch ~seq ~epoch ~payload with
+              | () ->
+                  QCheck.Test.fail_reportf
+                    "append %d: injected Fs_error not raised" seq
+              | exception Archive.Fs_error _ -> ());
+              fail_next := false
+            end
+          end
+          else if op = 5 then (
+            match (Archive.find !arch seq, IntMap.find_opt seq m.a_kv) with
+            | None, None -> ()
+            | Some (e, p), Some (e', p') when e = e' && String.equal p p' -> ()
+            | _ -> QCheck.Test.fail_reportf "find %d diverged" seq)
+          else if op = 6 then begin
+            Archive.rotate !arch;
+            m_seal m
+          end
+          else if op = 7 then begin
+            let got = Archive.compact !arch ~floor:a in
+            let want = m_compact m ~floor:a in
+            if not (List.equal Int.equal got want) then
+              QCheck.Test.fail_reportf "compact %d: reclaimed ids diverged" a
+          end
+          else if op = 8 then begin
+            (* clean close + reopen: nothing may be lost *)
+            Archive.close !arch;
+            m.a_persisted <- m.a_contig;
+            m.a_fsynced <- m.a_active_size;
+            m.a_contig <- m.a_persisted;
+            m_advance m;
+            arch := reopen ();
+            a_check_full m !arch "clean reopen"
+          end
+          else begin
+            (* crash: tear the active segment's un-fsynced tail at a
+               random point inside (or at the boundary of) a random
+               record, abandon the handle without closing, reopen *)
+            (match m.a_active with
+            | [] -> ()
+            | recs ->
+                let victim = List.nth recs (a mod List.length recs) in
+                let raw = victim.a_pos + (b mod (victim.a_len + 1)) in
+                let cut = Stdlib.max raw m.a_fsynced in
+                base_fs.Archive.truncate (Archive.active_path !arch) ~len:cut;
+                let keep, lost =
+                  List.partition (fun r -> r.a_pos + r.a_len <= cut) recs
+                in
+                List.iter
+                  (fun r -> m.a_kv <- IntMap.remove r.a_seq m.a_kv)
+                  lost;
+                m.a_active <- keep;
+                m.a_active_size <-
+                  (match List.rev keep with
+                  | [] -> 0
+                  | r :: _ -> r.a_pos + r.a_len);
+                m.a_fsynced <- m.a_active_size);
+            m.a_contig <- m.a_persisted;
+            m_advance m;
+            arch := reopen ();
+            a_check_full m !arch "crash reopen"
+          end;
+          a_check m !arch "step")
+        cmds;
+      Archive.close !arch;
+      a_check_full m !arch "final";
+      true)
+
+(* Deterministic companion: a sealed segment plus a six-record tail, cut
+   at *every* record boundary and one byte inside each record.  The
+   reopened archive must hold exactly the records wholly below the cut,
+   and a torn sequence number must be re-appendable (it is genuinely
+   gone, not shadow-remembered). *)
+let archive_torn_tail_every_boundary () =
+  let checki = Alcotest.check Alcotest.int in
+  let build () =
+    let fs = Archive.in_memory () in
+    let a =
+      Result.get_ok
+        (Archive.open_ ~segment_bytes:100_000 ~lwm_stride:1_000 ~fs "torn")
+    in
+    for s = 1 to 6 do
+      Archive.append a ~seq:s ~epoch:1 ~payload:(a_pay s 0)
+    done;
+    Archive.rotate a;
+    let recs = ref [] in
+    for s = 7 to 12 do
+      let start = Archive.active_size a in
+      Archive.append a ~seq:s ~epoch:1 ~payload:(a_pay s 0);
+      recs := (s, start, Archive.active_size a) :: !recs
+    done;
+    (fs, a, List.rev !recs)
+  in
+  let _, _, recs = build () in
+  let cuts =
+    List.concat_map
+      (fun (s, start, stop) ->
+        [ (s, start); (s, start + 1); (s, stop - 1); (s + 1, stop) ])
+      recs
+  in
+  List.iter
+    (fun (first_lost, cut) ->
+      let label = Printf.sprintf "cut at %d" cut in
+      let fs, a, _ = build () in
+      fs.Archive.truncate (Archive.active_path a) ~len:cut;
+      let a =
+        Result.get_ok
+          (Archive.open_ ~segment_bytes:100_000 ~lwm_stride:1_000 ~fs "torn")
+      in
+      let survivors = first_lost - 1 in
+      checki (label ^ ": count") survivors (Archive.count a);
+      checki (label ^ ": low_water") survivors (Archive.low_water a);
+      for s = 1 to 12 do
+        if s <= survivors then (
+          match Archive.find a s with
+          | Some (1, p) when String.equal p (a_pay s 0) -> ()
+          | _ -> Alcotest.failf "%s: record %d lost or mangled" label s)
+        else if Archive.mem a s then
+          Alcotest.failf "%s: torn record %d still visible" label s
+      done;
+      if first_lost <= 12 then begin
+        (* the torn seq is writable again, at the recovered tail *)
+        Archive.append a ~seq:first_lost ~epoch:2 ~payload:"rewrite";
+        match Archive.find a first_lost with
+        | Some (2, "rewrite") -> ()
+        | _ -> Alcotest.failf "%s: re-append after tear failed" label
+      end)
+    cuts
+
 let () =
   Alcotest.run "model"
     [
       ( "log_store",
         [ qtest prop_keep_all; qtest prop_keep_last; qtest prop_keep_for ] );
       ("gap_tracker", [ qtest prop_gap_tracker ]);
+      ( "archive",
+        [
+          qtest prop_archive;
+          Alcotest.test_case "torn tail at every boundary" `Quick
+            archive_torn_tail_every_boundary;
+        ] );
     ]

@@ -12,6 +12,7 @@ module Logger = Lbrm.Logger
 module Log_store = Lbrm.Log_store
 module T = Lbrm.Trace
 module Chaos = Lbrm_run.Chaos
+module Scenario = Lbrm_run.Scenario
 module Rng = Lbrm_util.Rng
 
 let p = Lbrm_wire.Payload.of_string
@@ -373,9 +374,10 @@ let window_of_loss_primary_k_unacked () =
 (* ---- satellite: archive degradation on Fs_error ----------------------- *)
 
 let archive_degrades_gracefully () =
-  (* A disk tier that fills up after two appends. *)
+  (* A disk tier that fills up after three appends: opening a fresh
+     archive writes one manifest record, then two data records fit. *)
   let fs = Lbrm.Archive.in_memory () in
-  let budget = ref 2 in
+  let budget = ref 3 in
   let failing =
     {
       fs with
@@ -387,7 +389,7 @@ let archive_degrades_gracefully () =
     }
   in
   let archive =
-    Result.get_ok (Lbrm.Archive.open_ ~fs:failing ~path:"archive.log")
+    Result.get_ok (Lbrm.Archive.open_ ~fs:failing "archive.log")
   in
   let collector = T.Collector.create () in
   let cfg = { plain with retention = Log_store.Keep_last 3 } in
@@ -428,6 +430,38 @@ let archive_degrades_gracefully () =
       match unicasts_to 2 a with
       | [ Message.Nack _ ] -> ()
       | _ -> Alcotest.fail "expected a repair or an uplink chase")
+
+(* ---- satellite: end-to-end memory → disk fall-through ------------------ *)
+
+(* The paper's 50-site deployment under tail loss, with in-memory stores
+   so small ([Keep_last 2]) that almost every repair request outlives
+   its packet's stay in RAM: recovery must fall through to the disk
+   tier, close every gap, and do so under each replication strategy. *)
+let tier_fallthrough_end_to_end () =
+  List.iter
+    (fun replication ->
+      let label = Config.replication_label replication in
+      let cfg =
+        {
+          Config.default with
+          replication;
+          retention = Log_store.Keep_last 2;
+          archive_segment_bytes = 1024;
+        }
+      in
+      let d =
+        Scenario.standard ~cfg ~seed:23 ~replica_count:2
+          ~initial_estimate:100.
+          ~tail_loss:(fun _ -> Lbrm_sim.Loss.bernoulli 0.05)
+          ~archive:true ~sites:50 ~receivers_per_site:2 ()
+      in
+      Scenario.drive_periodic d ~interval:0.02 ~count:60 ();
+      Scenario.run d ~until:30.;
+      Scenario.record_archive_stats d;
+      checki (label ^ ": every gap closed") 0 (Scenario.total_missing d);
+      checkb (label ^ ": retransmissions served from disk") true
+        (Lbrm_sim.Trace.get (Scenario.trace d) "archive.read" > 0))
+    [ Config.R_primary; Config.R_ring; Config.R_quorum ]
 
 (* ---- the chaos suite raced under every strategy ----------------------- *)
 
@@ -505,6 +539,8 @@ let () =
         [
           Alcotest.test_case "degrades gracefully on Fs_error" `Quick
             archive_degrades_gracefully;
+          Alcotest.test_case "memory → disk fall-through, end to end" `Slow
+            tier_fallthrough_end_to_end;
         ] );
       ( "chaos",
         [

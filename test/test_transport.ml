@@ -419,6 +419,29 @@ let measurements : (string list * (unit -> float)) list =
           step i
         done;
         (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
+    ( [ "Archive.locate" ],
+      fun () ->
+        (* The disk tier's in-memory index probe: one Hashtbl.find per
+           tiered retransmission lookup, hit and miss both via the
+           preallocated Not_found path.  Seqs cycle past the appended
+           range so both outcomes are measured. *)
+        let a =
+          Result.get_ok
+            (Lbrm.Archive.open_ ~fs:(Lbrm.Archive.in_memory ())
+               "transport-hot.log")
+        in
+        for seq = 1 to 64 do
+          Lbrm.Archive.append a ~seq ~epoch:0 ~payload:"x"
+        done;
+        let probe i = ignore (Lbrm.Archive.locate a ((i mod 80) + 1)) in
+        for i = 1 to 100 do
+          probe i
+        done;
+        let before = Gc.allocated_bytes () in
+        for i = 1 to iters do
+          probe i
+        done;
+        (Gc.allocated_bytes () -. before) /. float_of_int (Sys.word_size / 8) );
     ( [ "Metrics.incr"; "Metrics.add" ],
       fun () ->
         let m = Metrics.create () in
